@@ -1,0 +1,592 @@
+//! The reverse sweep: gradient rules for every op in [`crate::graph::Op`].
+
+use crate::graph::{gelu_bwd, Graph, Node, Op, Var};
+use crate::Result;
+use metalora_tensor::conv;
+use metalora_tensor::{ops, Tensor, TensorError};
+
+/// Reduces a gradient of broadcast shape back to the original operand
+/// shape: sums over prepended axes, then over axes the operand held at
+/// extent 1.
+fn reduce_to_shape(g: &Tensor, target_dims: &[usize]) -> Result<Tensor> {
+    let mut g = g.clone();
+    while g.rank() > target_dims.len() {
+        g = ops::sum_axis(&g, 0)?;
+    }
+    #[allow(clippy::needless_range_loop)]
+    for axis in 0..target_dims.len() {
+        if target_dims[axis] == 1 && g.dims()[axis] != 1 {
+            let summed = ops::sum_axis(&g, axis)?;
+            // Re-insert the unit axis.
+            let mut dims = summed.dims().to_vec();
+            dims.insert(axis, 1);
+            g = summed.reshape(&dims)?;
+        }
+    }
+    debug_assert_eq!(g.dims(), target_dims);
+    Ok(g)
+}
+
+/// Broadcasts a reduced gradient (axis removed) back along `axis` with
+/// extent `d` — the adjoint of `sum_axis`.
+fn broadcast_axis(g: &Tensor, axis: usize, d: usize) -> Result<Tensor> {
+    let mut dims = g.dims().to_vec();
+    dims.insert(axis, d);
+    let outer: usize = dims[..axis].iter().product();
+    let inner: usize = dims[axis + 1..].iter().product();
+    let mut out = Tensor::zeros(&dims);
+    let src = g.data();
+    let dst = out.data_mut();
+    for o in 0..outer {
+        let lane = &src[o * inner..(o + 1) * inner];
+        for m in 0..d {
+            let base = (o * d + m) * inner;
+            dst[base..base + inner].copy_from_slice(lane);
+        }
+    }
+    Ok(out)
+}
+
+/// Adds `t` into the gradient slot of `nodes[v]`.
+fn accumulate(nodes: &mut [Node], v: Var, t: Tensor) {
+    let slot = &mut nodes[v.0].grad;
+    match slot {
+        Some(g) => {
+            debug_assert_eq!(g.dims(), t.dims());
+            for (a, &b) in g.data_mut().iter_mut().zip(t.data()) {
+                *a += b;
+            }
+        }
+        None => *slot = Some(t),
+    }
+}
+
+impl Graph {
+    /// Runs the reverse sweep from a **scalar** root, filling `grad` slots
+    /// for every node that influences it.
+    pub fn backward(&mut self, root: Var) -> Result<()> {
+        if self.nodes[root.0].value.len() != 1 {
+            return Err(TensorError::InvalidArgument(format!(
+                "backward root must be scalar, got shape {:?}",
+                self.nodes[root.0].value.dims()
+            )));
+        }
+        let root_dims = self.nodes[root.0].value.dims().to_vec();
+        self.nodes[root.0].grad = Some(Tensor::ones(&root_dims));
+
+        for i in (0..=root.0).rev() {
+            // Parents always precede their consumers, so splitting at `i`
+            // gives mutable access to all parent slots.
+            let (parents, rest) = self.nodes.split_at_mut(i);
+            let node = &mut rest[0];
+            let Some(g) = node.grad.take() else { continue };
+
+            match &node.op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    let ga = reduce_to_shape(&g, parents[a.0].value.dims())?;
+                    let gb = reduce_to_shape(&g, parents[b.0].value.dims())?;
+                    accumulate(parents, *a, ga);
+                    accumulate(parents, *b, gb);
+                }
+                Op::Sub(a, b) => {
+                    let ga = reduce_to_shape(&g, parents[a.0].value.dims())?;
+                    let gb = reduce_to_shape(&ops::neg(&g), parents[b.0].value.dims())?;
+                    accumulate(parents, *a, ga);
+                    accumulate(parents, *b, gb);
+                }
+                Op::Mul(a, b) => {
+                    let ga = ops::mul(&g, &parents[b.0].value)?;
+                    let gb = ops::mul(&g, &parents[a.0].value)?;
+                    let ga = reduce_to_shape(&ga, parents[a.0].value.dims())?;
+                    let gb = reduce_to_shape(&gb, parents[b.0].value.dims())?;
+                    accumulate(parents, *a, ga);
+                    accumulate(parents, *b, gb);
+                }
+                Op::Scale(a, s) => {
+                    accumulate(parents, *a, ops::scale(&g, *s));
+                }
+                Op::Matmul(a, b) => {
+                    // dA = G·Bᵀ, dB = Aᵀ·G.
+                    let ga = ops::matmul_transpose_b(&g, &parents[b.0].value)?;
+                    let gb = ops::matmul_transpose_a(&parents[a.0].value, &g)?;
+                    accumulate(parents, *a, ga);
+                    accumulate(parents, *b, gb);
+                }
+                Op::Bmm(a, b) => {
+                    // Per batch slice: dA = G·Bᵀ, dB = Aᵀ·G.
+                    let ga = ops::bmm_transpose_b(&g, &parents[b.0].value)?;
+                    let gb = ops::bmm_transpose_a(&parents[a.0].value, &g)?;
+                    accumulate(parents, *a, ga);
+                    accumulate(parents, *b, gb);
+                }
+                Op::Softmax(a) => {
+                    // dx = y ⊙ (g − Σ_lane(g ⊙ y)).
+                    let y = &node.value;
+                    let c = *y.dims().last().expect("rank >= 1");
+                    let lanes = y.len() / c;
+                    let mut dx = Tensor::zeros(y.dims());
+                    for l in 0..lanes {
+                        let yr = &y.data()[l * c..(l + 1) * c];
+                        let gr = &g.data()[l * c..(l + 1) * c];
+                        let dot: f32 =
+                            yr.iter().zip(gr).map(|(&yv, &gv)| yv * gv).sum();
+                        let dst = &mut dx.data_mut()[l * c..(l + 1) * c];
+                        for ((d, &yv), &gv) in dst.iter_mut().zip(yr).zip(gr) {
+                            *d = yv * (gv - dot);
+                        }
+                    }
+                    accumulate(parents, *a, dx);
+                }
+                Op::Reshape(a, from) => {
+                    accumulate(parents, *a, g.reshaped(from)?);
+                }
+                Op::Permute(a, perm) => {
+                    let mut inv = vec![0usize; perm.len()];
+                    for (dst, &src) in perm.iter().enumerate() {
+                        inv[src] = dst;
+                    }
+                    accumulate(parents, *a, ops::permute(&g, &inv)?);
+                }
+                Op::Relu(a) => {
+                    let ga = ops::zip_with(&g, &parents[a.0].value, |gy, x| {
+                        if x > 0.0 {
+                            gy
+                        } else {
+                            0.0
+                        }
+                    })?;
+                    accumulate(parents, *a, ga);
+                }
+                Op::Gelu(a) => {
+                    let ga = ops::zip_with(&g, &parents[a.0].value, |gy, x| gy * gelu_bwd(x))?;
+                    accumulate(parents, *a, ga);
+                }
+                Op::Tanh(a) => {
+                    let ga = ops::zip_with(&g, &node.value, |gy, y| gy * (1.0 - y * y))?;
+                    accumulate(parents, *a, ga);
+                }
+                Op::Sigmoid(a) => {
+                    let ga = ops::zip_with(&g, &node.value, |gy, y| gy * y * (1.0 - y))?;
+                    accumulate(parents, *a, ga);
+                }
+                Op::SoftmaxCrossEntropy {
+                    logits,
+                    labels,
+                    probs,
+                } => {
+                    let gs = g.item()?;
+                    let (n, c) = (probs.dims()[0], probs.dims()[1]);
+                    let mut gl = probs.clone();
+                    for (i, &y) in labels.iter().enumerate() {
+                        gl.data_mut()[i * c + y] -= 1.0;
+                    }
+                    let gl = ops::scale(&gl, gs / n as f32);
+                    accumulate(parents, *logits, gl);
+                }
+                Op::MseLoss { pred, target } => {
+                    let gs = g.item()?;
+                    let n = target.len().max(1) as f32;
+                    let gp = ops::zip_with(&parents[pred.0].value, target, |p, t| {
+                        2.0 * (p - t)
+                    })?;
+                    accumulate(parents, *pred, ops::scale(&gp, gs / n));
+                }
+                Op::LayerNorm {
+                    x,
+                    gamma,
+                    beta,
+                    xhat,
+                    invstd,
+                } => {
+                    let c = *xhat.dims().last().expect("rank >= 1");
+                    let lanes = xhat.len() / c;
+                    let gv = &parents[gamma.0].value;
+                    let mut dgamma = Tensor::zeros(&[c]);
+                    let mut dbeta = Tensor::zeros(&[c]);
+                    let mut dx = Tensor::zeros(xhat.dims());
+                    for l in 0..lanes {
+                        let istd = invstd.data()[l];
+                        let grow = &g.data()[l * c..(l + 1) * c];
+                        let xrow = &xhat.data()[l * c..(l + 1) * c];
+                        let mut sum_dxhat = 0.0f32;
+                        let mut sum_dxhat_xhat = 0.0f32;
+                        for j in 0..c {
+                            let dxh = grow[j] * gv.data()[j];
+                            sum_dxhat += dxh;
+                            sum_dxhat_xhat += dxh * xrow[j];
+                            dgamma.data_mut()[j] += grow[j] * xrow[j];
+                            dbeta.data_mut()[j] += grow[j];
+                        }
+                        let cf = c as f32;
+                        for j in 0..c {
+                            let dxh = grow[j] * gv.data()[j];
+                            dx.data_mut()[l * c + j] = istd
+                                * (dxh - sum_dxhat / cf - xrow[j] * sum_dxhat_xhat / cf);
+                        }
+                    }
+                    accumulate(parents, *x, dx);
+                    accumulate(parents, *gamma, dgamma);
+                    accumulate(parents, *beta, dbeta);
+                }
+                Op::BatchNorm2d {
+                    x,
+                    gamma,
+                    beta,
+                    xhat,
+                    invstd,
+                } => {
+                    let (n, c, h, w) = (
+                        xhat.dims()[0],
+                        xhat.dims()[1],
+                        xhat.dims()[2],
+                        xhat.dims()[3],
+                    );
+                    let m = (n * h * w) as f32;
+                    let gv = &parents[gamma.0].value;
+                    let mut dgamma = Tensor::zeros(&[c]);
+                    let mut dbeta = Tensor::zeros(&[c]);
+                    // First pass: per-channel sums.
+                    for ci in 0..c {
+                        let mut sdy = 0.0f32;
+                        let mut sdyx = 0.0f32;
+                        for ni in 0..n {
+                            let base = ((ni * c + ci) * h) * w;
+                            for k in 0..h * w {
+                                let gy = g.data()[base + k];
+                                sdy += gy;
+                                sdyx += gy * xhat.data()[base + k];
+                            }
+                        }
+                        dgamma.data_mut()[ci] = sdyx;
+                        dbeta.data_mut()[ci] = sdy;
+                    }
+                    let mut dx = Tensor::zeros(xhat.dims());
+                    for ci in 0..c {
+                        let scale = gv.data()[ci] * invstd.data()[ci];
+                        let sdy = dbeta.data()[ci] / m;
+                        let sdyx = dgamma.data()[ci] / m;
+                        for ni in 0..n {
+                            let base = ((ni * c + ci) * h) * w;
+                            for k in 0..h * w {
+                                let gy = g.data()[base + k];
+                                let xh = xhat.data()[base + k];
+                                dx.data_mut()[base + k] = scale * (gy - sdy - xh * sdyx);
+                            }
+                        }
+                    }
+                    accumulate(parents, *x, dx);
+                    accumulate(parents, *gamma, dgamma);
+                    accumulate(parents, *beta, dbeta);
+                }
+                Op::Conv2d {
+                    x,
+                    w,
+                    h_spec,
+                    w_spec,
+                    cols,
+                } => {
+                    let xv = &parents[x.0].value;
+                    let wv = &parents[w.0].value;
+                    let (n, cch, hh, ww_in) =
+                        (xv.dims()[0], xv.dims()[1], xv.dims()[2], xv.dims()[3]);
+                    let (kh, kw, ci, o) =
+                        (wv.dims()[0], wv.dims()[1], wv.dims()[2], wv.dims()[3]);
+                    // G: [N,O,OH,OW] → [N·OH·OW, O].
+                    let gp = ops::permute(&g, &[0, 2, 3, 1])?;
+                    let oh = h_spec.out_size(hh)?;
+                    let ow = w_spec.out_size(ww_in)?;
+                    let gm = gp.reshape(&[n * oh * ow, o])?;
+                    // dW = colsᵀ·G, back to paper layout.
+                    let dwm = ops::matmul_transpose_a(cols, &gm)?; // [C·KH·KW, O]
+                    let dw = ops::permute(
+                        &dwm.reshape(&[ci, kh, kw, o])?,
+                        &[1, 2, 0, 3],
+                    )?;
+                    // dX = col2im(G·Wᵀ).
+                    let wm = conv::weight_to_matrix(wv)?;
+                    let dcols = ops::matmul_transpose_b(&gm, &wm)?;
+                    let dx = conv::col2im(&dcols, n, cch, hh, ww_in, *h_spec, *w_spec)?;
+                    accumulate(parents, *x, dx);
+                    accumulate(parents, *w, dw);
+                }
+                Op::GlobalAvgPool2d(a) => {
+                    let xv = &parents[a.0].value;
+                    let (n, c, h, w) = (xv.dims()[0], xv.dims()[1], xv.dims()[2], xv.dims()[3]);
+                    let hw = (h * w) as f32;
+                    let mut dx = Tensor::zeros(xv.dims());
+                    for ni in 0..n {
+                        for cci in 0..c {
+                            let gy = g.data()[ni * c + cci] / hw;
+                            let base = ((ni * c + cci) * h) * w;
+                            for k in 0..h * w {
+                                dx.data_mut()[base + k] = gy;
+                            }
+                        }
+                    }
+                    accumulate(parents, *a, dx);
+                }
+                Op::SumAxis(a, axis) => {
+                    let d = parents[a.0].value.dims()[*axis];
+                    accumulate(parents, *a, broadcast_axis(&g, *axis, d)?);
+                }
+                Op::MeanAxis(a, axis) => {
+                    let d = parents[a.0].value.dims()[*axis];
+                    let b = broadcast_axis(&g, *axis, d)?;
+                    accumulate(parents, *a, ops::scale(&b, 1.0 / d as f32));
+                }
+                Op::MeanAll(a) => {
+                    let gs = g.item()?;
+                    let n = parents[a.0].value.len().max(1) as f32;
+                    accumulate(
+                        parents,
+                        *a,
+                        Tensor::full(parents[a.0].value.dims(), gs / n),
+                    );
+                }
+                Op::Dropout { x, mask } => {
+                    accumulate(parents, *x, ops::mul(&g, mask)?);
+                }
+            }
+            node.grad = Some(g);
+        }
+        Ok(())
+    }
+
+    /// Delivers the gradients of every bound trainable parameter into its
+    /// shared cell. Multiple bindings of the same parameter accumulate.
+    pub fn flush_grads(&self) {
+        for (idx, p) in &self.bound {
+            if let Some(g) = &self.nodes[*idx].grad {
+                p.accumulate_grad(g);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamRef;
+
+    #[test]
+    fn backward_requires_scalar_root() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[2]));
+        assert!(g.backward(x).is_err());
+    }
+
+    #[test]
+    fn linear_chain_gradients() {
+        // loss = mean(3·(a + b)) → dL/da = dL/db = 3/len.
+        let mut g = Graph::new();
+        let a = g.input(Tensor::zeros(&[4]));
+        let b = g.input(Tensor::ones(&[4]));
+        let s = g.add(a, b).unwrap();
+        let sc = g.scale(s, 3.0);
+        let l = g.mean_all(sc).unwrap();
+        g.backward(l).unwrap();
+        assert_eq!(g.grad(a).data(), &[0.75; 4]);
+        assert_eq!(g.grad(b).data(), &[0.75; 4]);
+    }
+
+    #[test]
+    fn fanout_accumulates() {
+        // loss = mean(x + x) → dL/dx = 2/len each.
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[2]));
+        let y = g.add(x, x).unwrap();
+        let l = g.mean_all(y).unwrap();
+        g.backward(l).unwrap();
+        assert_eq!(g.grad(x).data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn broadcast_add_reduces_gradient() {
+        // [2,3] + [3] bias: bias grad is the column sum of upstream.
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[2, 3]));
+        let b = g.input(Tensor::zeros(&[3]));
+        let y = g.add(x, b).unwrap();
+        let l = g.mean_all(y).unwrap();
+        g.backward(l).unwrap();
+        assert_eq!(g.grad(b).dims(), &[3]);
+        // Each bias entry feeds 2 outputs of 6 total: grad = 2/6.
+        for &v in g.grad(b).data() {
+            assert!((v - 2.0 / 6.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_gradient_shapes_and_values() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::ones(&[2, 3]));
+        let b = g.input(Tensor::ones(&[3, 4]));
+        let y = g.matmul(a, b).unwrap();
+        let l = g.mean_all(y).unwrap();
+        g.backward(l).unwrap();
+        // dL/dy = 1/8 each; dA = (1/8)·1·Bᵀ rows sum to 4·(1/8).
+        assert_eq!(g.grad(a).dims(), &[2, 3]);
+        assert_eq!(g.grad(b).dims(), &[3, 4]);
+        for &v in g.grad(a).data() {
+            assert!((v - 0.5).abs() < 1e-6);
+        }
+        for &v in g.grad(b).data() {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_ce_gradient_sums_to_zero_per_row() {
+        let mut g = Graph::new();
+        let logits = g.input(
+            Tensor::from_vec(vec![2.0, -1.0, 0.3, 0.0, 0.0, 0.0], &[2, 3]).unwrap(),
+        );
+        let l = g.softmax_cross_entropy(logits, &[0, 2]).unwrap();
+        g.backward(l).unwrap();
+        let gl = g.grad(logits);
+        for i in 0..2 {
+            let s: f32 = gl.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6, "row {i} grad sum {s}");
+        }
+        // True-label entry must have negative gradient.
+        assert!(gl.get(&[0, 0]).unwrap() < 0.0);
+        assert!(gl.get(&[1, 2]).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn flush_grads_accumulates_into_params() {
+        let w = ParamRef::new("w", Tensor::ones(&[2, 2]));
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[1, 2]));
+        let wv = g.bind(&w);
+        let y = g.matmul(x, wv).unwrap();
+        let l = g.mean_all(y).unwrap();
+        g.backward(l).unwrap();
+        g.flush_grads();
+        assert!(w.grad().data().iter().all(|&v| (v - 0.5).abs() < 1e-6));
+        // Second flush doubles (accumulation semantics).
+        g.flush_grads();
+        assert!(w.grad().data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn same_param_bound_twice_accumulates() {
+        // y = x·W + x·W → dW = 2·(xᵀ·g).
+        let w = ParamRef::new("w", Tensor::ones(&[2, 2]));
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[1, 2]));
+        let w1 = g.bind(&w);
+        let w2 = g.bind(&w);
+        let y1 = g.matmul(x, w1).unwrap();
+        let y2 = g.matmul(x, w2).unwrap();
+        let y = g.add(y1, y2).unwrap();
+        let l = g.mean_all(y).unwrap();
+        g.backward(l).unwrap();
+        g.flush_grads();
+        // Each binding contributes xᵀ·(1/2) = 0.5 per entry → 1.0 total.
+        assert!(w.grad().data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn unused_nodes_get_zero_grad() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[2]));
+        let unused = g.input(Tensor::ones(&[5]));
+        let l = g.mean_all(x).unwrap();
+        g.backward(l).unwrap();
+        assert_eq!(g.grad(unused).data(), &[0.0; 5]);
+    }
+
+    #[test]
+    fn reduce_to_shape_handles_leading_and_unit_axes() {
+        let g = Tensor::ones(&[2, 3, 4]);
+        let r = reduce_to_shape(&g, &[3, 4]).unwrap();
+        assert_eq!(r.data(), &[2.0; 12]);
+        let r = reduce_to_shape(&g, &[1, 4]).unwrap();
+        assert_eq!(r.dims(), &[1, 4]);
+        assert_eq!(r.data(), &[6.0; 4]);
+    }
+
+    #[test]
+    fn broadcast_axis_is_adjoint_of_sum_axis() {
+        let mut rng = metalora_tensor::init::rng(1);
+        let x = metalora_tensor::init::uniform(&[2, 3, 4], -1.0, 1.0, &mut rng);
+        let y = metalora_tensor::init::uniform(&[2, 4], -1.0, 1.0, &mut rng);
+        // <sum_axis(x,1), y> == <x, broadcast_axis(y,1,3)>.
+        let sx = ops::sum_axis(&x, 1).unwrap();
+        let lhs: f32 = sx.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let by = broadcast_axis(&y, 1, 3).unwrap();
+        let rhs: f32 = x.data().iter().zip(by.data()).map(|(&a, &b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn tanh_sigmoid_backward_use_saved_output() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap());
+        let t = g.tanh(x);
+        let l = g.mean_all(t).unwrap();
+        g.backward(l).unwrap();
+        let y = 0.5f32.tanh();
+        let expect = (1.0 - y * y) / 2.0;
+        assert!((g.grad(x).data()[0] - expect).abs() < 1e-5);
+
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![0.3], &[1]).unwrap());
+        let s = g.sigmoid(x);
+        let l = g.mean_all(s).unwrap();
+        g.backward(l).unwrap();
+        let y = 1.0 / (1.0 + (-0.3f32).exp());
+        assert!((g.grad(x).data()[0] - y * (1.0 - y)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn conv2d_backward_shapes() {
+        let mut rng = metalora_tensor::init::rng(2);
+        let spec = conv::ConvSpec::new(3, 2, 1).unwrap();
+        let mut g = Graph::new();
+        let x = g.input(metalora_tensor::init::uniform(&[2, 3, 6, 6], -1.0, 1.0, &mut rng));
+        let w = g.input(metalora_tensor::init::uniform(&[3, 3, 3, 5], -1.0, 1.0, &mut rng));
+        let y = g.conv2d(x, w, spec, spec).unwrap();
+        let l = g.mean_all(y).unwrap();
+        g.backward(l).unwrap();
+        assert_eq!(g.grad(x).dims(), &[2, 3, 6, 6]);
+        assert_eq!(g.grad(w).dims(), &[3, 3, 3, 5]);
+        assert!(g.grad(w).norm() > 0.0);
+    }
+
+    #[test]
+    fn permute_backward_restores_layout() {
+        let mut rng = metalora_tensor::init::rng(3);
+        let xv = metalora_tensor::init::uniform(&[2, 3, 4], -1.0, 1.0, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(xv);
+        let p = g.permute(x, &[2, 0, 1]).unwrap();
+        let l = g.mean_all(p).unwrap();
+        g.backward(l).unwrap();
+        // Gradient of a mean through a permutation is uniform.
+        let gx = g.grad(x);
+        assert_eq!(gx.dims(), &[2, 3, 4]);
+        assert!(gx.data().iter().all(|&v| (v - 1.0 / 24.0).abs() < 1e-7));
+    }
+
+    #[test]
+    fn dropout_backward_masks() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[100]));
+        let mut rng = metalora_tensor::init::rng(5);
+        let y = g.dropout(x, 0.5, &mut rng).unwrap();
+        let l = g.mean_all(y).unwrap();
+        g.backward(l).unwrap();
+        let gx = g.grad(x);
+        let yv = g.value(y);
+        for (gv, &ov) in gx.data().iter().zip(yv.data()) {
+            if ov == 0.0 {
+                assert_eq!(*gv, 0.0);
+            } else {
+                assert!((gv - 2.0 / 100.0).abs() < 1e-6);
+            }
+        }
+    }
+}

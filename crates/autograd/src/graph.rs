@@ -1,0 +1,813 @@
+//! The tape: node arena, forward builder methods and the op vocabulary.
+
+use crate::param::ParamRef;
+use crate::Result;
+use metalora_tensor::conv::{self, ConvSpec};
+use metalora_tensor::{ops, Tensor, TensorError};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Handle to a node in a [`Graph`]. Cheap to copy; only valid for the
+/// graph that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+/// Everything the backward pass needs to know about one op application.
+///
+/// Variants store saved activations where recomputation would be wasteful
+/// (softmax probabilities, normalisation statistics, im2col patches).
+#[derive(Debug)]
+pub(crate) enum Op {
+    /// Input or bound parameter.
+    Leaf,
+    /// Elementwise `a + b` with broadcasting.
+    Add(Var, Var),
+    /// Elementwise `a - b` with broadcasting.
+    Sub(Var, Var),
+    /// Hadamard `a ⊙ b` with broadcasting.
+    Mul(Var, Var),
+    /// `s · a`.
+    Scale(Var, f32),
+    /// Matrix product `a · b`.
+    Matmul(Var, Var),
+    /// Batched matrix product over the leading axis.
+    Bmm(Var, Var),
+    /// Softmax over the last axis (stores the output).
+    Softmax(Var),
+    /// Reshape (stores the input shape for the backward reshape).
+    Reshape(Var, Vec<usize>),
+    /// Axis permutation (stores the forward permutation).
+    Permute(Var, Vec<usize>),
+    /// `max(x, 0)`.
+    Relu(Var),
+    /// GELU, tanh approximation.
+    Gelu(Var),
+    /// Hyperbolic tangent (stores the output).
+    Tanh(Var),
+    /// Logistic sigmoid (stores the output).
+    Sigmoid(Var),
+    /// Mean softmax cross-entropy against integer labels; stores softmax
+    /// probabilities for the fused backward.
+    SoftmaxCrossEntropy {
+        logits: Var,
+        labels: Vec<usize>,
+        probs: Tensor,
+    },
+    /// Mean squared error against a constant target.
+    MseLoss { pred: Var, target: Tensor },
+    /// Layer norm over the last axis with affine parameters.
+    LayerNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        xhat: Tensor,
+        invstd: Tensor,
+    },
+    /// Batch norm over `(N, H, W)` per channel of `[N, C, H, W]`.
+    BatchNorm2d {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        xhat: Tensor,
+        invstd: Tensor,
+    },
+    /// 2-D convolution; stores the im2col patch matrix.
+    Conv2d {
+        x: Var,
+        w: Var,
+        h_spec: ConvSpec,
+        w_spec: ConvSpec,
+        cols: Tensor,
+    },
+    /// `[N, C, H, W] → [N, C]` spatial mean.
+    GlobalAvgPool2d(Var),
+    /// Sum over one axis.
+    SumAxis(Var, usize),
+    /// Mean over one axis.
+    MeanAxis(Var, usize),
+    /// Mean of all elements → scalar.
+    MeanAll(Var),
+    /// Inverted-dropout mask already folded with the keep-probability.
+    Dropout { x: Var, mask: Tensor },
+}
+
+pub(crate) struct Node {
+    pub(crate) value: Tensor,
+    pub(crate) grad: Option<Tensor>,
+    pub(crate) op: Op,
+}
+
+/// A single forward/backward tape.
+///
+/// Typical step:
+/// ```
+/// use metalora_autograd::{Graph, ParamRef};
+/// use metalora_tensor::Tensor;
+///
+/// let w = ParamRef::new("w", Tensor::ones(&[3, 2]));
+/// let mut g = Graph::new();
+/// let x = g.input(Tensor::ones(&[4, 3]));
+/// let wv = g.bind(&w);
+/// let y = g.matmul(x, wv).unwrap();
+/// let loss = g.mean_all(y).unwrap();
+/// g.backward(loss).unwrap();
+/// g.flush_grads();
+/// assert_eq!(w.grad().dims(), &[3, 2]);
+/// ```
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+    /// Parameters bound this step: `(node index, handle)`.
+    pub(crate) bound: Vec<(usize, ParamRef)>,
+    /// Training-mode flag consumed by dropout/batch-norm wrappers upstream.
+    training: bool,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape in training mode.
+    pub fn new() -> Self {
+        Graph {
+            nodes: Vec::new(),
+            bound: Vec::new(),
+            training: true,
+        }
+    }
+
+    /// Creates an empty tape in inference mode.
+    pub fn inference() -> Self {
+        Graph {
+            nodes: Vec::new(),
+            bound: Vec::new(),
+            training: false,
+        }
+    }
+
+    /// Whether the tape was created in training mode.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Adds a constant/input leaf.
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Binds a shared parameter as a leaf; its gradient is delivered back
+    /// by [`Graph::flush_grads`]. Frozen parameters are bound as plain
+    /// inputs (gradients still flow *through* them, but are not flushed).
+    pub fn bind(&mut self, p: &ParamRef) -> Var {
+        let v = self.push(p.value(), Op::Leaf);
+        if p.trainable() {
+            self.bound.push((v.0, p.clone()));
+        }
+        v
+    }
+
+    /// Value of a node (clone).
+    pub fn value(&self, v: Var) -> Tensor {
+        self.nodes[v.0].value.clone()
+    }
+
+    /// Shape of a node's value.
+    pub fn dims(&self, v: Var) -> Vec<usize> {
+        self.nodes[v.0].value.dims().to_vec()
+    }
+
+    /// Gradient of a node after [`Graph::backward`]; zeros if the node did
+    /// not participate.
+    pub fn grad(&self, v: Var) -> Tensor {
+        match &self.nodes[v.0].grad {
+            Some(g) => g.clone(),
+            None => Tensor::zeros(self.nodes[v.0].value.dims()),
+        }
+    }
+
+    // ---- elementwise algebra -------------------------------------------
+
+    /// `a + b` (broadcasting).
+    pub fn add(&mut self, a: Var, b: Var) -> Result<Var> {
+        let v = ops::add(&self.nodes[a.0].value, &self.nodes[b.0].value)?;
+        Ok(self.push(v, Op::Add(a, b)))
+    }
+
+    /// `a - b` (broadcasting).
+    pub fn sub(&mut self, a: Var, b: Var) -> Result<Var> {
+        let v = ops::sub(&self.nodes[a.0].value, &self.nodes[b.0].value)?;
+        Ok(self.push(v, Op::Sub(a, b)))
+    }
+
+    /// `a ⊙ b` (broadcasting).
+    pub fn mul(&mut self, a: Var, b: Var) -> Result<Var> {
+        let v = ops::mul(&self.nodes[a.0].value, &self.nodes[b.0].value)?;
+        Ok(self.push(v, Op::Mul(a, b)))
+    }
+
+    /// `s · a`.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = ops::scale(&self.nodes[a.0].value, s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    // ---- linear algebra -------------------------------------------------
+
+    /// `a · b` for matrices.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Result<Var> {
+        let v = ops::matmul(&self.nodes[a.0].value, &self.nodes[b.0].value)?;
+        Ok(self.push(v, Op::Matmul(a, b)))
+    }
+
+    /// Batched matrix product `a[b]·b[b]` for rank-3 operands sharing the
+    /// leading batch axis — the workhorse of multi-head attention.
+    pub fn bmm(&mut self, a: Var, b: Var) -> Result<Var> {
+        let v = ops::bmm(&self.nodes[a.0].value, &self.nodes[b.0].value)?;
+        Ok(self.push(v, Op::Bmm(a, b)))
+    }
+
+    /// Softmax over the last axis (any rank ≥ 1), numerically stabilised.
+    pub fn softmax(&mut self, a: Var) -> Result<Var> {
+        let x = &self.nodes[a.0].value;
+        if x.rank() == 0 {
+            return Err(TensorError::InvalidArgument(
+                "softmax on a scalar".into(),
+            ));
+        }
+        let c = *x.dims().last().expect("rank >= 1");
+        if c == 0 {
+            return Err(TensorError::InvalidArgument(
+                "softmax over empty axis".into(),
+            ));
+        }
+        let lanes = x.len() / c;
+        let mut out = Tensor::zeros(x.dims());
+        for l in 0..lanes {
+            let row = &x.data()[l * c..(l + 1) * c];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            let dst = &mut out.data_mut()[l * c..(l + 1) * c];
+            for (d, &v) in dst.iter_mut().zip(row) {
+                *d = (v - m).exp();
+                denom += *d;
+            }
+            for d in dst.iter_mut() {
+                *d /= denom;
+            }
+        }
+        Ok(self.push(out, Op::Softmax(a)))
+    }
+
+    /// Reshape to `dims`.
+    pub fn reshape(&mut self, a: Var, dims: &[usize]) -> Result<Var> {
+        let v = self.nodes[a.0].value.reshaped(dims)?;
+        let from = self.nodes[a.0].value.dims().to_vec();
+        Ok(self.push(v, Op::Reshape(a, from)))
+    }
+
+    /// Permute axes.
+    pub fn permute(&mut self, a: Var, perm: &[usize]) -> Result<Var> {
+        let v = ops::permute(&self.nodes[a.0].value, perm)?;
+        Ok(self.push(v, Op::Permute(a, perm.to_vec())))
+    }
+
+    // ---- activations -----------------------------------------------------
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = ops::map(&self.nodes[a.0].value, |x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// GELU (tanh approximation).
+    pub fn gelu(&mut self, a: Var) -> Var {
+        let v = ops::map(&self.nodes[a.0].value, gelu_fwd);
+        self.push(v, Op::Gelu(a))
+    }
+
+    /// tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = ops::map(&self.nodes[a.0].value, f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = ops::map(&self.nodes[a.0].value, |x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    // ---- losses -----------------------------------------------------------
+
+    /// Mean softmax cross-entropy of logits `[N, C]` against integer
+    /// labels. Returns a scalar node.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Result<Var> {
+        let l = &self.nodes[logits.0].value;
+        if l.rank() != 2 {
+            return Err(TensorError::InvalidArgument(
+                "softmax_cross_entropy expects [N, C] logits".into(),
+            ));
+        }
+        let (n, c) = (l.dims()[0], l.dims()[1]);
+        if labels.len() != n {
+            return Err(TensorError::InvalidArgument(format!(
+                "{} labels for batch of {n}",
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&y| y >= c) {
+            return Err(TensorError::IndexOutOfRange { index: bad, len: c });
+        }
+        let mut probs = Tensor::zeros(&[n, c]);
+        let mut loss = 0.0f32;
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            let row = &l.data()[i * c..(i + 1) * c];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for &x in row {
+                denom += (x - m).exp();
+            }
+            let log_denom = denom.ln() + m;
+            for (j, &x) in row.iter().enumerate() {
+                probs.data_mut()[i * c + j] = (x - log_denom).exp();
+            }
+            loss -= l.data()[i * c + labels[i]] - log_denom;
+        }
+        loss /= n as f32;
+        Ok(self.push(
+            Tensor::scalar(loss),
+            Op::SoftmaxCrossEntropy {
+                logits,
+                labels: labels.to_vec(),
+                probs,
+            },
+        ))
+    }
+
+    /// Mean squared error against a constant target of the same shape.
+    pub fn mse_loss(&mut self, pred: Var, target: &Tensor) -> Result<Var> {
+        let p = &self.nodes[pred.0].value;
+        if p.shape() != target.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "mse_loss",
+                lhs: p.dims().to_vec(),
+                rhs: target.dims().to_vec(),
+            });
+        }
+        let n = p.len().max(1) as f32;
+        let loss = p
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / n;
+        Ok(self.push(
+            Tensor::scalar(loss),
+            Op::MseLoss {
+                pred,
+                target: target.clone(),
+            },
+        ))
+    }
+
+    // ---- normalisation ------------------------------------------------
+
+    /// Layer norm over the last axis with affine `gamma`/`beta`
+    /// (both `[C]` where `C` is the last-axis extent).
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Result<Var> {
+        let xv = &self.nodes[x.0].value;
+        if xv.rank() < 1 {
+            return Err(TensorError::InvalidArgument(
+                "layer_norm needs rank >= 1".into(),
+            ));
+        }
+        let c = *xv.dims().last().expect("rank >= 1");
+        let gv = &self.nodes[gamma.0].value;
+        let bv = &self.nodes[beta.0].value;
+        if gv.dims() != [c] || bv.dims() != [c] {
+            return Err(TensorError::ShapeMismatch {
+                op: "layer_norm affine",
+                lhs: gv.dims().to_vec(),
+                rhs: vec![c],
+            });
+        }
+        let lanes = xv.len() / c;
+        let mut xhat = Tensor::zeros(xv.dims());
+        let mut invstd = Tensor::zeros(&[lanes]);
+        let mut out = Tensor::zeros(xv.dims());
+        for l in 0..lanes {
+            let row = &xv.data()[l * c..(l + 1) * c];
+            let mean = row.iter().sum::<f32>() / c as f32;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / c as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            invstd.data_mut()[l] = istd;
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..c {
+                let xh = (row[j] - mean) * istd;
+                xhat.data_mut()[l * c + j] = xh;
+                out.data_mut()[l * c + j] = xh * gv.data()[j] + bv.data()[j];
+            }
+        }
+        Ok(self.push(
+            out,
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                xhat,
+                invstd,
+            },
+        ))
+    }
+
+    /// Batch norm of `[N, C, H, W]` over `(N, H, W)` per channel, with
+    /// affine `gamma`/`beta` of shape `[C]`. Returns
+    /// `(output, batch_mean, batch_var)` so callers can maintain running
+    /// statistics for inference.
+    pub fn batch_norm2d(
+        &mut self,
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        eps: f32,
+    ) -> Result<(Var, Tensor, Tensor)> {
+        let xv = &self.nodes[x.0].value;
+        if xv.rank() != 4 {
+            return Err(TensorError::InvalidArgument(
+                "batch_norm2d expects [N, C, H, W]".into(),
+            ));
+        }
+        let (n, c, h, w) = (xv.dims()[0], xv.dims()[1], xv.dims()[2], xv.dims()[3]);
+        let gv = &self.nodes[gamma.0].value;
+        let bv = &self.nodes[beta.0].value;
+        if gv.dims() != [c] || bv.dims() != [c] {
+            return Err(TensorError::ShapeMismatch {
+                op: "batch_norm2d affine",
+                lhs: gv.dims().to_vec(),
+                rhs: vec![c],
+            });
+        }
+        let m = (n * h * w).max(1) as f32;
+        let mut mean = Tensor::zeros(&[c]);
+        let mut var = Tensor::zeros(&[c]);
+        for ci in 0..c {
+            let mut acc = 0.0f32;
+            for ni in 0..n {
+                let base = ((ni * c + ci) * h) * w;
+                acc += xv.data()[base..base + h * w].iter().sum::<f32>();
+            }
+            mean.data_mut()[ci] = acc / m;
+        }
+        for ci in 0..c {
+            let mu = mean.data()[ci];
+            let mut acc = 0.0f32;
+            for ni in 0..n {
+                let base = ((ni * c + ci) * h) * w;
+                acc += xv.data()[base..base + h * w]
+                    .iter()
+                    .map(|&v| (v - mu) * (v - mu))
+                    .sum::<f32>();
+            }
+            var.data_mut()[ci] = acc / m;
+        }
+        let mut xhat = Tensor::zeros(xv.dims());
+        let mut invstd = Tensor::zeros(&[c]);
+        let mut out = Tensor::zeros(xv.dims());
+        for ci in 0..c {
+            let istd = 1.0 / (var.data()[ci] + eps).sqrt();
+            invstd.data_mut()[ci] = istd;
+            let (mu, gam, bet) = (mean.data()[ci], gv.data()[ci], bv.data()[ci]);
+            for ni in 0..n {
+                let base = ((ni * c + ci) * h) * w;
+                for k in 0..h * w {
+                    let xh = (xv.data()[base + k] - mu) * istd;
+                    xhat.data_mut()[base + k] = xh;
+                    out.data_mut()[base + k] = xh * gam + bet;
+                }
+            }
+        }
+        let v = self.push(
+            out,
+            Op::BatchNorm2d {
+                x,
+                gamma,
+                beta,
+                xhat,
+                invstd,
+            },
+        );
+        Ok((v, mean, var))
+    }
+
+    // ---- convolution & pooling ------------------------------------------
+
+    /// 2-D convolution of `x:[N,C,H,W]` with paper-layout weight
+    /// `w:[KH,KW,C,O]`.
+    pub fn conv2d(&mut self, x: Var, w: Var, h_spec: ConvSpec, w_spec: ConvSpec) -> Result<Var> {
+        let xv = &self.nodes[x.0].value;
+        let wv = &self.nodes[w.0].value;
+        if xv.rank() != 4 || wv.rank() != 4 {
+            return Err(TensorError::InvalidArgument(
+                "conv2d expects x:[N,C,H,W], w:[KH,KW,C,O]".into(),
+            ));
+        }
+        if wv.dims()[0] != h_spec.kernel
+            || wv.dims()[1] != w_spec.kernel
+            || xv.dims()[1] != wv.dims()[2]
+        {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d",
+                lhs: xv.dims().to_vec(),
+                rhs: wv.dims().to_vec(),
+            });
+        }
+        let (n, h, ww) = (xv.dims()[0], xv.dims()[2], xv.dims()[3]);
+        let o = wv.dims()[3];
+        let oh = h_spec.out_size(h)?;
+        let ow = w_spec.out_size(ww)?;
+        let cols = conv::im2col(xv, h_spec, w_spec)?;
+        let wm = conv::weight_to_matrix(wv)?;
+        let out = ops::matmul(&cols, &wm)?;
+        let out = ops::permute(&out.reshape(&[n, oh, ow, o])?, &[0, 3, 1, 2])?;
+        Ok(self.push(
+            out,
+            Op::Conv2d {
+                x,
+                w,
+                h_spec,
+                w_spec,
+                cols,
+            },
+        ))
+    }
+
+    /// Global average pooling `[N,C,H,W] → [N,C]`.
+    pub fn global_avg_pool2d(&mut self, x: Var) -> Result<Var> {
+        let xv = &self.nodes[x.0].value;
+        if xv.rank() != 4 {
+            return Err(TensorError::InvalidArgument(
+                "global_avg_pool2d expects [N, C, H, W]".into(),
+            ));
+        }
+        let (n, c, h, w) = (xv.dims()[0], xv.dims()[1], xv.dims()[2], xv.dims()[3]);
+        let hw = (h * w).max(1) as f32;
+        let mut out = Tensor::zeros(&[n, c]);
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = ((ni * c + ci) * h) * w;
+                out.data_mut()[ni * c + ci] =
+                    xv.data()[base..base + h * w].iter().sum::<f32>() / hw;
+            }
+        }
+        Ok(self.push(out, Op::GlobalAvgPool2d(x)))
+    }
+
+    // ---- reductions -----------------------------------------------------
+
+    /// Sum over one axis.
+    pub fn sum_axis(&mut self, a: Var, axis: usize) -> Result<Var> {
+        let v = ops::sum_axis(&self.nodes[a.0].value, axis)?;
+        Ok(self.push(v, Op::SumAxis(a, axis)))
+    }
+
+    /// Mean over one axis.
+    pub fn mean_axis(&mut self, a: Var, axis: usize) -> Result<Var> {
+        let v = ops::mean_axis(&self.nodes[a.0].value, axis)?;
+        Ok(self.push(v, Op::MeanAxis(a, axis)))
+    }
+
+    /// Mean of all elements → scalar node.
+    pub fn mean_all(&mut self, a: Var) -> Result<Var> {
+        let v = Tensor::scalar(ops::mean_all(&self.nodes[a.0].value));
+        Ok(self.push(v, Op::MeanAll(a)))
+    }
+
+    // ---- regularisation ---------------------------------------------------
+
+    /// Inverted dropout with keep-probability `1 - p`. In inference mode
+    /// (or `p == 0`) this is the identity.
+    pub fn dropout(&mut self, x: Var, p: f32, rng: &mut StdRng) -> Result<Var> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(TensorError::InvalidArgument(format!(
+                "dropout probability {p} outside [0, 1)"
+            )));
+        }
+        if !self.training || p == 0.0 {
+            let v = self.nodes[x.0].value.clone();
+            let mask = Tensor::ones(v.dims());
+            return Ok(self.push(v, Op::Dropout { x, mask }));
+        }
+        let keep = 1.0 - p;
+        let xv = &self.nodes[x.0].value;
+        let mut mask = Tensor::zeros(xv.dims());
+        for m in mask.data_mut() {
+            *m = if rng.gen_range(0.0..1.0f32) < keep {
+                1.0 / keep
+            } else {
+                0.0
+            };
+        }
+        let v = ops::mul(xv, &mask)?;
+        Ok(self.push(v, Op::Dropout { x, mask }))
+    }
+
+    // ---- compound helpers -------------------------------------------------
+
+    /// Dense layer `x·W + b` for `x:[N,I]`, `W:[I,O]`, `b:[O]`.
+    pub fn linear(&mut self, x: Var, w: Var, b: Var) -> Result<Var> {
+        let y = self.matmul(x, w)?;
+        self.add(y, b)
+    }
+}
+
+/// GELU forward (tanh approximation).
+pub(crate) fn gelu_fwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/π)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// GELU derivative (tanh approximation).
+pub(crate) fn gelu_bwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let u = C * (x + 0.044_715 * x * x * x);
+    let t = u.tanh();
+    let du = C * (1.0 + 3.0 * 0.044_715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metalora_tensor::approx_eq;
+
+    #[test]
+    fn forward_values_basic_ops() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let b = g.input(Tensor::from_vec(vec![3.0, 5.0], &[2]).unwrap());
+        let s = g.add(a, b).unwrap();
+        assert_eq!(g.value(s).data(), &[4.0, 7.0]);
+        let d = g.sub(b, a).unwrap();
+        assert_eq!(g.value(d).data(), &[2.0, 3.0]);
+        let m = g.mul(a, b).unwrap();
+        assert_eq!(g.value(m).data(), &[3.0, 10.0]);
+        let sc = g.scale(a, -2.0);
+        assert_eq!(g.value(sc).data(), &[-2.0, -4.0]);
+        assert_eq!(g.len(), 6);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn bind_respects_trainable() {
+        let p = ParamRef::new("w", Tensor::ones(&[1]));
+        let f = ParamRef::frozen("c", Tensor::ones(&[1]));
+        let mut g = Graph::new();
+        g.bind(&p);
+        g.bind(&f);
+        assert_eq!(g.bound.len(), 1);
+    }
+
+    #[test]
+    fn softmax_ce_forward_matches_manual() {
+        let mut g = Graph::new();
+        let logits = g.input(Tensor::from_vec(vec![1.0, 2.0, 0.5, 0.1, 0.1, 3.0], &[2, 3]).unwrap());
+        let loss = g.softmax_cross_entropy(logits, &[1, 2]).unwrap();
+        // Manual: row softmax log-probs.
+        let lse1 = (1.0f32.exp() + 2.0f32.exp() + 0.5f32.exp()).ln();
+        let lse2 = (0.1f32.exp() + 0.1f32.exp() + 3.0f32.exp()).ln();
+        let expect = ((lse1 - 2.0) + (lse2 - 3.0)) / 2.0;
+        assert!((g.value(loss).item().unwrap() - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_ce_validates() {
+        let mut g = Graph::new();
+        let l = g.input(Tensor::zeros(&[2, 3]));
+        assert!(g.softmax_cross_entropy(l, &[0]).is_err());
+        assert!(g.softmax_cross_entropy(l, &[0, 3]).is_err());
+        let v = g.input(Tensor::zeros(&[3]));
+        assert!(g.softmax_cross_entropy(v, &[0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn layer_norm_normalises_lanes() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        let gamma = g.input(Tensor::ones(&[2]));
+        let beta = g.input(Tensor::zeros(&[2]));
+        let y = g.layer_norm(x, gamma, beta, 1e-5).unwrap();
+        let v = g.value(y);
+        // Each lane normalised to mean 0.
+        assert!((v.data()[0] + v.data()[1]).abs() < 1e-5);
+        assert!((v.data()[2] + v.data()[3]).abs() < 1e-5);
+        assert!(v.data()[1] > 0.0 && v.data()[0] < 0.0);
+    }
+
+    #[test]
+    fn batch_norm_normalises_channels() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::arange(0.0, 1.0, 16).reshape(&[2, 2, 2, 2]).unwrap());
+        let gamma = g.input(Tensor::ones(&[2]));
+        let beta = g.input(Tensor::zeros(&[2]));
+        let (y, mean, var) = g.batch_norm2d(x, gamma, beta, 1e-5).unwrap();
+        let v = g.value(y);
+        // Channel 0 entries: 0..3 and 8..11 → mean 5.5.
+        assert!((mean.data()[0] - 5.5).abs() < 1e-5);
+        assert!(var.data()[0] > 0.0);
+        // Output channel means ≈ 0.
+        let mut acc = 0.0;
+        for ni in 0..2 {
+            for k in 0..4 {
+                acc += v.data()[ni * 8 + k];
+            }
+        }
+        assert!(acc.abs() < 1e-4);
+    }
+
+    #[test]
+    fn conv2d_forward_matches_tensor_kernel() {
+        let mut rng = metalora_tensor::init::rng(1);
+        let xv = metalora_tensor::init::uniform(&[2, 3, 5, 5], -1.0, 1.0, &mut rng);
+        let wv = metalora_tensor::init::uniform(&[3, 3, 3, 4], -1.0, 1.0, &mut rng);
+        let spec = ConvSpec::new(3, 1, 1).unwrap();
+        let mut g = Graph::new();
+        let x = g.input(xv.clone());
+        let w = g.input(wv.clone());
+        let y = g.conv2d(x, w, spec, spec).unwrap();
+        let oracle = conv::conv2d(&xv, &wv, spec, spec).unwrap();
+        assert!(approx_eq(&g.value(y), &oracle, 1e-5));
+    }
+
+    #[test]
+    fn global_avg_pool_values() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::arange(0.0, 1.0, 8).reshape(&[1, 2, 2, 2]).unwrap());
+        let y = g.global_avg_pool2d(x).unwrap();
+        assert_eq!(g.value(y).data(), &[1.5, 5.5]);
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let mut g = Graph::inference();
+        assert!(!g.is_training());
+        let x = g.input(Tensor::ones(&[4]));
+        let mut rng = metalora_tensor::init::rng(0);
+        let y = g.dropout(x, 0.5, &mut rng).unwrap();
+        assert_eq!(g.value(y).data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn dropout_training_masks_and_scales() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[1000]));
+        let mut rng = metalora_tensor::init::rng(7);
+        let y = g.dropout(x, 0.5, &mut rng).unwrap();
+        let v = g.value(y);
+        let kept = v.data().iter().filter(|&&x| x > 0.0).count();
+        assert!(kept > 400 && kept < 600, "kept {kept}");
+        assert!(v.data().iter().all(|&x| x == 0.0 || (x - 2.0).abs() < 1e-6));
+        assert!(g.dropout(x, 1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn gelu_shape_and_known_points() {
+        assert!((gelu_fwd(0.0)).abs() < 1e-7);
+        assert!((gelu_fwd(10.0) - 10.0).abs() < 1e-3);
+        assert!(gelu_fwd(-10.0).abs() < 1e-3);
+        // Derivative at 0 is 0.5.
+        assert!((gelu_bwd(0.0) - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mse_loss_forward() {
+        let mut g = Graph::new();
+        let p = g.input(Tensor::from_vec(vec![1.0, 3.0], &[2]).unwrap());
+        let t = Tensor::from_vec(vec![0.0, 1.0], &[2]).unwrap();
+        let l = g.mse_loss(p, &t).unwrap();
+        assert!((g.value(l).item().unwrap() - 2.5).abs() < 1e-6);
+        assert!(g.mse_loss(p, &Tensor::zeros(&[3])).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Shared, named parameter cells that outlive any single graph.
+
+use metalora_tensor::Tensor;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Interior data of a parameter: current value, accumulated gradient and a
+/// trainable flag (frozen parameters are skipped by optimisers and receive
+/// no gradient flush).
+#[derive(Debug)]
+pub struct ParamData {
+    /// Stable, hierarchical name (`"resnet.stage1.conv0.weight"`).
+    pub name: String,
+    /// Current value, updated in place by optimisers.
+    pub value: Tensor,
+    /// Gradient accumulated across [`crate::Graph::flush_grads`] calls
+    /// since the last [`ParamRef::zero_grad`].
+    pub grad: Tensor,
+    /// Whether optimisers should update this parameter.
+    pub trainable: bool,
+}
+
+/// A cheaply clonable handle to a shared parameter.
+///
+/// Layers own `ParamRef`s; a training step binds them into a [`Graph`]
+/// with [`Graph::bind`], and gradients flow back through
+/// [`Graph::flush_grads`].
+///
+/// [`Graph`]: crate::Graph
+/// [`Graph::bind`]: crate::Graph::bind
+/// [`Graph::flush_grads`]: crate::Graph::flush_grads
+#[derive(Debug, Clone)]
+pub struct ParamRef(Rc<RefCell<ParamData>>);
+
+impl ParamRef {
+    /// Creates a trainable parameter with a zeroed gradient buffer.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        ParamRef(Rc::new(RefCell::new(ParamData {
+            name: name.into(),
+            value,
+            grad,
+            trainable: true,
+        })))
+    }
+
+    /// Creates a frozen (non-trainable) parameter.
+    pub fn frozen(name: impl Into<String>, value: Tensor) -> Self {
+        let p = Self::new(name, value);
+        p.set_trainable(false);
+        p
+    }
+
+    /// Parameter name.
+    pub fn name(&self) -> String {
+        self.0.borrow().name.clone()
+    }
+
+    /// Clone of the current value.
+    pub fn value(&self) -> Tensor {
+        self.0.borrow().value.clone()
+    }
+
+    /// Shape of the value.
+    pub fn dims(&self) -> Vec<usize> {
+        self.0.borrow().value.dims().to_vec()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.0.borrow().value.len()
+    }
+
+    /// `true` when the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clone of the accumulated gradient.
+    pub fn grad(&self) -> Tensor {
+        self.0.borrow().grad.clone()
+    }
+
+    /// Replaces the value (shape may change; the gradient buffer resets).
+    pub fn set_value(&self, value: Tensor) {
+        let mut d = self.0.borrow_mut();
+        d.grad = Tensor::zeros(value.dims());
+        d.value = value;
+    }
+
+    /// Applies `f` to the stored value in place (used by optimisers).
+    pub fn update_value(&self, f: impl FnOnce(&mut Tensor)) {
+        f(&mut self.0.borrow_mut().value)
+    }
+
+    /// Adds `g` into the accumulated gradient. Panics on shape mismatch —
+    /// that is an internal invariant violation, not a user error.
+    pub fn accumulate_grad(&self, g: &Tensor) {
+        let mut d = self.0.borrow_mut();
+        assert_eq!(
+            d.grad.dims(),
+            g.dims(),
+            "gradient shape mismatch for parameter `{}`",
+            d.name
+        );
+        for (a, &b) in d.grad.data_mut().iter_mut().zip(g.data()) {
+            *a += b;
+        }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        let mut d = self.0.borrow_mut();
+        for a in d.grad.data_mut() {
+            *a = 0.0;
+        }
+    }
+
+    /// Whether optimisers should touch this parameter.
+    pub fn trainable(&self) -> bool {
+        self.0.borrow().trainable
+    }
+
+    /// Freezes or unfreezes the parameter.
+    pub fn set_trainable(&self, trainable: bool) {
+        self.0.borrow_mut().trainable = trainable;
+    }
+
+    /// `true` when `self` and `other` share the same underlying cell.
+    pub fn same_cell(&self, other: &ParamRef) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// Stable identity of the underlying cell — used by optimisers to key
+    /// their per-parameter state (momentum, Adam moments).
+    pub fn cell_id(&self) -> usize {
+        Rc::as_ptr(&self.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_defaults() {
+        let p = ParamRef::new("w", Tensor::ones(&[2, 2]));
+        assert_eq!(p.name(), "w");
+        assert!(p.trainable());
+        assert_eq!(p.grad().data(), &[0.0; 4]);
+        assert_eq!(p.dims(), vec![2, 2]);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn frozen_param() {
+        let p = ParamRef::frozen("w", Tensor::ones(&[1]));
+        assert!(!p.trainable());
+        p.set_trainable(true);
+        assert!(p.trainable());
+    }
+
+    #[test]
+    fn accumulate_and_zero_grad() {
+        let p = ParamRef::new("w", Tensor::zeros(&[2]));
+        let g = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        p.accumulate_grad(&g);
+        p.accumulate_grad(&g);
+        assert_eq!(p.grad().data(), &[2.0, 4.0]);
+        p.zero_grad();
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape mismatch")]
+    fn accumulate_grad_shape_panics() {
+        let p = ParamRef::new("w", Tensor::zeros(&[2]));
+        p.accumulate_grad(&Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn clones_share_the_cell() {
+        let p = ParamRef::new("w", Tensor::zeros(&[1]));
+        let q = p.clone();
+        q.update_value(|t| t.data_mut()[0] = 5.0);
+        assert_eq!(p.value().data(), &[5.0]);
+        assert!(p.same_cell(&q));
+        assert_eq!(p.cell_id(), q.cell_id());
+        let r = ParamRef::new("w", Tensor::zeros(&[1]));
+        assert!(!p.same_cell(&r));
+        assert_ne!(p.cell_id(), r.cell_id());
+    }
+
+    #[test]
+    fn set_value_resets_grad() {
+        let p = ParamRef::new("w", Tensor::zeros(&[2]));
+        p.accumulate_grad(&Tensor::ones(&[2]));
+        p.set_value(Tensor::zeros(&[3]));
+        assert_eq!(p.grad().dims(), &[3]);
+        assert_eq!(p.grad().data(), &[0.0; 3]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion bench for the substrate: forward and forward+backward cost
+//! of both Table I backbones at quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metalora::config::ExperimentConfig;
+use metalora_autograd::Graph;
+use metalora_nn::models::{Mixer, ResNet};
+use metalora_nn::{Ctx, Module};
+use metalora_tensor::init;
+
+fn bench_backbones(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backbones");
+    group.sample_size(10);
+    let cfg = ExperimentConfig::quick();
+    let mut rng = init::rng(1);
+    let resnet = ResNet::new(&cfg.resnet(), &mut rng).unwrap();
+    let mixer = Mixer::new(&cfg.mixer(), &mut rng).unwrap();
+    let x = init::uniform(&[8, 3, cfg.image_size, cfg.image_size], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..8).map(|i| i % 8).collect();
+
+    group.bench_function("resnet_forward", |b| {
+        b.iter(|| {
+            let mut g = Graph::inference();
+            let xv = g.input(x.clone());
+            resnet.forward(&mut g, xv, &Ctx::none()).unwrap()
+        })
+    });
+    group.bench_function("resnet_forward_backward", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let logits = resnet.forward(&mut g, xv, &Ctx::none()).unwrap();
+            let loss = g.softmax_cross_entropy(logits, &labels).unwrap();
+            g.backward(loss).unwrap();
+        })
+    });
+    group.bench_function("mixer_forward", |b| {
+        b.iter(|| {
+            let mut g = Graph::inference();
+            let xv = g.input(x.clone());
+            mixer.forward(&mut g, xv, &Ctx::none()).unwrap()
+        })
+    });
+    group.bench_function("mixer_forward_backward", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let logits = mixer.forward(&mut g, xv, &Ctx::none()).unwrap();
+            let loss = g.softmax_cross_entropy(logits, &labels).unwrap();
+            g.backward(loss).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_backbones);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for Fig. 1: optimised pairwise contraction vs the
+//! naive reference across operand sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metalora_tensor::contract::{contract, contract_naive};
+use metalora_tensor::init;
+
+fn bench_contraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_contraction");
+    for &size in &[8usize, 16, 24] {
+        let mut rng = init::rng(1);
+        let a = init::uniform(&[size, size, size], -1.0, 1.0, &mut rng);
+        let b = init::uniform(&[size, size, size], -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("kernel", size), &size, |bch, _| {
+            bch.iter(|| contract(&a, &b, &[2, 1], &[0, 1]).unwrap())
+        });
+        if size <= 16 {
+            group.bench_with_input(BenchmarkId::new("naive", size), &size, |bch, _| {
+                bch.iter(|| contract_naive(&a, &b, &[2, 1], &[0, 1]).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contraction);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for Fig. 3: Conv-LoRA's factored delta path vs
+//! convolving with the materialised dense Δ𝒲, across ranks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metalora_autograd::Graph;
+use metalora_nn::{Conv2d, Ctx, Module};
+use metalora_peft::{ConvLora, LoraConfig};
+use metalora_tensor::conv::conv2d;
+use metalora_tensor::init;
+
+fn bench_conv_lora(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_conv_lora");
+    let (i, o, hw) = (32usize, 32usize, 16usize);
+    for &rank in &[2usize, 4, 8] {
+        let mut rng = init::rng(1);
+        let base = Conv2d::new_no_bias("c", i, o, 3, 1, 1, &mut rng).unwrap();
+        let spec = base.spec();
+        let cl = ConvLora::new(
+            "c",
+            Box::new(base),
+            LoraConfig { rank, alpha: 2.0 },
+            &mut rng,
+        )
+        .unwrap();
+        cl.b.set_value(init::uniform(&[rank, o], -0.5, 0.5, &mut rng));
+        let x = init::uniform(&[2, i, hw, hw], -1.0, 1.0, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("factored_forward", rank), &rank, |b, _| {
+            b.iter(|| {
+                let mut g = Graph::inference();
+                let xv = g.input(x.clone());
+                cl.forward(&mut g, xv, &Ctx::none()).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dense_delta_conv", rank), &rank, |b, _| {
+            b.iter(|| {
+                let dw = cl.delta_weight().unwrap();
+                conv2d(&x, &dw, spec, spec).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv_lora);
+criterion_main!(benches);

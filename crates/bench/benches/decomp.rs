@@ -1,0 +1,28 @@
+//! Criterion bench for the A4 machinery: CP-ALS sweeps and TR-SVD on
+//! moderate tensors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metalora_tensor::decomp::{cp_als, tr_svd, CpFormat};
+use metalora_tensor::init;
+
+fn bench_decomp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a4_decomposition");
+    group.sample_size(10);
+    let mut rng = init::rng(1);
+    let target = CpFormat::random(&[10, 10, 10], 3, &mut rng)
+        .unwrap()
+        .reconstruct()
+        .unwrap();
+    for &rank in &[2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("cp_als", rank), &rank, |b, _| {
+            b.iter(|| cp_als(&target, rank, 20, 1e-6, &mut init::rng(7)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("tr_svd", rank), &rank, |b, _| {
+            b.iter(|| tr_svd(&target, rank, 1e-6).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomp);
+criterion_main!(benches);

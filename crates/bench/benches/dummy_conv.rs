@@ -1,0 +1,26 @@
+//! Criterion bench for Fig. 2: im2col convolution vs the dummy-tensor
+//! contraction path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metalora_tensor::conv::{conv2d, conv2d_via_dummy, ConvSpec};
+use metalora_tensor::init;
+
+fn bench_dummy_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_dummy_conv");
+    let spec = ConvSpec::new(3, 1, 1).unwrap();
+    for &hw in &[8usize, 16] {
+        let mut rng = init::rng(1);
+        let x = init::uniform(&[2, 4, hw, hw], -1.0, 1.0, &mut rng);
+        let w = init::uniform(&[3, 3, 4, 8], -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("im2col", hw), &hw, |b, _| {
+            b.iter(|| conv2d(&x, &w, spec, spec).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("tensor_network", hw), &hw, |b, _| {
+            b.iter(|| conv2d_via_dummy(&x, &w, spec, spec).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dummy_conv);
+criterion_main!(benches);

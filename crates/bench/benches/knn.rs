@@ -1,0 +1,25 @@
+//! Criterion bench for the Table I probe: KNN fit+predict cost at episode
+//! scale, K ∈ {5, 10}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metalora_data::knn::{Distance, KnnClassifier};
+use metalora_tensor::init;
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_knn_probe");
+    let mut rng = init::rng(1);
+    let d = 48usize;
+    let support = init::uniform(&[80, d], -1.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..80).map(|i| i % 8).collect();
+    let queries = init::uniform(&[40, d], -1.0, 1.0, &mut rng);
+    let knn = KnnClassifier::fit(support, labels, Distance::L2).unwrap();
+    for &k in &[5usize, 10] {
+        group.bench_with_input(BenchmarkId::new("predict", k), &k, |b, _| {
+            b.iter(|| knn.predict(&queries, k).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn);
+criterion_main!(benches);

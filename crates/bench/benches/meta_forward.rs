@@ -1,0 +1,51 @@
+//! Criterion bench for Fig. 4: adapted-backbone forward cost — static
+//! Conv-LoRA vs MetaLoRA-CP vs MetaLoRA-TR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metalora::config::ExperimentConfig;
+use metalora_autograd::Graph;
+use metalora_nn::models::ResNet;
+use metalora_nn::{Ctx, Module};
+use metalora_peft::meta::MetaFormat;
+use metalora_peft::{inject, LoraConfig};
+use metalora_tensor::init;
+
+fn bench_meta_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_meta_forward");
+    group.sample_size(10);
+    let cfg = ExperimentConfig::quick();
+    let lc = LoraConfig { rank: 4, alpha: 8.0 };
+    let mut rng = init::rng(1);
+    let x = init::uniform(&[8, 3, cfg.image_size, cfg.image_size], 0.0, 1.0, &mut rng);
+
+    let mut plain = ResNet::new(&cfg.resnet(), &mut rng).unwrap();
+    inject::lora_into_resnet(&mut plain, lc, &mut rng).unwrap();
+    group.bench_function("static_conv_lora", |b| {
+        b.iter(|| {
+            let mut g = Graph::inference();
+            let xv = g.input(x.clone());
+            plain.forward(&mut g, xv, &Ctx::none()).unwrap()
+        })
+    });
+
+    for format in [MetaFormat::Cp, MetaFormat::Tr] {
+        let net = ResNet::new(&cfg.resnet(), &mut rng).unwrap();
+        let (meta, _) =
+            inject::meta_into_resnet(net, format, lc, cfg.map_hidden, &mut rng).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("meta", format!("{format:?}")),
+            &format,
+            |b, _| {
+                b.iter(|| {
+                    let mut g = Graph::inference();
+                    let xv = g.input(x.clone());
+                    meta.forward(&mut g, xv, &Ctx::none()).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_meta_forward);
+criterion_main!(benches);

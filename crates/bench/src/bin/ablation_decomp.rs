@@ -1,0 +1,69 @@
+//! **A4 — decomposition machinery**: Sec. II-D's CP and Tensor-Ring
+//! formats backed by working decomposition drivers. Sweeps rank against
+//! structured and noisy targets and reports relative reconstruction error
+//! and compression ratio for CP-ALS and TR-SVD.
+//!
+//! Run with: `cargo run --release -p metalora-bench --bin ablation_decomp`
+
+use metalora::report::render_table;
+use metalora::tensor::decomp::{cp_als, tr_svd, CpFormat, TrFormat};
+use metalora::tensor::{init, ops, Tensor};
+
+fn main() {
+    println!("=== A4 — CP-ALS / TR-SVD reconstruction quality ===\n");
+    let mut rng = init::rng(0);
+    let dims = [12usize, 10, 8];
+
+    // Targets: exact rank-3 CP, exact rank-2 TR, and each plus 5% noise.
+    let cp_t = CpFormat::random(&dims, 3, &mut rng).unwrap().reconstruct().unwrap();
+    let tr_t = TrFormat::random(&dims, 2, &mut rng).unwrap().reconstruct().unwrap();
+    let noise_of = |t: &Tensor, rng: &mut rand::rngs::StdRng| {
+        let n = init::normal(t.dims(), 0.0, 0.05 * t.norm() / (t.len() as f32).sqrt(), rng);
+        ops::add(t, &n).unwrap()
+    };
+    let cp_noisy = noise_of(&cp_t, &mut rng);
+    let tr_noisy = noise_of(&tr_t, &mut rng);
+
+    let dense = cp_t.len();
+    let mut rows = Vec::new();
+    for rank in [1usize, 2, 3, 4, 6] {
+        for (name, target) in [
+            ("CP target", &cp_t),
+            ("CP target+noise", &cp_noisy),
+            ("TR target", &tr_t),
+            ("TR target+noise", &tr_noisy),
+        ] {
+            let cp = cp_als(target, rank, 60, 1e-7, &mut rng).unwrap();
+            let cp_err = cp.relative_error(target).unwrap();
+            let tr = tr_svd(target, rank, 1e-7).unwrap();
+            let tr_err = tr.relative_error(target).unwrap();
+            rows.push(vec![
+                format!("R={rank}"),
+                name.to_string(),
+                format!("{cp_err:.4}"),
+                format!("{:.1}%", 100.0 * cp.num_params() as f64 / dense as f64),
+                format!("{tr_err:.4}"),
+                format!("{:.1}%", 100.0 * tr.num_params() as f64 / dense as f64),
+            ]);
+        }
+    }
+
+    let headers: Vec<String> = [
+        "rank",
+        "target",
+        "CP-ALS err",
+        "CP size",
+        "TR-SVD err",
+        "TR size",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    println!("{}", render_table(&headers, &rows));
+    println!(
+        "expected shape: error collapses once the decomposition rank reaches the\n\
+         target's true rank (3 for the CP target, 2 for the ring), and plateaus\n\
+         at the noise floor for noisy targets; storage grows linearly (CP) vs\n\
+         with the bond budget (TR)."
+    );
+}

@@ -1,0 +1,79 @@
+//! **F2 — Fig. 2**: convolution as a tensor network through the binary
+//! dummy tensor 𝒫 (Eq. 2). Sweeps stride/padding/kernel and confirms the
+//! contraction path reproduces the im2col convolution exactly, for 1-D
+//! signals and full `[N, C, H, W]` images, reporting 𝒫's sparsity and the
+//! cost ratio of the two paths.
+//!
+//! Run with: `cargo run --release -p metalora-bench --bin fig2_dummy_conv`
+
+use metalora::report::render_table;
+use metalora::tensor::conv::{
+    conv1d_direct, conv1d_via_dummy, conv2d, conv2d_via_dummy, dummy_tensor, ConvSpec,
+};
+use metalora::tensor::{init, max_rel_err};
+use std::time::Instant;
+
+fn main() {
+    println!("=== Fig. 2 — dummy-tensor convolution (Eq. 2) ===\n");
+    let mut rng = init::rng(0);
+
+    println!("-- 1-D: y[j'] = Σ 𝒫[j,j',k]·a[j]·b[k] --");
+    let mut rows = Vec::new();
+    for (len, k, s, p) in [(64, 3, 1, 1), (64, 5, 2, 2), (128, 7, 3, 0), (32, 1, 1, 0)] {
+        let spec = ConvSpec::new(k, s, p).unwrap();
+        let a = init::uniform(&[len], -1.0, 1.0, &mut rng);
+        let b = init::uniform(&[k], -1.0, 1.0, &mut rng);
+        let direct = conv1d_direct(&a, &b, spec).unwrap();
+        let tn = conv1d_via_dummy(&a, &b, spec).unwrap();
+        let pt = dummy_tensor(len, spec).unwrap();
+        let ones = pt.data().iter().filter(|&&v| v == 1.0).count();
+        rows.push(vec![
+            format!("n={len} k={k} s={s} p={p}"),
+            format!("{:?}", tn.dims()),
+            format!("{:.1e}", max_rel_err(&direct, &tn)),
+            format!("{}/{} ({:.2}%)", ones, pt.len(), 100.0 * ones as f64 / pt.len() as f64),
+        ]);
+    }
+    let headers: Vec<String> = ["setting", "out", "max err", "𝒫 nonzeros"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+
+    println!("-- 2-D: two dummy tensors + weight contraction (the Fig. 2 network) --");
+    let mut rows = Vec::new();
+    for (hw, c, o, k, s, p) in [
+        (16, 3, 8, 3, 1, 1),
+        (16, 3, 8, 3, 2, 1),
+        (12, 4, 6, 5, 1, 2),
+        (20, 2, 4, 1, 1, 0),
+    ] {
+        let spec = ConvSpec::new(k, s, p).unwrap();
+        let x = init::uniform(&[2, c, hw, hw], -1.0, 1.0, &mut rng);
+        let w = init::uniform(&[k, k, c, o], -1.0, 1.0, &mut rng);
+
+        let t0 = Instant::now();
+        let fast = conv2d(&x, &w, spec, spec).unwrap();
+        let t_fast = t0.elapsed();
+        let t0 = Instant::now();
+        let tn = conv2d_via_dummy(&x, &w, spec, spec).unwrap();
+        let t_tn = t0.elapsed();
+
+        rows.push(vec![
+            format!("{hw}² c={c} o={o} k={k} s={s} p={p}"),
+            format!("{:?}", fast.dims()),
+            format!("{:.1e}", max_rel_err(&fast, &tn)),
+            format!("{:.1}×", t_tn.as_secs_f64() / t_fast.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    let headers: Vec<String> = ["setting", "out", "max err", "TN cost / im2col cost"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+    println!(
+        "the tensor-network path is mathematically identical (errors at f32 noise)\n\
+         and pays a constant-factor overhead — exactly the Fig. 2 story: 𝒫 is a\n\
+         *formal* device that makes convolution a multilinear contraction."
+    );
+}

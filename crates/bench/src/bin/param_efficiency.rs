@@ -1,0 +1,105 @@
+//! **A1 — parameter efficiency**: the paper's intro claims LoRA-family
+//! methods train with "0.1 %–1 % of the trainable parameters". This binary
+//! reports the trainable fraction of every Table I method on both
+//! backbones across ranks.
+//!
+//! Run with: `cargo run --release -p metalora-bench --bin param_efficiency`
+
+use metalora::config::ExperimentConfig;
+use metalora::nn::models::{Mixer, ResNet};
+use metalora::peft::meta::MetaFormat;
+use metalora::peft::{inject, LoraConfig, ParamReport};
+use metalora::report::render_table;
+use metalora::tensor::init;
+
+fn main() {
+    println!("=== A1 — trainable-parameter fractions ===\n");
+    let cfg = ExperimentConfig::standard();
+    let mut rng = init::rng(0);
+    let banks = cfg.n_train_tasks;
+
+    let mut rows = Vec::new();
+    for rank in [1usize, 2, 4, 8] {
+        let lc = LoraConfig {
+            rank,
+            alpha: 2.0 * rank as f32,
+        };
+
+        // --- ResNet column ---
+        let mut lora = ResNet::new(&cfg.resnet(), &mut rng).unwrap();
+        inject::lora_into_resnet(&mut lora, lc, &mut rng).unwrap();
+        let r_lora = ParamReport::of(&lora);
+
+        let mut multi = ResNet::new(&cfg.resnet(), &mut rng).unwrap();
+        inject::multi_into_resnet(&mut multi, banks, lc, &mut rng).unwrap();
+        let r_multi = ParamReport::of(&multi);
+
+        let (meta_cp, _) = inject::meta_into_resnet(
+            ResNet::new(&cfg.resnet(), &mut rng).unwrap(),
+            MetaFormat::Cp,
+            lc,
+            cfg.map_hidden,
+            &mut rng,
+        )
+        .unwrap();
+        let r_cp = ParamReport::of(&meta_cp);
+
+        let (meta_tr, _) = inject::meta_into_resnet(
+            ResNet::new(&cfg.resnet(), &mut rng).unwrap(),
+            MetaFormat::Tr,
+            lc,
+            cfg.map_hidden,
+            &mut rng,
+        )
+        .unwrap();
+        let r_tr = ParamReport::of(&meta_tr);
+
+        // --- Mixer column (LoRA + the meta variants) ---
+        let mut mlora = Mixer::new(&cfg.mixer(), &mut rng).unwrap();
+        inject::lora_into_mixer(&mut mlora, lc, &mut rng).unwrap();
+        let m_lora = ParamReport::of(&mlora);
+
+        let (mmeta_tr, _) = inject::meta_into_mixer(
+            Mixer::new(&cfg.mixer(), &mut rng).unwrap(),
+            MetaFormat::Tr,
+            lc,
+            cfg.map_hidden,
+            &mut rng,
+        )
+        .unwrap();
+        let m_tr = ParamReport::of(&mmeta_tr);
+
+        let pc = |r: ParamReport| format!("{:.2}% ({})", r.percent(), r.trainable);
+        rows.push(vec![
+            format!("R={rank}"),
+            pc(r_lora),
+            pc(r_multi),
+            pc(r_cp),
+            pc(r_tr),
+            pc(m_lora),
+            pc(m_tr),
+        ]);
+    }
+
+    let headers: Vec<String> = [
+        "rank",
+        "ResNet LoRA",
+        "ResNet Multi(12)",
+        "ResNet MetaCP",
+        "ResNet MetaTR",
+        "Mixer LoRA",
+        "Mixer MetaTR",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    println!("{}", render_table(&headers, &rows));
+    println!(
+        "full fine-tuning = 100%; paper claims PEFT at 0.1–1% on production-scale\n\
+         backbones. Our backbones are deliberately small, so fractions land higher;\n\
+         the *scaling* is the claim being checked: fractions fall as the backbone\n\
+         grows (see test `trainable_fraction_shrinks_with_backbone_growth`) and as\n\
+         Multi-LoRA multiplies adapters by the task count while MetaLoRA amortises\n\
+         one generator across all tasks."
+    );
+}

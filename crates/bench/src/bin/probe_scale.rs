@@ -1,0 +1,32 @@
+//! Internal calibration helper: times one standard-scale cell and prints
+//! per-phase durations plus probe accuracy for a chosen method.
+//!
+//! Run with: `cargo run --release -p metalora-bench --bin probe_scale -- [--scale standard]`
+
+use metalora::methods::Method;
+use metalora::pipeline::{adapt, pretrain, probe};
+use metalora::Arch;
+use metalora_bench::opts_from_env;
+use std::time::Instant;
+
+fn main() {
+    let opts = opts_from_env();
+    for arch in [Arch::ResNet, Arch::Mixer] {
+        for method in [Method::Original, Method::MetaLoraTr] {
+            let t0 = Instant::now();
+            let net = pretrain(&opts.cfg, arch, 0).unwrap();
+            let t_pre = t0.elapsed();
+            let t0 = Instant::now();
+            let adapted = adapt(net, method, &opts.cfg, 0).unwrap();
+            let t_adapt = t0.elapsed();
+            let t0 = Instant::now();
+            let p = probe(&adapted, &opts.cfg, 0).unwrap();
+            let t_probe = t0.elapsed();
+            println!(
+                "{arch:?} {method:?}: pretrain {t_pre:.1?} adapt {t_adapt:.1?} probe {t_probe:.1?} | K=5 {:.1}% K=10 {:.1}%",
+                100.0 * p.mean_accuracy(5).unwrap(),
+                100.0 * p.mean_accuracy(10).unwrap()
+            );
+        }
+    }
+}

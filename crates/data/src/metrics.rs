@@ -1,0 +1,201 @@
+//! Classification metrics beyond plain accuracy: confusion matrix,
+//! per-class accuracy/precision/recall and macro-F1 — used by the
+//! per-task analysis in the examples and available to downstream users
+//! of the probe.
+
+use crate::Result;
+use metalora_tensor::TensorError;
+
+/// A `C × C` confusion matrix: `counts[true][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds from parallel true/predicted label slices over `classes`
+    /// classes.
+    pub fn new(truth: &[usize], pred: &[usize], classes: usize) -> Result<Self> {
+        if truth.len() != pred.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "{} truths vs {} predictions",
+                truth.len(),
+                pred.len()
+            )));
+        }
+        if classes == 0 {
+            return Err(TensorError::InvalidArgument("zero classes".into()));
+        }
+        let mut counts = vec![vec![0usize; classes]; classes];
+        for (&t, &p) in truth.iter().zip(pred) {
+            if t >= classes {
+                return Err(TensorError::IndexOutOfRange {
+                    index: t,
+                    len: classes,
+                });
+            }
+            if p >= classes {
+                return Err(TensorError::IndexOutOfRange {
+                    index: p,
+                    len: classes,
+                });
+            }
+            counts[t][p] += 1;
+        }
+        Ok(ConfusionMatrix { counts })
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw count of `(true_class, predicted_class)` pairs.
+    pub fn count(&self, true_class: usize, predicted: usize) -> usize {
+        self.counts[true_class][predicted]
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.classes()).map(|c| self.counts[c][c]).sum();
+        correct as f64 / self.total().max(1) as f64
+    }
+
+    /// Recall of one class (0 when the class never appears).
+    pub fn recall(&self, class: usize) -> f64 {
+        let support: usize = self.counts[class].iter().sum();
+        if support == 0 {
+            0.0
+        } else {
+            self.counts[class][class] as f64 / support as f64
+        }
+    }
+
+    /// Precision of one class (0 when the class is never predicted).
+    pub fn precision(&self, class: usize) -> f64 {
+        let predicted: usize = (0..self.classes()).map(|t| self.counts[t][class]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            self.counts[class][class] as f64 / predicted as f64
+        }
+    }
+
+    /// F1 of one class (harmonic mean; 0 when precision+recall = 0).
+    pub fn f1(&self, class: usize) -> f64 {
+        let (p, r) = (self.precision(class), self.recall(class));
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean F1 over all classes.
+    pub fn macro_f1(&self) -> f64 {
+        let c = self.classes();
+        (0..c).map(|k| self.f1(k)).sum::<f64>() / c as f64
+    }
+
+    /// The classes sorted by recall, worst first — "what is the model
+    /// confusing" at a glance.
+    pub fn hardest_classes(&self) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> =
+            (0..self.classes()).map(|c| (c, self.recall(c))).collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite recalls"));
+        v
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "true\\pred")?;
+        for row in &self.counts {
+            for c in row {
+                write!(f, "{c:>5}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        // truth:  0 0 0 1 1 2
+        // pred:   0 0 1 1 1 0
+        ConfusionMatrix::new(&[0, 0, 0, 1, 1, 2], &[0, 0, 1, 1, 1, 0], 3).unwrap()
+    }
+
+    #[test]
+    fn counts_and_total() {
+        let m = sample();
+        assert_eq!(m.classes(), 3);
+        assert_eq!(m.total(), 6);
+        assert_eq!(m.count(0, 0), 2);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(2, 0), 1);
+        assert_eq!(m.count(2, 2), 0);
+    }
+
+    #[test]
+    fn accuracy_precision_recall() {
+        let m = sample();
+        assert!((m.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((m.recall(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall(1) - 1.0).abs() < 1e-12);
+        assert_eq!(m.recall(2), 0.0);
+        assert!((m.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.precision(2), 0.0); // never predicted
+    }
+
+    #[test]
+    fn f1_and_macro() {
+        let m = sample();
+        assert!((m.f1(0) - 2.0 / 3.0).abs() < 1e-12);
+        let f1_1 = 2.0 * (2.0 / 3.0) * 1.0 / (2.0 / 3.0 + 1.0);
+        assert!((m.f1(1) - f1_1).abs() < 1e-12);
+        assert_eq!(m.f1(2), 0.0);
+        let expect = (2.0 / 3.0 + f1_1 + 0.0) / 3.0;
+        assert!((m.macro_f1() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hardest_classes_sorted() {
+        let m = sample();
+        let h = m.hardest_classes();
+        assert_eq!(h[0].0, 2);
+        assert_eq!(h[2].0, 1);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let m = ConfusionMatrix::new(&[0, 1, 2], &[0, 1, 2], 3).unwrap();
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ConfusionMatrix::new(&[0], &[0, 1], 2).is_err());
+        assert!(ConfusionMatrix::new(&[0], &[0], 0).is_err());
+        assert!(ConfusionMatrix::new(&[2], &[0], 2).is_err());
+        assert!(ConfusionMatrix::new(&[0], &[2], 2).is_err());
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let s = sample().to_string();
+        assert!(s.lines().count() >= 4);
+        assert!(s.contains("true\\pred"));
+    }
+}

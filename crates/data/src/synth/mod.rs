@@ -1,0 +1,7 @@
+//! Procedural image synthesis: shape classes and task shifts.
+
+mod shapes;
+mod transforms;
+
+pub use shapes::{render_shape, ShapeClass, NUM_CLASSES};
+pub use transforms::Shift;

@@ -1,0 +1,213 @@
+//! Renders the eight base shape classes onto RGB canvases.
+//!
+//! Class identity is carried by *geometry only*; colour, position, scale
+//! and background are jittered per sample so the classifier cannot take a
+//! colour shortcut, and task shifts (rotations, channel permutations…)
+//! interact non-trivially with the shapes.
+
+use crate::Result;
+use metalora_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The eight geometry classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShapeClass {
+    /// Filled disc.
+    Circle,
+    /// Filled axis-aligned square.
+    Square,
+    /// Filled upward triangle.
+    Triangle,
+    /// Plus/cross of two bars.
+    Cross,
+    /// Annulus (disc with a hole).
+    Ring,
+    /// Horizontal stripes.
+    StripesH,
+    /// Vertical stripes.
+    StripesV,
+    /// 2×2-ish checkerboard texture.
+    Checker,
+}
+
+/// Number of shape classes.
+pub const NUM_CLASSES: usize = 8;
+
+impl ShapeClass {
+    /// All classes in label order.
+    pub fn all() -> [ShapeClass; NUM_CLASSES] {
+        [
+            ShapeClass::Circle,
+            ShapeClass::Square,
+            ShapeClass::Triangle,
+            ShapeClass::Cross,
+            ShapeClass::Ring,
+            ShapeClass::StripesH,
+            ShapeClass::StripesV,
+            ShapeClass::Checker,
+        ]
+    }
+
+    /// The integer label of this class.
+    pub fn label(&self) -> usize {
+        Self::all().iter().position(|c| c == self).expect("member")
+    }
+
+    /// Class for a label.
+    pub fn from_label(label: usize) -> Option<ShapeClass> {
+        Self::all().get(label).copied()
+    }
+}
+
+/// Per-sample rendering jitter drawn fresh for every image.
+struct Jitter {
+    /// Shape centre as a fraction of the canvas, per axis.
+    cx: f32,
+    cy: f32,
+    /// Shape radius as a fraction of the half-canvas.
+    scale: f32,
+    /// Foreground colour.
+    fg: [f32; 3],
+    /// Background colour.
+    bg: [f32; 3],
+    /// Stripe/checker period in pixels.
+    period: usize,
+}
+
+fn draw_jitter(rng: &mut StdRng) -> Jitter {
+    // Foreground/background separated in brightness so shapes stay
+    // visible under any hue.
+    let fg_base: f32 = rng.gen_range(0.65..1.0);
+    let bg_base: f32 = rng.gen_range(0.0..0.3);
+    let mut fg = [0.0f32; 3];
+    let mut bg = [0.0f32; 3];
+    for k in 0..3 {
+        fg[k] = (fg_base + rng.gen_range(-0.15..0.15f32)).clamp(0.0, 1.0);
+        bg[k] = (bg_base + rng.gen_range(-0.1..0.1f32)).clamp(0.0, 1.0);
+    }
+    Jitter {
+        cx: rng.gen_range(0.35..0.65),
+        cy: rng.gen_range(0.35..0.65),
+        scale: rng.gen_range(0.5..0.9),
+        fg,
+        bg,
+        period: rng.gen_range(3..6),
+    }
+}
+
+/// Renders one sample of `class` on a `size × size` RGB canvas
+/// (`[3, size, size]`, values in `[0, 1]`).
+pub fn render_shape(class: ShapeClass, size: usize, rng: &mut StdRng) -> Result<Tensor> {
+    let j = draw_jitter(rng);
+    let mut img = Tensor::zeros(&[3, size, size]);
+    let half = size as f32 / 2.0;
+    let (cx, cy) = (j.cx * size as f32, j.cy * size as f32);
+    let r = j.scale * half * 0.8;
+
+    for y in 0..size {
+        for x in 0..size {
+            let (fx, fy) = (x as f32 + 0.5, y as f32 + 0.5);
+            let (dx, dy) = (fx - cx, fy - cy);
+            let inside = match class {
+                ShapeClass::Circle => dx * dx + dy * dy <= r * r,
+                ShapeClass::Square => dx.abs() <= r * 0.85 && dy.abs() <= r * 0.85,
+                ShapeClass::Triangle => {
+                    // Upward triangle: below the two slanted edges, above
+                    // the base.
+                    let h = r * 1.6;
+                    let ny = dy + h / 2.0; // 0 at apex, h at base
+                    ny >= 0.0 && ny <= h && dx.abs() <= ny * 0.6
+                }
+                ShapeClass::Cross => {
+                    let bar = r * 0.35;
+                    (dx.abs() <= bar && dy.abs() <= r) || (dy.abs() <= bar && dx.abs() <= r)
+                }
+                ShapeClass::Ring => {
+                    let d2 = dx * dx + dy * dy;
+                    d2 <= r * r && d2 >= (r * 0.55) * (r * 0.55)
+                }
+                ShapeClass::StripesH => {
+                    (y / j.period).is_multiple_of(2) && dx.abs() <= r && dy.abs() <= r
+                }
+                ShapeClass::StripesV => {
+                    (x / j.period).is_multiple_of(2) && dx.abs() <= r && dy.abs() <= r
+                }
+                ShapeClass::Checker => {
+                    ((x / j.period) + (y / j.period)).is_multiple_of(2)
+                        && dx.abs() <= r
+                        && dy.abs() <= r
+                }
+            };
+            let colour = if inside { j.fg } else { j.bg };
+            for (c, &v) in colour.iter().enumerate() {
+                img.set(&[c, y, x], v)?;
+            }
+        }
+    }
+    // Light pixel noise so backgrounds are never exactly constant.
+    for v in img.data_mut() {
+        *v = (*v + rng.gen_range(-0.02..0.02f32)).clamp(0.0, 1.0);
+    }
+    Ok(img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metalora_tensor::init;
+
+    #[test]
+    fn labels_roundtrip() {
+        for (i, c) in ShapeClass::all().iter().enumerate() {
+            assert_eq!(c.label(), i);
+            assert_eq!(ShapeClass::from_label(i), Some(*c));
+        }
+        assert_eq!(ShapeClass::from_label(8), None);
+    }
+
+    #[test]
+    fn render_shape_is_valid_image() {
+        let mut rng = init::rng(1);
+        for c in ShapeClass::all() {
+            let img = render_shape(c, 16, &mut rng).unwrap();
+            assert_eq!(img.dims(), &[3, 16, 16]);
+            assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(!img.has_non_finite());
+        }
+    }
+
+    #[test]
+    fn foreground_differs_from_background() {
+        // A circle sample must contain at least two clearly different
+        // brightness levels.
+        let mut rng = init::rng(2);
+        let img = render_shape(ShapeClass::Circle, 32, &mut rng).unwrap();
+        let max = img.data().iter().cloned().fold(f32::MIN, f32::max);
+        let min = img.data().iter().cloned().fold(f32::MAX, f32::min);
+        assert!(max - min > 0.3, "contrast {max}-{min}");
+    }
+
+    #[test]
+    fn rendering_is_seeded() {
+        let a = render_shape(ShapeClass::Ring, 16, &mut init::rng(7)).unwrap();
+        let b = render_shape(ShapeClass::Ring, 16, &mut init::rng(7)).unwrap();
+        assert_eq!(a, b);
+        let c = render_shape(ShapeClass::Ring, 16, &mut init::rng(8)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stripes_have_periodic_structure() {
+        let mut rng = init::rng(3);
+        let img = render_shape(ShapeClass::StripesH, 32, &mut rng).unwrap();
+        // Vertical variance (across rows) should exceed horizontal variance
+        // (along rows) inside the shape for horizontal stripes.
+        let row_mean =
+            |y: usize| (0..32).map(|x| img.get(&[0, y, x]).unwrap()).sum::<f32>() / 32.0;
+        let means: Vec<f32> = (8..24).map(row_mean).collect();
+        let mean = means.iter().sum::<f32>() / means.len() as f32;
+        let var = means.iter().map(|m| (m - mean) * (m - mean)).sum::<f32>();
+        assert!(var > 0.01, "row-mean variance {var}");
+    }
+}

@@ -1,0 +1,349 @@
+//! Task shifts: deterministic image transformations that define *tasks*.
+//!
+//! A task is the base 8-class shape problem seen through one shift. The
+//! shift family is rich enough that a single static adapter cannot be
+//! optimal for all of them — the regime where MetaLoRA's input-conditioned
+//! generation is supposed to win.
+
+use crate::Result;
+use metalora_tensor::{Tensor, TensorError};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A deterministic distribution shift applied to every image of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Shift {
+    /// No shift — the pretraining distribution.
+    Identity,
+    /// Rotation by `k`·90° counter-clockwise (`k ∈ 1..=3`).
+    Rotate90(u8),
+    /// Cyclic RGB channel permutation by `k` positions (`k ∈ 1..=2`).
+    ChannelShift(u8),
+    /// Photometric inversion `v → 1 − v`.
+    Invert,
+    /// Additive Gaussian pixel noise of the given σ.
+    Noise(f32),
+    /// Contrast scaling around 0.5 by the given factor.
+    Contrast(f32),
+    /// Brightness offset.
+    Brightness(f32),
+    /// 3×3 box blur, applied the given number of times.
+    Blur(u8),
+    /// Square occlusion of the given side (pixels) at a deterministic
+    /// position derived from the task seed.
+    Occlude(u8),
+    /// Horizontal mirror.
+    FlipH,
+}
+
+impl Shift {
+    /// Stable human-readable name.
+    pub fn name(&self) -> String {
+        match self {
+            Shift::Identity => "identity".into(),
+            Shift::Rotate90(k) => format!("rot{}", 90 * *k as usize),
+            Shift::ChannelShift(k) => format!("chan{k}"),
+            Shift::Invert => "invert".into(),
+            Shift::Noise(s) => format!("noise{s:.2}"),
+            Shift::Contrast(c) => format!("contrast{c:.2}"),
+            Shift::Brightness(b) => format!("bright{b:+.2}"),
+            Shift::Blur(n) => format!("blur{n}"),
+            Shift::Occlude(s) => format!("occlude{s}"),
+            Shift::FlipH => "fliph".into(),
+        }
+    }
+
+    /// Applies the shift to a `[3, H, W]` image. `rng` drives only the
+    /// *stochastic* shifts (noise); geometric/photometric shifts are
+    /// deterministic.
+    pub fn apply(&self, img: &Tensor, rng: &mut StdRng) -> Result<Tensor> {
+        if img.rank() != 3 {
+            return Err(TensorError::InvalidArgument(format!(
+                "shift expects [C, H, W], got {:?}",
+                img.dims()
+            )));
+        }
+        let (c, h, w) = (img.dims()[0], img.dims()[1], img.dims()[2]);
+        match self {
+            Shift::Identity => Ok(img.clone()),
+            Shift::Rotate90(k) => {
+                let mut out = img.clone();
+                for _ in 0..(*k % 4) {
+                    out = rotate_once(&out)?;
+                }
+                Ok(out)
+            }
+            Shift::ChannelShift(k) => {
+                let mut out = Tensor::zeros(img.dims());
+                for ci in 0..c {
+                    let src = (ci + *k as usize) % c;
+                    for y in 0..h {
+                        for x in 0..w {
+                            out.set(&[ci, y, x], img.get(&[src, y, x])?)?;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Shift::Invert => Ok(metalora_tensor::ops::map(img, |v| 1.0 - v)),
+            Shift::Noise(sigma) => {
+                let mut out = img.clone();
+                for v in out.data_mut() {
+                    // Box–Muller pair, using one draw for simplicity.
+                    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                    let u2: f32 = rng.gen_range(0.0..1.0);
+                    let n = (-2.0 * u1.ln()).sqrt()
+                        * (2.0 * std::f32::consts::PI * u2).cos();
+                    *v = (*v + sigma * n).clamp(0.0, 1.0);
+                }
+                Ok(out)
+            }
+            Shift::Contrast(f) => Ok(metalora_tensor::ops::map(img, |v| {
+                (0.5 + f * (v - 0.5)).clamp(0.0, 1.0)
+            })),
+            Shift::Brightness(b) => {
+                Ok(metalora_tensor::ops::map(img, |v| (v + b).clamp(0.0, 1.0)))
+            }
+            Shift::Blur(n) => {
+                let mut out = img.clone();
+                for _ in 0..*n {
+                    out = box_blur(&out)?;
+                }
+                Ok(out)
+            }
+            Shift::Occlude(side) => {
+                let s = *side as usize;
+                if s >= h || s >= w {
+                    return Err(TensorError::InvalidArgument(format!(
+                        "occlusion side {s} too large for {h}×{w}"
+                    )));
+                }
+                let mut out = img.clone();
+                // Deterministic corner-offset placement.
+                let (oy, ox) = (h / 6, w / 2);
+                for ci in 0..c {
+                    for y in oy..(oy + s).min(h) {
+                        for x in ox..(ox + s).min(w) {
+                            out.set(&[ci, y, x], 0.0)?;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Shift::FlipH => {
+                let mut out = Tensor::zeros(img.dims());
+                for ci in 0..c {
+                    for y in 0..h {
+                        for x in 0..w {
+                            out.set(&[ci, y, x], img.get(&[ci, y, w - 1 - x])?)?;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// The pool of *training* shifts (12 tasks).
+    pub fn train_pool() -> Vec<Shift> {
+        vec![
+            Shift::Identity,
+            Shift::Rotate90(1),
+            Shift::ChannelShift(1),
+            Shift::Invert,
+            Shift::Noise(0.10),
+            Shift::Contrast(0.5),
+            Shift::Brightness(0.25),
+            Shift::Blur(1),
+            Shift::Occlude(8),
+            Shift::FlipH,
+            Shift::Rotate90(2),
+            Shift::Contrast(1.6),
+        ]
+    }
+
+    /// The pool of *held-out evaluation* shifts (6 tasks) — related to but
+    /// distinct from every training shift.
+    pub fn eval_pool() -> Vec<Shift> {
+        vec![
+            Shift::Rotate90(3),
+            Shift::ChannelShift(2),
+            Shift::Noise(0.18),
+            Shift::Contrast(0.35),
+            Shift::Brightness(-0.25),
+            Shift::Blur(2),
+        ]
+    }
+}
+
+/// Rotates `[C, H, W]` by 90° counter-clockwise (square images).
+fn rotate_once(img: &Tensor) -> Result<Tensor> {
+    let (c, h, w) = (img.dims()[0], img.dims()[1], img.dims()[2]);
+    if h != w {
+        return Err(TensorError::InvalidArgument(
+            "rotation implemented for square images".into(),
+        ));
+    }
+    let mut out = Tensor::zeros(&[c, w, h]);
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                // (y, x) → (w-1-x, y).
+                out.set(&[ci, w - 1 - x, y], img.get(&[ci, y, x])?)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// 3×3 box blur with edge clamping.
+fn box_blur(img: &Tensor) -> Result<Tensor> {
+    let (c, h, w) = (img.dims()[0], img.dims()[1], img.dims()[2]);
+    let mut out = Tensor::zeros(img.dims());
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let mut acc = 0.0f32;
+                let mut n = 0.0f32;
+                for dy in -1i32..=1 {
+                    for dx in -1i32..=1 {
+                        let yy = y as i32 + dy;
+                        let xx = x as i32 + dx;
+                        if yy >= 0 && yy < h as i32 && xx >= 0 && xx < w as i32 {
+                            acc += img.get(&[ci, yy as usize, xx as usize])?;
+                            n += 1.0;
+                        }
+                    }
+                }
+                out.set(&[ci, y, x], acc / n)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{render_shape, ShapeClass};
+    use metalora_tensor::{approx_eq, init};
+
+    fn sample() -> Tensor {
+        render_shape(ShapeClass::Cross, 16, &mut init::rng(1)).unwrap()
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let img = sample();
+        let out = Shift::Identity.apply(&img, &mut init::rng(0)).unwrap();
+        assert_eq!(img, out);
+    }
+
+    #[test]
+    fn rotate_four_times_is_identity() {
+        let img = sample();
+        let mut out = img.clone();
+        for _ in 0..4 {
+            out = Shift::Rotate90(1).apply(&out, &mut init::rng(0)).unwrap();
+        }
+        assert!(approx_eq(&img, &out, 0.0));
+        // One rotation is not the identity.
+        let once = Shift::Rotate90(1).apply(&img, &mut init::rng(0)).unwrap();
+        assert!(!approx_eq(&img, &once, 1e-3));
+    }
+
+    #[test]
+    fn invert_is_involution() {
+        let img = sample();
+        let inv = Shift::Invert.apply(&img, &mut init::rng(0)).unwrap();
+        let back = Shift::Invert.apply(&inv, &mut init::rng(0)).unwrap();
+        assert!(approx_eq(&img, &back, 1e-6));
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        let img = sample();
+        let f = Shift::FlipH.apply(&img, &mut init::rng(0)).unwrap();
+        let back = Shift::FlipH.apply(&f, &mut init::rng(0)).unwrap();
+        assert!(approx_eq(&img, &back, 0.0));
+    }
+
+    #[test]
+    fn channel_shift_cycles() {
+        let img = sample();
+        let s1 = Shift::ChannelShift(1).apply(&img, &mut init::rng(0)).unwrap();
+        let s3 = Shift::ChannelShift(1)
+            .apply(
+                &Shift::ChannelShift(2).apply(&img, &mut init::rng(0)).unwrap(),
+                &mut init::rng(0),
+            )
+            .unwrap();
+        assert!(approx_eq(&img, &s3, 0.0), "3 cyclic shifts = identity");
+        assert_eq!(
+            s1.get(&[0, 5, 5]).unwrap(),
+            img.get(&[1, 5, 5]).unwrap()
+        );
+    }
+
+    #[test]
+    fn noise_changes_pixels_but_stays_in_range() {
+        let img = sample();
+        let n = Shift::Noise(0.2).apply(&img, &mut init::rng(5)).unwrap();
+        assert!(!approx_eq(&img, &n, 1e-4));
+        assert!(n.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn contrast_and_brightness() {
+        let img = sample();
+        let lo = Shift::Contrast(0.0).apply(&img, &mut init::rng(0)).unwrap();
+        assert!(lo.data().iter().all(|&v| (v - 0.5).abs() < 1e-6));
+        let b = Shift::Brightness(1.0).apply(&img, &mut init::rng(0)).unwrap();
+        assert!(b.data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn blur_reduces_variance() {
+        let img = sample();
+        let var = |t: &Tensor| {
+            let m = metalora_tensor::ops::mean_all(t);
+            t.data().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / t.len() as f32
+        };
+        let blurred = Shift::Blur(2).apply(&img, &mut init::rng(0)).unwrap();
+        assert!(var(&blurred) < var(&img));
+    }
+
+    #[test]
+    fn occlusion_zeroes_a_block() {
+        let img = sample();
+        let o = Shift::Occlude(4).apply(&img, &mut init::rng(0)).unwrap();
+        // Block starts at (h/6, w/2) = (2, 8).
+        assert_eq!(o.get(&[0, 3, 9]).unwrap(), 0.0);
+        assert!(Shift::Occlude(40).apply(&img, &mut init::rng(0)).is_err());
+    }
+
+    #[test]
+    fn pools_are_disjoint() {
+        let train = Shift::train_pool();
+        let eval = Shift::eval_pool();
+        assert_eq!(train.len(), 12);
+        assert_eq!(eval.len(), 6);
+        for e in &eval {
+            assert!(!train.contains(e), "{e:?} leaked into training pool");
+        }
+        // Names are unique across both pools.
+        let mut names: Vec<String> =
+            train.iter().chain(&eval).map(|s| s.name()).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn shift_rejects_bad_rank() {
+        let bad = Tensor::zeros(&[3, 3]);
+        assert!(Shift::Identity.apply(&bad, &mut init::rng(0)).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Task specifications and episode sampling for the Table I protocol.
+
+use crate::dataset::{generate, LabeledImages};
+use crate::synth::Shift;
+use crate::Result;
+use metalora_tensor::init;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One task: the 8-class shape problem seen through a shift.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Stable task index within its pool.
+    pub id: usize,
+    /// The distribution shift defining the task.
+    pub shift: Shift,
+}
+
+impl TaskSpec {
+    /// Human-readable name.
+    pub fn name(&self) -> String {
+        format!("task{}:{}", self.id, self.shift.name())
+    }
+}
+
+/// The train/eval task split used by the Table I protocol.
+#[derive(Debug, Clone)]
+pub struct TaskFamily {
+    /// Tasks visible during adaptation (12 shifts).
+    pub train: Vec<TaskSpec>,
+    /// Held-out tasks used only by the probe (6 shifts).
+    pub eval: Vec<TaskSpec>,
+}
+
+impl TaskFamily {
+    /// Builds the standard family from the shift pools.
+    pub fn standard() -> Self {
+        let train = Shift::train_pool()
+            .into_iter()
+            .enumerate()
+            .map(|(id, shift)| TaskSpec { id, shift })
+            .collect();
+        let eval = Shift::eval_pool()
+            .into_iter()
+            .enumerate()
+            .map(|(id, shift)| TaskSpec { id, shift })
+            .collect();
+        TaskFamily { train, eval }
+    }
+
+    /// A reduced family (first `n_train`/`n_eval` tasks) for fast tests.
+    pub fn reduced(n_train: usize, n_eval: usize) -> Self {
+        let mut fam = Self::standard();
+        fam.train.truncate(n_train);
+        fam.eval.truncate(n_eval);
+        fam
+    }
+}
+
+/// Episode geometry: how many support/query samples per class the probe
+/// sees for each task.
+#[derive(Debug, Clone, Copy)]
+pub struct EpisodeSpec {
+    /// Support samples per class (the KNN reference set).
+    pub support_per_class: usize,
+    /// Query samples per class (what accuracy is measured on).
+    pub query_per_class: usize,
+    /// Image side.
+    pub image_size: usize,
+}
+
+/// One sampled episode of a task.
+#[derive(Debug, Clone)]
+pub struct Episode {
+    /// The task this episode came from.
+    pub task_id: usize,
+    /// KNN reference set.
+    pub support: LabeledImages,
+    /// Evaluation queries.
+    pub query: LabeledImages,
+}
+
+/// Samples an episode of `task` with a seed derived from
+/// `(base_seed, task.id, round)` so every method sees identical data.
+pub fn sample_episode(
+    task: &TaskSpec,
+    spec: EpisodeSpec,
+    base_seed: u64,
+    round: u64,
+) -> Result<Episode> {
+    let seed = base_seed
+        .wrapping_mul(1_000_003)
+        .wrapping_add(task.id as u64 * 7919)
+        .wrapping_add(round * 104_729);
+    let mut rng = init::rng(seed);
+    let support = generate(task.shift, spec.support_per_class, spec.image_size, &mut rng)?;
+    let query = generate(task.shift, spec.query_per_class, spec.image_size, &mut rng)?;
+    Ok(Episode {
+        task_id: task.id,
+        support,
+        query,
+    })
+}
+
+/// Draws an adaptation batch from a uniformly chosen training task.
+/// Returns the batch and the chosen task id (the oracle signal Multi-LoRA
+/// consumes at train time).
+pub fn sample_mixture_batch(
+    family: &TaskFamily,
+    batch_per_class: usize,
+    image_size: usize,
+    rng: &mut StdRng,
+) -> Result<(LabeledImages, usize)> {
+    let k = rng.gen_range(0..family.train.len());
+    let task = &family.train[k];
+    let batch = generate(task.shift, batch_per_class, image_size, rng)?;
+    Ok((batch, task.id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_family_sizes() {
+        let f = TaskFamily::standard();
+        assert_eq!(f.train.len(), 12);
+        assert_eq!(f.eval.len(), 6);
+        assert_eq!(f.train[0].id, 0);
+        assert!(f.train[3].name().starts_with("task3:"));
+    }
+
+    #[test]
+    fn reduced_family() {
+        let f = TaskFamily::reduced(2, 1);
+        assert_eq!(f.train.len(), 2);
+        assert_eq!(f.eval.len(), 1);
+    }
+
+    #[test]
+    fn episodes_are_reproducible_and_distinct() {
+        let f = TaskFamily::standard();
+        let spec = EpisodeSpec {
+            support_per_class: 2,
+            query_per_class: 1,
+            image_size: 8,
+        };
+        let e1 = sample_episode(&f.eval[0], spec, 42, 0).unwrap();
+        let e2 = sample_episode(&f.eval[0], spec, 42, 0).unwrap();
+        assert_eq!(e1.support.images, e2.support.images);
+        let e3 = sample_episode(&f.eval[0], spec, 42, 1).unwrap();
+        assert_ne!(e1.support.images, e3.support.images);
+        let e4 = sample_episode(&f.eval[1], spec, 42, 0).unwrap();
+        assert_ne!(e1.support.images, e4.support.images);
+        assert_eq!(e1.support.len(), 16);
+        assert_eq!(e1.query.len(), 8);
+        assert_eq!(e1.task_id, 0);
+    }
+
+    #[test]
+    fn mixture_batches_cover_tasks() {
+        let f = TaskFamily::standard();
+        let mut rng = init::rng(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..60 {
+            // 16×16: large enough for every training shift (occlusion is 8px).
+            let (batch, tid) = sample_mixture_batch(&f, 1, 16, &mut rng).unwrap();
+            assert_eq!(batch.len(), 8);
+            seen.insert(tid);
+        }
+        assert!(seen.len() > 6, "only saw {} distinct tasks", seen.len());
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the data substrate: shift algebra, episode
+//! determinism, KNN invariants and statistics sanity.
+
+use metalora_data::dataset::generate;
+use metalora_data::knn::{Distance, KnnClassifier};
+use metalora_data::stats::{inc_beta, two_sided_p, welch_t_test};
+use metalora_data::synth::{render_shape, ShapeClass, Shift};
+use metalora_data::task::{sample_episode, EpisodeSpec, TaskFamily};
+use metalora_tensor::{approx_eq, init, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rendered_images_always_valid(
+        class_idx in 0usize..8, size in 8usize..24, seed in 0u64..1000,
+    ) {
+        let class = ShapeClass::from_label(class_idx).unwrap();
+        let img = render_shape(class, size, &mut init::rng(seed)).unwrap();
+        prop_assert_eq!(img.dims(), &[3, size, size]);
+        prop_assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn shifts_preserve_image_validity(
+        class_idx in 0usize..8, seed in 0u64..1000, shift_idx in 0usize..18,
+    ) {
+        let pools: Vec<Shift> = Shift::train_pool()
+            .into_iter()
+            .chain(Shift::eval_pool())
+            .collect();
+        let shift = pools[shift_idx % pools.len()];
+        let class = ShapeClass::from_label(class_idx).unwrap();
+        let img = render_shape(class, 16, &mut init::rng(seed)).unwrap();
+        let out = shift.apply(&img, &mut init::rng(seed + 1)).unwrap();
+        prop_assert_eq!(out.dims(), &[3, 16, 16]);
+        prop_assert!(out.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!(!out.has_non_finite());
+    }
+
+    #[test]
+    fn involution_shifts(seed in 0u64..1000) {
+        let img = render_shape(ShapeClass::Ring, 16, &mut init::rng(seed)).unwrap();
+        for shift in [Shift::Invert, Shift::FlipH] {
+            let once = shift.apply(&img, &mut init::rng(0)).unwrap();
+            let twice = shift.apply(&once, &mut init::rng(0)).unwrap();
+            prop_assert!(approx_eq(&img, &twice, 1e-6), "{shift:?}");
+        }
+        // Rotation has period 4.
+        let mut cur = img.clone();
+        for _ in 0..4 {
+            cur = Shift::Rotate90(1).apply(&cur, &mut init::rng(0)).unwrap();
+        }
+        prop_assert!(approx_eq(&img, &cur, 0.0));
+    }
+
+    #[test]
+    fn episodes_deterministic_in_all_seeds(
+        task_idx in 0usize..6, base_seed in 0u64..100, round in 0u64..3,
+    ) {
+        let fam = TaskFamily::standard();
+        let spec = EpisodeSpec {
+            support_per_class: 1,
+            query_per_class: 1,
+            image_size: 16,
+        };
+        let t = &fam.eval[task_idx];
+        let a = sample_episode(t, spec, base_seed, round).unwrap();
+        let b = sample_episode(t, spec, base_seed, round).unwrap();
+        prop_assert_eq!(a.support.images, b.support.images);
+        prop_assert_eq!(a.query.labels, b.query.labels);
+    }
+
+    #[test]
+    fn knn_k1_on_support_is_perfect(
+        n_per in 1usize..5, d in 1usize..6, seed in 0u64..1000,
+    ) {
+        // Predicting the support set itself with k=1 returns its labels
+        // exactly (each point is its own nearest neighbour).
+        let mut rng = init::rng(seed);
+        let n = 3 * n_per;
+        let emb = init::uniform(&[n, d], -5.0, 5.0, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let knn = KnnClassifier::fit(emb.clone(), labels.clone(), Distance::L2).unwrap();
+        let pred = knn.predict(&emb, 1).unwrap();
+        prop_assert_eq!(pred, labels);
+    }
+
+    #[test]
+    fn knn_prediction_invariant_to_support_translation(
+        seed in 0u64..1000, shiftv in -3.0f32..3.0,
+    ) {
+        // L2 KNN is translation-invariant when both support and queries
+        // move together.
+        let mut rng = init::rng(seed);
+        let support = init::uniform(&[12, 3], -2.0, 2.0, &mut rng);
+        let labels: Vec<usize> = (0..12).map(|i| i % 4).collect();
+        let queries = init::uniform(&[5, 3], -2.0, 2.0, &mut rng);
+        let translate = |t: &Tensor| metalora_tensor::ops::map(t, |v| v + shiftv);
+        let a = KnnClassifier::fit(support.clone(), labels.clone(), Distance::L2)
+            .unwrap()
+            .predict(&queries, 3)
+            .unwrap();
+        let b = KnnClassifier::fit(translate(&support), labels, Distance::L2)
+            .unwrap()
+            .predict(&translate(&queries), 3)
+            .unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn p_values_are_probabilities(t in -30.0f64..30.0, df in 1.0f64..60.0) {
+        let p = two_sided_p(t, df);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+        // Symmetric in t.
+        let p2 = two_sided_p(-t, df);
+        prop_assert!((p - p2).abs() < 1e-9);
+        // Monotone: larger |t| → smaller p.
+        let p_bigger = two_sided_p(t.abs() + 1.0, df);
+        prop_assert!(p_bigger <= p + 1e-9);
+    }
+
+    #[test]
+    fn inc_beta_is_monotone_cdf(a in 0.5f64..5.0, b in 0.5f64..5.0, x in 0.01f64..0.99) {
+        let lo = inc_beta(a, b, x * 0.5);
+        let hi = inc_beta(a, b, x);
+        prop_assert!(lo <= hi + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn welch_is_antisymmetric(seed in 0u64..1000) {
+        let mut rng = init::rng(seed);
+        let a: Vec<f64> = (0..6)
+            .map(|_| init::uniform(&[1], 0.0, 1.0, &mut rng).data()[0] as f64)
+            .collect();
+        let b: Vec<f64> = (0..6)
+            .map(|_| init::uniform(&[1], 0.0, 1.0, &mut rng).data()[0] as f64)
+            .collect();
+        let ab = welch_t_test(&a, &b).unwrap();
+        let ba = welch_t_test(&b, &a).unwrap();
+        prop_assert!((ab.t + ba.t).abs() < 1e-9);
+        prop_assert!((ab.p - ba.p).abs() < 1e-9);
+        prop_assert!((ab.df - ba.df).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_batches_are_balanced(per_class in 1usize..4, seed in 0u64..200) {
+        let d = generate(Shift::Identity, per_class, 12, &mut init::rng(seed)).unwrap();
+        for class in 0..8 {
+            prop_assert_eq!(
+                d.labels.iter().filter(|&&l| l == class).count(),
+                per_class
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # metalora-nn
+//!
+//! Neural-network layers, backbones and optimisers for the MetaLoRA
+//! reproduction, built on [`metalora_autograd`].
+//!
+//! * [`module`] — the [`Module`]/[`LinearLike`]/[`ConvLike`] traits, the
+//!   forward [`Ctx`] that carries PEFT state (generated parameter seeds,
+//!   adapter selection), and parameter utilities.
+//! * [`layers`] — Linear, Conv2d, BatchNorm2d, LayerNorm.
+//! * [`models`] — the two backbones of Table I: a small **ResNet** and an
+//!   **MLP-Mixer**, both with swappable conv/linear layers so the PEFT
+//!   crate can inject adapters, plus a plain MLP.
+//! * [`optim`] — SGD(+momentum) and Adam with weight decay and LR
+//!   schedules.
+//! * [`train`] — minimal training-loop helpers (batching, accuracy).
+
+pub mod checkpoint;
+pub mod layers;
+pub mod models;
+pub mod module;
+pub mod optim;
+pub mod train;
+
+pub use checkpoint::Checkpoint;
+pub use layers::{BatchNorm2d, Conv2d, LayerNorm, Linear};
+pub use module::{Backbone, BoxConv, BoxLinear, ConvLike, Ctx, LinearLike, Module};
+pub use optim::{Adam, Optimizer, Sgd};
+
+/// Crate-wide result alias (errors are tensor errors).
+pub type Result<T> = std::result::Result<T, metalora_tensor::TensorError>;

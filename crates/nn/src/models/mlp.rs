@@ -1,0 +1,196 @@
+//! A plain multi-layer perceptron — used standalone and as the base of
+//! the MetaLoRA parameter-space mapping net (Sec. III-B-2 of the paper).
+
+use crate::layers::Linear;
+use crate::module::{Backbone, Ctx, Module};
+use crate::Result;
+use metalora_autograd::{Graph, ParamRef, Var};
+use rand::rngs::StdRng;
+
+/// Architecture hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Input width.
+    pub in_dim: usize,
+    /// Hidden widths (may be empty for a single linear map).
+    pub hidden: Vec<usize>,
+    /// Output width.
+    pub out_dim: usize,
+}
+
+/// Fully connected network with GELU activations between layers.
+pub struct Mlp {
+    layers: Vec<Linear>,
+    cfg: MlpConfig,
+}
+
+impl Mlp {
+    /// Builds a randomly initialised MLP.
+    pub fn new(name: &str, cfg: &MlpConfig, rng: &mut StdRng) -> Self {
+        let mut widths = vec![cfg.in_dim];
+        widths.extend_from_slice(&cfg.hidden);
+        widths.push(cfg.out_dim);
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(&format!("{name}.fc{i}"), w[0], w[1], rng))
+            .collect();
+        Mlp {
+            layers,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Number of dense layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+impl Module for Mlp {
+    fn forward(&self, g: &mut Graph, x: Var, ctx: &Ctx) -> Result<Var> {
+        let mut y = x;
+        let last = self.layers.len() - 1;
+        for (i, l) in self.layers.iter().enumerate() {
+            y = l.forward(g, y, ctx)?;
+            if i != last {
+                y = g.gelu(y);
+            }
+        }
+        Ok(y)
+    }
+
+    fn params(&self) -> Vec<ParamRef> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+}
+
+impl Backbone for Mlp {
+    fn features(&self, g: &mut Graph, x: Var, ctx: &Ctx) -> Result<Var> {
+        // Penultimate activation (post-GELU); for a single-layer MLP the
+        // input itself is the feature.
+        let mut y = x;
+        for l in &self.layers[..self.layers.len() - 1] {
+            y = l.forward(g, y, ctx)?;
+            y = g.gelu(y);
+        }
+        Ok(y)
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.cfg
+            .hidden
+            .last()
+            .copied()
+            .unwrap_or(self.cfg.in_dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metalora_tensor::{init, Tensor};
+
+    #[test]
+    fn forward_shapes_and_depth() {
+        let mut rng = init::rng(1);
+        let m = Mlp::new(
+            "mlp",
+            &MlpConfig {
+                in_dim: 6,
+                hidden: vec![10, 8],
+                out_dim: 3,
+            },
+            &mut rng,
+        );
+        assert_eq!(m.depth(), 3);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[5, 6]));
+        let y = m.forward(&mut g, x, &Ctx::none()).unwrap();
+        assert_eq!(g.dims(y), vec![5, 3]);
+    }
+
+    #[test]
+    fn features_are_penultimate() {
+        let mut rng = init::rng(2);
+        let m = Mlp::new(
+            "mlp",
+            &MlpConfig {
+                in_dim: 4,
+                hidden: vec![7],
+                out_dim: 2,
+            },
+            &mut rng,
+        );
+        assert_eq!(m.feature_dim(), 7);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[3, 4]));
+        let f = m.features(&mut g, x, &Ctx::none()).unwrap();
+        assert_eq!(g.dims(f), vec![3, 7]);
+    }
+
+    #[test]
+    fn single_layer_mlp() {
+        let mut rng = init::rng(3);
+        let m = Mlp::new(
+            "mlp",
+            &MlpConfig {
+                in_dim: 4,
+                hidden: vec![],
+                out_dim: 2,
+            },
+            &mut rng,
+        );
+        assert_eq!(m.depth(), 1);
+        assert_eq!(m.feature_dim(), 4);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[1, 4]));
+        let y = m.forward(&mut g, x, &Ctx::none()).unwrap();
+        assert_eq!(g.dims(y), vec![1, 2]);
+    }
+
+    #[test]
+    fn learns_xor_ish_separation() {
+        // Tiny optimisation sanity: loss decreases over steps.
+        let mut rng = init::rng(4);
+        let m = Mlp::new(
+            "mlp",
+            &MlpConfig {
+                in_dim: 2,
+                hidden: vec![16],
+                out_dim: 2,
+            },
+            &mut rng,
+        );
+        let x = Tensor::from_vec(
+            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
+            &[4, 2],
+        )
+        .unwrap();
+        let labels = [0usize, 1, 1, 0];
+        let mut losses = Vec::new();
+        for _ in 0..200 {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let logits = m.forward(&mut g, xv, &Ctx::none()).unwrap();
+            let loss = g.softmax_cross_entropy(logits, &labels).unwrap();
+            losses.push(g.value(loss).item().unwrap());
+            g.backward(loss).unwrap();
+            m.zero_grad();
+            g.flush_grads();
+            for p in m.params() {
+                let gr = p.grad();
+                p.update_value(|v| {
+                    for (a, &b) in v.data_mut().iter_mut().zip(gr.data()) {
+                        *a -= 0.5 * b;
+                    }
+                });
+            }
+        }
+        assert!(
+            losses.last().unwrap() < &0.1,
+            "final loss {}",
+            losses.last().unwrap()
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Backbones: the small ResNet and MLP-Mixer of Table I, plus a plain MLP.
+
+mod mixer;
+mod mlp;
+mod resnet;
+mod transformer;
+
+pub use mixer::{Mixer, MixerConfig};
+pub use mlp::{Mlp, MlpConfig};
+pub use resnet::{ResNet, ResNetConfig};
+pub use transformer::{TransformerConfig, VisionTransformer};

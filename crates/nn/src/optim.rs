@@ -1,0 +1,321 @@
+//! Optimisers: SGD with momentum and Adam, both with decoupled weight
+//! decay, plus simple learning-rate schedules.
+
+use metalora_autograd::ParamRef;
+use metalora_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Common optimiser interface over a fixed parameter set.
+pub trait Optimizer {
+    /// Applies one update using each parameter's accumulated gradient,
+    /// then clears the gradients. Frozen parameters are skipped.
+    fn step(&mut self);
+
+    /// Clears accumulated gradients without updating.
+    fn zero_grad(&self);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+
+    /// Overrides the learning rate (used by schedules).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum and decoupled
+/// weight decay.
+pub struct Sgd {
+    params: Vec<ParamRef>,
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<usize, Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(params: Vec<ParamRef>, lr: f32) -> Self {
+        Self::with_momentum(params, lr, 0.0, 0.0)
+    }
+
+    /// SGD with momentum `μ` and weight decay `λ` (decoupled, i.e. applied
+    /// directly to the weights, not folded into the gradient).
+    pub fn with_momentum(params: Vec<ParamRef>, lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd {
+            params,
+            lr,
+            momentum,
+            weight_decay,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for p in &self.params {
+            if !p.trainable() {
+                continue;
+            }
+            let g = p.grad();
+            let update = if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(p.cell_id())
+                    .or_insert_with(|| Tensor::zeros(g.dims()));
+                for (vi, &gi) in v.data_mut().iter_mut().zip(g.data()) {
+                    *vi = self.momentum * *vi + gi;
+                }
+                v.clone()
+            } else {
+                g
+            };
+            let (lr, wd) = (self.lr, self.weight_decay);
+            p.update_value(|w| {
+                for (wi, &ui) in w.data_mut().iter_mut().zip(update.data()) {
+                    *wi -= lr * (ui + wd * *wi);
+                }
+            });
+            p.zero_grad();
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction and decoupled weight
+/// decay (AdamW-style).
+pub struct Adam {
+    params: Vec<ParamRef>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: HashMap<usize, Tensor>,
+    v: HashMap<usize, Tensor>,
+}
+
+impl Adam {
+    /// Adam with the standard `(β₁, β₂, ε) = (0.9, 0.999, 1e-8)`.
+    pub fn new(params: Vec<ParamRef>, lr: f32) -> Self {
+        Self::with_config(params, lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Fully parameterised Adam.
+    pub fn with_config(
+        params: Vec<ParamRef>,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        weight_decay: f32,
+    ) -> Self {
+        Adam {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in &self.params {
+            if !p.trainable() {
+                continue;
+            }
+            let g = p.grad();
+            let m = self
+                .m
+                .entry(p.cell_id())
+                .or_insert_with(|| Tensor::zeros(g.dims()));
+            let v = self
+                .v
+                .entry(p.cell_id())
+                .or_insert_with(|| Tensor::zeros(g.dims()));
+            for ((mi, vi), &gi) in m.data_mut().iter_mut().zip(v.data_mut()).zip(g.data()) {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let (lr, eps, wd) = (self.lr, self.eps, self.weight_decay);
+            let (m, v) = (m.clone(), v.clone());
+            p.update_value(|w| {
+                for ((wi, &mi), &vi) in w.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
+                    let mhat = mi / bc1;
+                    let vhat = vi / bc2;
+                    *wi -= lr * (mhat / (vhat.sqrt() + eps) + wd * *wi);
+                }
+            });
+            p.zero_grad();
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Cosine learning-rate schedule from `base_lr` down to `min_lr` over
+/// `total_steps`.
+pub fn cosine_lr(base_lr: f32, min_lr: f32, step: usize, total_steps: usize) -> f32 {
+    if total_steps == 0 {
+        return base_lr;
+    }
+    let progress = (step.min(total_steps)) as f32 / total_steps as f32;
+    min_lr + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * progress).cos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(start: &[f32]) -> ParamRef {
+        ParamRef::new(
+            "x",
+            Tensor::from_vec(start.to_vec(), &[start.len()]).unwrap(),
+        )
+    }
+
+    /// Gradient of f(x) = ½‖x‖² is x itself.
+    fn fill_quadratic_grad(p: &ParamRef) {
+        p.accumulate_grad(&p.value());
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = quadratic_param(&[5.0, -3.0]);
+        let mut opt = Sgd::new(vec![p.clone()], 0.1);
+        for _ in 0..100 {
+            fill_quadratic_grad(&p);
+            opt.step();
+        }
+        assert!(p.value().norm() < 1e-3, "‖x‖ = {}", p.value().norm());
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let run = |momentum: f32, steps: usize| {
+            let p = quadratic_param(&[10.0]);
+            let mut opt = Sgd::with_momentum(vec![p.clone()], 0.01, momentum, 0.0);
+            for _ in 0..steps {
+                fill_quadratic_grad(&p);
+                opt.step();
+            }
+            p.value().data()[0].abs()
+        };
+        assert!(run(0.9, 50) < run(0.0, 50), "momentum should be faster here");
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_weights() {
+        let p = quadratic_param(&[1.0]);
+        let mut opt = Sgd::with_momentum(vec![p.clone()], 0.1, 0.0, 0.5);
+        // Zero gradient: only decay acts.
+        opt.step();
+        assert!((p.value().data()[0] - (1.0 - 0.1 * 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_skips_frozen() {
+        let p = quadratic_param(&[2.0]);
+        p.set_trainable(false);
+        let mut opt = Sgd::new(vec![p.clone()], 0.5);
+        fill_quadratic_grad(&p);
+        opt.step();
+        assert_eq!(p.value().data()[0], 2.0);
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let p = quadratic_param(&[1.0]);
+        let mut opt = Sgd::new(vec![p.clone()], 0.1);
+        fill_quadratic_grad(&p);
+        opt.step();
+        assert_eq!(p.grad().data(), &[0.0]);
+        fill_quadratic_grad(&p);
+        opt.zero_grad();
+        assert_eq!(p.grad().data(), &[0.0]);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = quadratic_param(&[4.0, -2.0, 7.0]);
+        let mut opt = Adam::new(vec![p.clone()], 0.2);
+        for _ in 0..200 {
+            fill_quadratic_grad(&p);
+            opt.step();
+        }
+        assert!(p.value().norm() < 1e-2, "‖x‖ = {}", p.value().norm());
+    }
+
+    #[test]
+    fn adam_handles_sparse_scale_differences() {
+        // Coordinates with very different gradient scales: Adam's
+        // per-coordinate normalisation should still reduce both.
+        let p = ParamRef::new("x", Tensor::from_vec(vec![100.0, 0.01], &[2]).unwrap());
+        let mut opt = Adam::new(vec![p.clone()], 0.2);
+        for _ in 0..2500 {
+            fill_quadratic_grad(&p);
+            opt.step();
+        }
+        // The huge coordinate shrinks by orders of magnitude; the tiny one
+        // stays bounded near the step size (Adam steps are ~lr regardless
+        // of gradient magnitude, and momentum can overshoot by a few ×lr).
+        assert!(p.value().data()[0].abs() < 2.0, "{:?}", p.value().data());
+        assert!(p.value().data()[1].abs() < 2.0, "{:?}", p.value().data());
+    }
+
+    #[test]
+    fn lr_get_set() {
+        let mut opt = Sgd::new(vec![], 0.1);
+        assert_eq!(opt.lr(), 0.1);
+        opt.set_lr(0.05);
+        assert_eq!(opt.lr(), 0.05);
+        let mut a = Adam::new(vec![], 0.3);
+        a.set_lr(0.2);
+        assert_eq!(a.lr(), 0.2);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints() {
+        assert!((cosine_lr(1.0, 0.1, 0, 100) - 1.0).abs() < 1e-6);
+        assert!((cosine_lr(1.0, 0.1, 100, 100) - 0.1).abs() < 1e-6);
+        let mid = cosine_lr(1.0, 0.1, 50, 100);
+        assert!((mid - 0.55).abs() < 1e-6);
+        assert_eq!(cosine_lr(0.5, 0.0, 3, 0), 0.5);
+        // Past the end stays at min.
+        assert!((cosine_lr(1.0, 0.1, 150, 100) - 0.1).abs() < 1e-6);
+    }
+}

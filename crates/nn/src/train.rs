@@ -1,0 +1,189 @@
+//! Training-loop helpers shared by the pretraining and adaptation phases.
+
+use crate::module::{Ctx, Module};
+use crate::optim::Optimizer;
+use crate::Result;
+use metalora_autograd::Graph;
+use metalora_tensor::{ops, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Classification accuracy of logits `[N, C]` against integer labels.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+    let pred = ops::argmax(logits)?;
+    if pred.len() != labels.len() {
+        return Err(metalora_tensor::TensorError::InvalidArgument(format!(
+            "{} predictions vs {} labels",
+            pred.len(),
+            labels.len()
+        )));
+    }
+    let correct = pred.iter().zip(labels).filter(|(a, b)| a == b).count();
+    Ok(correct as f32 / labels.len().max(1) as f32)
+}
+
+/// Shuffled mini-batch index ranges over `n` samples.
+pub fn batch_indices(n: usize, batch_size: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    order
+        .chunks(batch_size.max(1))
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+/// Gathers rows of a batched tensor (axis 0) by index.
+pub fn gather_rows(x: &Tensor, idx: &[usize]) -> Result<Tensor> {
+    let mut parts = Vec::with_capacity(idx.len());
+    for &i in idx {
+        parts.push(x.index_axis0(i)?);
+    }
+    Tensor::stack(&parts)
+}
+
+/// Gathers label entries by index.
+pub fn gather_labels(labels: &[usize], idx: &[usize]) -> Vec<usize> {
+    idx.iter().map(|&i| labels[i]).collect()
+}
+
+/// Running statistics of one epoch.
+#[derive(Debug, Clone, Default)]
+pub struct EpochStats {
+    /// Mean loss over batches.
+    pub loss: f32,
+    /// Mean accuracy over batches.
+    pub accuracy: f32,
+    /// Number of batches processed.
+    pub batches: usize,
+}
+
+/// Runs one supervised epoch of `model` on `(images, labels)` with
+/// cross-entropy, updating through `opt`. Returns epoch statistics.
+pub fn train_epoch(
+    model: &dyn Module,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    opt: &mut dyn Optimizer,
+    rng: &mut StdRng,
+) -> Result<EpochStats> {
+    let mut stats = EpochStats::default();
+    for idx in batch_indices(labels.len(), batch_size, rng) {
+        let xb = gather_rows(images, &idx)?;
+        let yb = gather_labels(labels, &idx);
+        let mut g = Graph::new();
+        let x = g.input(xb);
+        let logits = model.forward(&mut g, x, &Ctx::none())?;
+        let loss = g.softmax_cross_entropy(logits, &yb)?;
+        stats.loss += g.value(loss).item()?;
+        stats.accuracy += accuracy(&g.value(logits), &yb)?;
+        g.backward(loss)?;
+        g.flush_grads();
+        opt.step();
+        stats.batches += 1;
+    }
+    if stats.batches > 0 {
+        stats.loss /= stats.batches as f32;
+        stats.accuracy /= stats.batches as f32;
+    }
+    Ok(stats)
+}
+
+/// Evaluates classification accuracy of `model` on `(images, labels)`
+/// in inference mode, batched to bound memory.
+pub fn evaluate(
+    model: &dyn Module,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+) -> Result<f32> {
+    let n = labels.len();
+    let mut correct = 0.0f32;
+    let mut seen = 0usize;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch_size.max(1)).min(n);
+        let idx: Vec<usize> = (start..end).collect();
+        let xb = gather_rows(images, &idx)?;
+        let yb = gather_labels(labels, &idx);
+        let mut g = Graph::inference();
+        let x = g.input(xb);
+        let logits = model.forward(&mut g, x, &Ctx::none())?;
+        correct += accuracy(&g.value(logits), &yb)? * yb.len() as f32;
+        seen += yb.len();
+        start = end;
+    }
+    Ok(correct / seen.max(1) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{Mlp, MlpConfig};
+    use crate::optim::Sgd;
+    use metalora_tensor::init;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits =
+            Tensor::from_vec(vec![2.0, 1.0, 0.0, 0.0, 0.0, 3.0], &[2, 3]).unwrap();
+        assert_eq!(accuracy(&logits, &[0, 2]).unwrap(), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 2]).unwrap(), 0.5);
+        assert!(accuracy(&logits, &[0]).is_err());
+    }
+
+    #[test]
+    fn batch_indices_partition() {
+        let mut rng = init::rng(1);
+        let batches = batch_indices(10, 3, &mut rng);
+        assert_eq!(batches.len(), 4);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gather_rows_and_labels() {
+        let x = Tensor::arange(0.0, 1.0, 6).reshape(&[3, 2]).unwrap();
+        let g = gather_rows(&x, &[2, 0]).unwrap();
+        assert_eq!(g.dims(), &[2, 2]);
+        assert_eq!(g.data(), &[4.0, 5.0, 0.0, 1.0]);
+        assert_eq!(gather_labels(&[7, 8, 9], &[2, 0]), vec![9, 7]);
+    }
+
+    #[test]
+    fn train_epoch_learns_separable_data() {
+        let mut rng = init::rng(5);
+        // Two well-separated Gaussian blobs.
+        let n = 40;
+        let mut images = Tensor::zeros(&[n, 2]);
+        let mut labels = vec![0usize; n];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            let c = i % 2;
+            labels[i] = c;
+            let base = if c == 0 { -2.0 } else { 2.0 };
+            let noise = init::normal(&[2], 0.0, 0.3, &mut rng);
+            images.data_mut()[i * 2] = base + noise.data()[0];
+            images.data_mut()[i * 2 + 1] = base + noise.data()[1];
+        }
+        let model = Mlp::new(
+            "m",
+            &MlpConfig {
+                in_dim: 2,
+                hidden: vec![8],
+                out_dim: 2,
+            },
+            &mut rng,
+        );
+        let mut opt = Sgd::new(model.params(), 0.3);
+        let mut last = EpochStats::default();
+        for _ in 0..20 {
+            last = train_epoch(&model, &images, &labels, 8, &mut opt, &mut rng).unwrap();
+        }
+        assert!(last.accuracy > 0.95, "train accuracy {}", last.accuracy);
+        let eval = evaluate(&model, &images, &labels, 16).unwrap();
+        assert!(eval > 0.95, "eval accuracy {eval}");
+        assert_eq!(last.batches, 5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Trainable-parameter accounting — the quantitative side of the paper's
+//! "0.1–1 % of the trainable parameters" claim (experiment A1).
+
+use metalora_autograd::ParamRef;
+use metalora_nn::Module;
+
+/// Parameter census of a model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamReport {
+    /// All scalar parameters, frozen or not.
+    pub total: usize,
+    /// Parameters an optimiser would update.
+    pub trainable: usize,
+}
+
+impl ParamReport {
+    /// Census of a module.
+    pub fn of(m: &dyn Module) -> Self {
+        ParamReport {
+            total: m.num_params(),
+            trainable: m.num_trainable_params(),
+        }
+    }
+
+    /// Census of an explicit parameter list.
+    pub fn of_params(params: &[ParamRef]) -> Self {
+        ParamReport {
+            total: params.iter().map(|p| p.len()).sum(),
+            trainable: params
+                .iter()
+                .filter(|p| p.trainable())
+                .map(|p| p.len())
+                .sum(),
+        }
+    }
+
+    /// Trainable fraction in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.trainable as f64 / self.total as f64
+        }
+    }
+
+    /// Trainable share as a percentage.
+    pub fn percent(&self) -> f64 {
+        100.0 * self.fraction()
+    }
+}
+
+impl std::fmt::Display for ParamReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} / {} trainable ({:.3}%)",
+            self.trainable,
+            self.total,
+            self.percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metalora_tensor::Tensor;
+
+    #[test]
+    fn of_params_counts_and_fraction() {
+        let a = ParamRef::new("a", Tensor::zeros(&[10]));
+        let b = ParamRef::frozen("b", Tensor::zeros(&[30]));
+        let r = ParamReport::of_params(&[a, b]);
+        assert_eq!(r.total, 40);
+        assert_eq!(r.trainable, 10);
+        assert!((r.fraction() - 0.25).abs() < 1e-12);
+        assert!((r.percent() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = ParamReport::of_params(&[]);
+        assert_eq!(r.total, 0);
+        assert_eq!(r.fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let a = ParamRef::new("a", Tensor::zeros(&[5]));
+        let s = ParamReport::of_params(&[a]).to_string();
+        assert!(s.contains("5 / 5"), "{s}");
+        assert!(s.contains("100.000%"), "{s}");
+    }
+}

@@ -1,0 +1,516 @@
+//! One-call injection of each PEFT method into the two backbones.
+//!
+//! Injection always: (1) freezes the entire backbone, (2) swaps every
+//! injectable layer (ResNet main-path convolutions, Mixer mixing dense
+//! layers) for the requested adapter, (3) returns the trainable adapter
+//! parameters for the optimiser.
+
+use crate::conv_lora::ConvLora;
+use crate::lora::LoraLinear;
+use crate::meta::{MappingNet, MetaFormat, MetaLora, MetaLoraCpConv, MetaLoraCpLinear, MetaLoraTrConv, MetaLoraTrLinear};
+use crate::multi::{MultiLoraConv, MultiLoraLinear};
+use crate::{LoraConfig, Result};
+use metalora_autograd::ParamRef;
+use metalora_nn::models::{Mixer, ResNet, VisionTransformer};
+use metalora_nn::{Backbone, Module};
+use metalora_tensor::TensorError;
+use rand::rngs::StdRng;
+
+/// What an injection produced.
+pub struct Injection {
+    /// Trainable adapter parameters (feed these to the optimiser).
+    pub adapter_params: Vec<ParamRef>,
+    /// Number of layers wrapped.
+    pub layers: usize,
+}
+
+/// Injects plain Conv-LoRA into every ResNet main-path convolution.
+pub fn lora_into_resnet(net: &mut ResNet, cfg: LoraConfig, rng: &mut StdRng) -> Result<Injection> {
+    net.set_trainable(false);
+    let mut params = Vec::new();
+    let mut layers = 0usize;
+    let mut err: Option<TensorError> = None;
+    net.replace_convs(|base| {
+        if err.is_some() {
+            return base;
+        }
+        match ConvLora::new(&format!("lora_conv{layers}"), base, cfg, rng) {
+            Ok(ad) => {
+                params.extend(ad.adapter_params());
+                layers += 1;
+                Box::new(ad)
+            }
+            Err(e) => {
+                err = Some(e);
+                Box::new(NeverConv)
+            }
+        }
+    });
+    finish(err, params, layers)
+}
+
+/// Injects plain LoRA into every Mixer mixing dense layer.
+pub fn lora_into_mixer(net: &mut Mixer, cfg: LoraConfig, rng: &mut StdRng) -> Result<Injection> {
+    net.set_trainable(false);
+    let mut params = Vec::new();
+    let mut layers = 0usize;
+    net.replace_linears(|base| {
+        let ad = LoraLinear::new(&format!("lora_fc{layers}"), base, cfg, rng);
+        params.extend(ad.adapter_params());
+        layers += 1;
+        Box::new(ad)
+    });
+    finish(None, params, layers)
+}
+
+/// Injects a Multi-LoRA bank (`banks` slots) into every ResNet conv.
+pub fn multi_into_resnet(
+    net: &mut ResNet,
+    banks: usize,
+    cfg: LoraConfig,
+    rng: &mut StdRng,
+) -> Result<Injection> {
+    net.set_trainable(false);
+    let mut params = Vec::new();
+    let mut layers = 0usize;
+    let mut err: Option<TensorError> = None;
+    net.replace_convs(|base| {
+        if err.is_some() {
+            return base;
+        }
+        match MultiLoraConv::new(&format!("multi_conv{layers}"), base, banks, cfg, rng) {
+            Ok(ad) => {
+                params.extend(ad.adapter_params());
+                layers += 1;
+                Box::new(ad)
+            }
+            Err(e) => {
+                err = Some(e);
+                Box::new(NeverConv)
+            }
+        }
+    });
+    finish(err, params, layers)
+}
+
+/// Injects a Multi-LoRA bank into every Mixer mixing dense layer.
+pub fn multi_into_mixer(
+    net: &mut Mixer,
+    banks: usize,
+    cfg: LoraConfig,
+    rng: &mut StdRng,
+) -> Result<Injection> {
+    net.set_trainable(false);
+    let mut params = Vec::new();
+    let mut layers = 0usize;
+    net.replace_linears(|base| {
+        let ad = MultiLoraLinear::new(&format!("multi_fc{layers}"), base, banks, cfg, rng);
+        params.extend(ad.adapter_params());
+        layers += 1;
+        Box::new(ad)
+    });
+    finish(None, params, layers)
+}
+
+/// Injects MetaLoRA (CP or TR) into every ResNet conv and wraps the
+/// backbone with its mapping net (hidden width `map_hidden`).
+pub fn meta_into_resnet(
+    mut net: ResNet,
+    format: MetaFormat,
+    cfg: LoraConfig,
+    map_hidden: usize,
+    rng: &mut StdRng,
+) -> Result<(MetaLora, Injection)> {
+    net.set_trainable(false);
+    let mut params = Vec::new();
+    let mut layers = 0usize;
+    let mut err: Option<TensorError> = None;
+    net.replace_convs(|base| {
+        if err.is_some() {
+            return base;
+        }
+        let name = format!("meta_conv{layers}");
+        let built: Result<(Vec<ParamRef>, metalora_nn::BoxConv)> = match format {
+            MetaFormat::Cp => MetaLoraCpConv::new(&name, base, cfg, rng)
+                .map(|ad| (ad.adapter_params(), Box::new(ad) as metalora_nn::BoxConv)),
+            MetaFormat::Tr => MetaLoraTrConv::new(&name, base, cfg, rng)
+                .map(|ad| (ad.adapter_params(), Box::new(ad) as metalora_nn::BoxConv)),
+        };
+        match built {
+            Ok((p, b)) => {
+                params.extend(p);
+                layers += 1;
+                b
+            }
+            Err(e) => {
+                err = Some(e);
+                Box::new(NeverConv)
+            }
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    let mapping = MappingNet::new(
+        "mapping",
+        net.feature_dim(),
+        map_hidden,
+        format.seed_dim(cfg.rank),
+        rng,
+    );
+    params.extend(mapping.params());
+    let meta = MetaLora::new(Box::new(net), mapping)?;
+    Ok((
+        meta,
+        Injection {
+            adapter_params: params,
+            layers,
+        },
+    ))
+}
+
+/// Injects MetaLoRA (CP or TR) into every Mixer mixing dense layer and
+/// wraps the backbone with its mapping net.
+pub fn meta_into_mixer(
+    mut net: Mixer,
+    format: MetaFormat,
+    cfg: LoraConfig,
+    map_hidden: usize,
+    rng: &mut StdRng,
+) -> Result<(MetaLora, Injection)> {
+    net.set_trainable(false);
+    let mut params = Vec::new();
+    let mut layers = 0usize;
+    net.replace_linears(|base| {
+        let name = format!("meta_fc{layers}");
+        let b: metalora_nn::BoxLinear = match format {
+            MetaFormat::Cp => {
+                let ad = MetaLoraCpLinear::new(&name, base, cfg, rng);
+                params.extend(ad.adapter_params());
+                Box::new(ad)
+            }
+            MetaFormat::Tr => {
+                let ad = MetaLoraTrLinear::new(&name, base, cfg, rng);
+                params.extend(ad.adapter_params());
+                Box::new(ad)
+            }
+        };
+        layers += 1;
+        b
+    });
+    let mapping = MappingNet::new(
+        "mapping",
+        net.feature_dim(),
+        map_hidden,
+        format.seed_dim(cfg.rank),
+        rng,
+    );
+    params.extend(mapping.params());
+    let meta = MetaLora::new(Box::new(net), mapping)?;
+    Ok((
+        meta,
+        Injection {
+            adapter_params: params,
+            layers,
+        },
+    ))
+}
+
+
+/// Injects plain LoRA into every transformer attention projection and
+/// MLP layer.
+pub fn lora_into_transformer(
+    net: &mut VisionTransformer,
+    cfg: LoraConfig,
+    rng: &mut StdRng,
+) -> Result<Injection> {
+    net.set_trainable(false);
+    let mut params = Vec::new();
+    let mut layers = 0usize;
+    net.replace_linears(|base| {
+        let ad = LoraLinear::new(&format!("lora_vit{layers}"), base, cfg, rng);
+        params.extend(ad.adapter_params());
+        layers += 1;
+        Box::new(ad)
+    });
+    finish(None, params, layers)
+}
+
+/// Injects a Multi-LoRA bank into every transformer dense layer.
+pub fn multi_into_transformer(
+    net: &mut VisionTransformer,
+    banks: usize,
+    cfg: LoraConfig,
+    rng: &mut StdRng,
+) -> Result<Injection> {
+    net.set_trainable(false);
+    let mut params = Vec::new();
+    let mut layers = 0usize;
+    net.replace_linears(|base| {
+        let ad = MultiLoraLinear::new(&format!("multi_vit{layers}"), base, banks, cfg, rng);
+        params.extend(ad.adapter_params());
+        layers += 1;
+        Box::new(ad)
+    });
+    finish(None, params, layers)
+}
+
+/// Injects MetaLoRA (CP or TR) into every transformer dense layer and
+/// wraps the backbone with its mapping net.
+pub fn meta_into_transformer(
+    mut net: VisionTransformer,
+    format: MetaFormat,
+    cfg: LoraConfig,
+    map_hidden: usize,
+    rng: &mut StdRng,
+) -> Result<(MetaLora, Injection)> {
+    net.set_trainable(false);
+    let mut params = Vec::new();
+    let mut layers = 0usize;
+    net.replace_linears(|base| {
+        let name = format!("meta_vit{layers}");
+        let b: metalora_nn::BoxLinear = match format {
+            MetaFormat::Cp => {
+                let ad = MetaLoraCpLinear::new(&name, base, cfg, rng);
+                params.extend(ad.adapter_params());
+                Box::new(ad)
+            }
+            MetaFormat::Tr => {
+                let ad = MetaLoraTrLinear::new(&name, base, cfg, rng);
+                params.extend(ad.adapter_params());
+                Box::new(ad)
+            }
+        };
+        layers += 1;
+        b
+    });
+    let mapping = MappingNet::new(
+        "mapping",
+        net.feature_dim(),
+        map_hidden,
+        format.seed_dim(cfg.rank),
+        rng,
+    );
+    params.extend(mapping.params());
+    let meta = MetaLora::new(Box::new(net), mapping)?;
+    Ok((
+        meta,
+        Injection {
+            adapter_params: params,
+            layers,
+        },
+    ))
+}
+
+fn finish(
+    err: Option<TensorError>,
+    adapter_params: Vec<ParamRef>,
+    layers: usize,
+) -> Result<Injection> {
+    match err {
+        Some(e) => Err(e),
+        None => Ok(Injection {
+            adapter_params,
+            layers,
+        }),
+    }
+}
+
+/// Placeholder installed only when a constructor failed mid-replacement;
+/// the injection function then returns the error before any forward.
+struct NeverConv;
+
+impl Module for NeverConv {
+    fn forward(
+        &self,
+        _g: &mut metalora_autograd::Graph,
+        _x: metalora_autograd::Var,
+        _ctx: &metalora_nn::Ctx,
+    ) -> Result<metalora_autograd::Var> {
+        Err(TensorError::InvalidArgument(
+            "layer replaced during a failed injection".into(),
+        ))
+    }
+    fn params(&self) -> Vec<ParamRef> {
+        Vec::new()
+    }
+}
+
+impl metalora_nn::ConvLike for NeverConv {
+    fn in_channels(&self) -> usize {
+        0
+    }
+    fn out_channels(&self) -> usize {
+        0
+    }
+    fn kernel(&self) -> usize {
+        0
+    }
+    fn stride(&self) -> usize {
+        0
+    }
+    fn padding(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metalora_autograd::Graph;
+    use metalora_nn::models::{MixerConfig, ResNetConfig};
+    use metalora_nn::Ctx;
+    use metalora_tensor::init;
+
+    fn resnet(rng: &mut StdRng) -> ResNet {
+        ResNet::new(
+            &ResNetConfig {
+                in_channels: 3,
+                channels: vec![4, 8],
+                blocks_per_stage: 1,
+                num_classes: 4,
+            },
+            rng,
+        )
+        .unwrap()
+    }
+
+    fn mixer(rng: &mut StdRng) -> Mixer {
+        Mixer::new(
+            &MixerConfig {
+                in_channels: 3,
+                image_size: 16,
+                patch_size: 4,
+                dim: 12,
+                token_hidden: 8,
+                channel_hidden: 16,
+                depth: 1,
+                num_classes: 4,
+            },
+            rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lora_into_resnet_freezes_base_and_counts_layers() {
+        let mut rng = init::rng(1);
+        let mut net = resnet(&mut rng);
+        let base_params = net.num_params();
+        let inj = lora_into_resnet(&mut net, LoraConfig::default(), &mut rng).unwrap();
+        assert_eq!(inj.layers, 5);
+        assert!(!inj.adapter_params.is_empty());
+        // All trainable params are exactly the adapters.
+        let trainable = net.num_trainable_params();
+        let adapter_total: usize = inj.adapter_params.iter().map(|p| p.len()).sum();
+        assert_eq!(trainable, adapter_total);
+        // With a production-sized backbone the ratio is ≪1%; on this tiny
+        // test net the adapters are still strictly smaller than the base.
+        assert!(trainable < base_params, "{trainable} vs {base_params}");
+        // Forward still works and starts at the base function.
+        let mut g = Graph::new();
+        let x = g.input(init::uniform(&[2, 3, 16, 16], -1.0, 1.0, &mut rng));
+        let y = net.forward(&mut g, x, &Ctx::none()).unwrap();
+        assert_eq!(g.dims(y), vec![2, 4]);
+    }
+
+    #[test]
+    fn lora_into_mixer_works() {
+        let mut rng = init::rng(2);
+        let mut net = mixer(&mut rng);
+        let inj = lora_into_mixer(&mut net, LoraConfig::default(), &mut rng).unwrap();
+        assert_eq!(inj.layers, 4);
+        let mut g = Graph::new();
+        let x = g.input(init::uniform(&[2, 3, 16, 16], -1.0, 1.0, &mut rng));
+        let y = net.forward(&mut g, x, &Ctx::none()).unwrap();
+        assert_eq!(g.dims(y), vec![2, 4]);
+    }
+
+    #[test]
+    fn multi_into_backbones_selects_adapters() {
+        let mut rng = init::rng(3);
+        let mut net = resnet(&mut rng);
+        let inj = multi_into_resnet(&mut net, 3, LoraConfig::default(), &mut rng).unwrap();
+        assert_eq!(inj.layers, 5);
+        let mut g = Graph::new();
+        let x = g.input(init::uniform(&[1, 3, 16, 16], -1.0, 1.0, &mut rng));
+        // No selection → base path (used for routing features).
+        assert!(net.forward(&mut g, x, &Ctx::none()).is_ok());
+        assert!(net.forward(&mut g, x, &Ctx::with_adapter(1)).is_ok());
+        assert!(net.forward(&mut g, x, &Ctx::with_adapter(7)).is_err());
+
+        let mut mx = mixer(&mut rng);
+        let inj = multi_into_mixer(&mut mx, 2, LoraConfig::default(), &mut rng).unwrap();
+        assert_eq!(inj.layers, 4);
+        let mut g = Graph::new();
+        let x = g.input(init::uniform(&[1, 3, 16, 16], -1.0, 1.0, &mut rng));
+        assert!(mx.forward(&mut g, x, &Ctx::with_adapter(0)).is_ok());
+    }
+
+    #[test]
+    fn meta_into_resnet_cp_and_tr() {
+        for format in [MetaFormat::Cp, MetaFormat::Tr] {
+            let mut rng = init::rng(4);
+            let net = resnet(&mut rng);
+            let (meta, inj) =
+                meta_into_resnet(net, format, LoraConfig::default(), 16, &mut rng).unwrap();
+            assert_eq!(inj.layers, 5);
+            let mut g = Graph::new();
+            let x = g.input(init::uniform(&[2, 3, 16, 16], -1.0, 1.0, &mut rng));
+            let y = meta.forward(&mut g, x, &Ctx::none()).unwrap();
+            assert_eq!(g.dims(y), vec![2, 4], "{format:?}");
+            // Mapping params are part of the adapter set.
+            let mapping_ids: Vec<usize> =
+                meta.mapping().params().iter().map(|p| p.cell_id()).collect();
+            assert!(mapping_ids
+                .iter()
+                .all(|id| inj.adapter_params.iter().any(|p| p.cell_id() == *id)));
+        }
+    }
+
+    #[test]
+    fn meta_into_mixer_cp_and_tr() {
+        for format in [MetaFormat::Cp, MetaFormat::Tr] {
+            let mut rng = init::rng(5);
+            let net = mixer(&mut rng);
+            let (meta, inj) =
+                meta_into_mixer(net, format, LoraConfig::default(), 16, &mut rng).unwrap();
+            assert_eq!(inj.layers, 4);
+            let mut g = Graph::new();
+            let x = g.input(init::uniform(&[2, 3, 16, 16], -1.0, 1.0, &mut rng));
+            let y = meta.forward(&mut g, x, &Ctx::none()).unwrap();
+            assert_eq!(g.dims(y), vec![2, 4], "{format:?}");
+            let f = meta.features(&mut g, x, &Ctx::none()).unwrap();
+            assert_eq!(g.dims(f), vec![2, 12]);
+        }
+    }
+
+    #[test]
+    fn meta_adaptation_step_moves_only_adapters() {
+        let mut rng = init::rng(6);
+        let net = resnet(&mut rng);
+        let frozen_snapshot: Vec<_> = net.params().iter().map(|p| p.value()).collect();
+        let (meta, inj) =
+            meta_into_resnet(net, MetaFormat::Cp, LoraConfig::default(), 8, &mut rng).unwrap();
+        let mut g = Graph::new();
+        let x = g.input(init::uniform(&[2, 3, 16, 16], -1.0, 1.0, &mut rng));
+        let y = meta.forward(&mut g, x, &Ctx::none()).unwrap();
+        let l = g.softmax_cross_entropy(y, &[0, 1]).unwrap();
+        g.backward(l).unwrap();
+        g.flush_grads();
+        let mut opt = metalora_nn::Sgd::new(inj.adapter_params.clone(), 0.1);
+        use metalora_nn::Optimizer;
+        opt.step();
+        // Base backbone untouched (compare a few frozen weights).
+        let base_now: Vec<_> = meta
+            .backbone()
+            .params()
+            .iter()
+            .filter(|p| !p.trainable())
+            .map(|p| p.value())
+            .collect();
+        for t in &frozen_snapshot {
+            assert!(base_now.iter().any(|u| metalora_tensor::approx_eq(t, u, 0.0)));
+        }
+    }
+}

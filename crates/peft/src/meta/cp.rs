@@ -1,0 +1,371 @@
+//! MetaLoRA in CP format (Eq. 6 and its convolutional variant,
+//! Sec. III-D).
+//!
+//! For a dense layer the per-input update is
+//! `ΔW_n = Λ ×₁ A ×₂ B ×₃ c_n = Σ_r A[·,r]·B[r,·]·c_n[r]`,
+//! applied factored as `Δy_n = (α/R)·((x_n·A) ⊙ c_n)·B` — the seed simply
+//! gates the rank channels, so the extra cost over plain LoRA is one
+//! elementwise multiply.
+
+use crate::meta::{check_seed, expand_seed};
+use crate::{LoraConfig, Result};
+use metalora_autograd::{Graph, ParamRef, Var};
+use metalora_nn::{BoxConv, BoxLinear, ConvLike, Ctx, LinearLike, Module};
+use metalora_tensor::conv::ConvSpec;
+use metalora_tensor::{init, ops, Tensor};
+use rand::rngs::StdRng;
+
+/// Dense MetaLoRA-CP adapter. With no seed in the [`Ctx`] the layer
+/// computes the frozen base function only (the feature-extraction pass).
+pub struct MetaLoraCpLinear {
+    base: BoxLinear,
+    /// Factor matrix `A : [I, R]` (Eq. 6).
+    pub a: ParamRef,
+    /// Factor matrix `B : [R, O]` (Eq. 6), zero-initialised.
+    pub b: ParamRef,
+    cfg: LoraConfig,
+}
+
+impl MetaLoraCpLinear {
+    /// Wraps `base`, freezing its parameters.
+    pub fn new(name: &str, base: BoxLinear, cfg: LoraConfig, rng: &mut StdRng) -> Self {
+        for p in base.params() {
+            p.set_trainable(false);
+        }
+        let (i, o) = (base.in_features(), base.out_features());
+        let a = init::lora_a_init(&[i, cfg.rank], i, rng);
+        MetaLoraCpLinear {
+            base,
+            a: ParamRef::new(format!("{name}.meta_cp_a"), a),
+            b: ParamRef::new(format!("{name}.meta_cp_b"), Tensor::zeros(&[cfg.rank, o])),
+            cfg,
+        }
+    }
+
+    /// Adapter-only parameters.
+    pub fn adapter_params(&self) -> Vec<ParamRef> {
+        vec![self.a.clone(), self.b.clone()]
+    }
+
+    /// Materialises `ΔW` for one concrete seed `c : [R]` — Eq. 6 verbatim,
+    /// used by tests and the Fig. 4 bench.
+    pub fn delta_weight_for(&self, c: &Tensor) -> Result<Tensor> {
+        // Σ_r A[:,r]·c[r] ⊗ B[r,:] — scale A's columns then matmul.
+        let a = self.a.value();
+        let (i, r) = (a.dims()[0], a.dims()[1]);
+        let mut ac = a.clone();
+        for row in 0..i {
+            for col in 0..r {
+                let v = ac.get(&[row, col])? * c.data()[col];
+                ac.set(&[row, col], v)?;
+            }
+        }
+        let d = ops::matmul(&ac, &self.b.value())?;
+        Ok(ops::scale(&d, self.cfg.scaling()))
+    }
+
+    /// The LoRA configuration.
+    pub fn config(&self) -> LoraConfig {
+        self.cfg
+    }
+}
+
+impl Module for MetaLoraCpLinear {
+    fn forward(&self, g: &mut Graph, x: Var, ctx: &Ctx) -> Result<Var> {
+        let y = self.base.forward(g, x, ctx)?;
+        let Some(seed) = ctx.seed else {
+            return Ok(y); // extraction pass: pure pretrained function
+        };
+        // Inside a Mixer the batch axis arrives flattened to N·k rows;
+        // repeat each sample's seed accordingly.
+        let rows = g.dims(x)[0];
+        let seed = expand_seed(g, seed, rows, "MetaLoraCpLinear")?;
+        check_seed(g, seed, rows, self.cfg.rank, "MetaLoraCpLinear")?;
+        let a = g.bind(&self.a);
+        let b = g.bind(&self.b);
+        let xa = g.matmul(x, a)?; // [N, R]
+        let gated = g.mul(xa, seed)?; // ⊙ c_n
+        let delta = g.matmul(gated, b)?; // [N, O]
+        let delta = g.scale(delta, self.cfg.scaling());
+        g.add(y, delta)
+    }
+
+    fn params(&self) -> Vec<ParamRef> {
+        let mut v = self.base.params();
+        v.push(self.a.clone());
+        v.push(self.b.clone());
+        v
+    }
+
+    fn buffers(&self) -> Vec<ParamRef> {
+        self.base.buffers()
+    }
+}
+
+impl LinearLike for MetaLoraCpLinear {
+    fn in_features(&self) -> usize {
+        self.base.in_features()
+    }
+    fn out_features(&self) -> usize {
+        self.base.out_features()
+    }
+}
+
+/// Convolutional MetaLoRA-CP adapter (Sec. III-D): the rank channels of
+/// the small convolution are gated per input by the generated `c`, then
+/// recovered with the 1×1 convolution.
+pub struct MetaLoraCpConv {
+    base: BoxConv,
+    /// Small filters `𝒜 : [K, K, I, R]`.
+    pub a: ParamRef,
+    /// Recovery matrix `B : [R, O]`, zero-initialised.
+    pub b: ParamRef,
+    cfg: LoraConfig,
+    spec: ConvSpec,
+}
+
+impl MetaLoraCpConv {
+    /// Wraps `base`, freezing its parameters.
+    pub fn new(name: &str, base: BoxConv, cfg: LoraConfig, rng: &mut StdRng) -> Result<Self> {
+        for p in base.params() {
+            p.set_trainable(false);
+        }
+        let (k, i, o) = (base.kernel(), base.in_channels(), base.out_channels());
+        let spec = ConvSpec::new(k, base.stride(), base.padding())?;
+        let a = init::he_normal(&[k, k, i, cfg.rank], i * k * k, rng);
+        Ok(MetaLoraCpConv {
+            base,
+            a: ParamRef::new(format!("{name}.meta_cp_conv_a"), a),
+            b: ParamRef::new(format!("{name}.meta_cp_conv_b"), Tensor::zeros(&[cfg.rank, o])),
+            cfg,
+            spec,
+        })
+    }
+
+    /// Adapter-only parameters.
+    pub fn adapter_params(&self) -> Vec<ParamRef> {
+        vec![self.a.clone(), self.b.clone()]
+    }
+
+    /// Materialises `Δ𝒲` for one concrete seed `c : [R]` (Sec. III-D,
+    /// CP form): `Σ_r 𝒜[·,·,·,r]·c[r] ⊗ B[r,·]`.
+    pub fn delta_weight_for(&self, c: &Tensor) -> Result<Tensor> {
+        let a = self.a.value();
+        let r = self.cfg.rank;
+        let mut ac = a.clone();
+        // Scale the rank axis (last) by c.
+        let lanes = ac.len() / r;
+        for l in 0..lanes {
+            for cr in 0..r {
+                ac.data_mut()[l * r + cr] *= c.data()[cr];
+            }
+        }
+        let d = metalora_tensor::contract::contract(&ac, &self.b.value(), &[3], &[0])?;
+        Ok(ops::scale(&d, self.cfg.scaling()))
+    }
+}
+
+impl Module for MetaLoraCpConv {
+    fn forward(&self, g: &mut Graph, x: Var, ctx: &Ctx) -> Result<Var> {
+        let y = self.base.forward(g, x, ctx)?;
+        let Some(seed) = ctx.seed else {
+            return Ok(y);
+        };
+        let n = g.dims(x)[0];
+        let seed = expand_seed(g, seed, n, "MetaLoraCpConv")?;
+        check_seed(g, seed, n, self.cfg.rank, "MetaLoraCpConv")?;
+        let a = g.bind(&self.a);
+        let b = g.bind(&self.b);
+        let u = g.conv2d(x, a, self.spec, self.spec)?; // [N, R, OH, OW]
+        let c = g.reshape(seed, &[n, self.cfg.rank, 1, 1])?;
+        let gated = g.mul(u, c)?;
+        let b4 = g.reshape(b, &[1, 1, self.cfg.rank, self.base.out_channels()])?;
+        let one = ConvSpec::new(1, 1, 0)?;
+        let delta = g.conv2d(gated, b4, one, one)?;
+        let delta = g.scale(delta, self.cfg.scaling());
+        g.add(y, delta)
+    }
+
+    fn params(&self) -> Vec<ParamRef> {
+        let mut v = self.base.params();
+        v.push(self.a.clone());
+        v.push(self.b.clone());
+        v
+    }
+
+    fn buffers(&self) -> Vec<ParamRef> {
+        self.base.buffers()
+    }
+}
+
+impl ConvLike for MetaLoraCpConv {
+    fn in_channels(&self) -> usize {
+        self.base.in_channels()
+    }
+    fn out_channels(&self) -> usize {
+        self.base.out_channels()
+    }
+    fn kernel(&self) -> usize {
+        self.base.kernel()
+    }
+    fn stride(&self) -> usize {
+        self.base.stride()
+    }
+    fn padding(&self) -> usize {
+        self.base.padding()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metalora_nn::{Conv2d, Linear};
+    use metalora_tensor::{approx_eq, conv, einsum::einsum};
+
+    fn setup_linear() -> (MetaLoraCpLinear, StdRng) {
+        let mut rng = init::rng(7);
+        let base = Linear::new("fc", 5, 4, &mut rng);
+        let m = MetaLoraCpLinear::new(
+            "fc",
+            Box::new(base),
+            LoraConfig {
+                rank: 3,
+                alpha: 3.0,
+            },
+            &mut rng,
+        );
+        (m, rng)
+    }
+
+    #[test]
+    fn no_seed_means_base_function() {
+        let (m, mut rng) = setup_linear();
+        m.b.set_value(init::uniform(&[3, 4], -1.0, 1.0, &mut rng));
+        let mut g = Graph::new();
+        let x = g.input(init::uniform(&[2, 5], -1.0, 1.0, &mut rng));
+        let y = m.forward(&mut g, x, &Ctx::none()).unwrap();
+        let yb = m.base.forward(&mut g, x, &Ctx::none()).unwrap();
+        assert!(approx_eq(&g.value(y), &g.value(yb), 1e-6));
+    }
+
+    #[test]
+    fn factored_forward_matches_eq6_materialisation() {
+        let (m, mut rng) = setup_linear();
+        m.b.set_value(init::uniform(&[3, 4], -1.0, 1.0, &mut rng));
+        // One sample, one concrete seed.
+        let xv = init::uniform(&[1, 5], -1.0, 1.0, &mut rng);
+        let cv = init::uniform(&[3], -1.0, 1.0, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(xv.clone());
+        let seed = g.input(cv.reshaped(&[1, 3]).unwrap());
+        let y = m.forward(&mut g, x, &Ctx::with_seed(seed)).unwrap();
+        let yb = m.base.forward(&mut g, x, &Ctx::none()).unwrap();
+        let got_delta = ops::sub(&g.value(y), &g.value(yb)).unwrap();
+        // Oracle: x · ΔW(c) with ΔW from Eq. 6.
+        let dw = m.delta_weight_for(&cv).unwrap();
+        let expect = ops::matmul(&xv, &dw).unwrap();
+        assert!(approx_eq(&got_delta, &expect, 1e-4));
+        // Cross-check ΔW against the einsum of Eq. 6.
+        let e = einsum("ir,ro,r->io", &[&m.a.value(), &m.b.value(), &cv]).unwrap();
+        assert!(approx_eq(&dw, &ops::scale(&e, m.config().scaling()), 1e-4));
+    }
+
+    #[test]
+    fn per_sample_seeds_give_per_sample_deltas() {
+        let (m, mut rng) = setup_linear();
+        m.b.set_value(init::uniform(&[3, 4], -1.0, 1.0, &mut rng));
+        // Same input row twice, different seeds → different outputs.
+        let row = init::uniform(&[1, 5], -1.0, 1.0, &mut rng);
+        let xv = Tensor::stack(&[
+            row.reshaped(&[5]).unwrap(),
+            row.reshaped(&[5]).unwrap(),
+        ])
+        .unwrap();
+        let seeds =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0], &[2, 3]).unwrap();
+        let mut g = Graph::new();
+        let x = g.input(xv);
+        let s = g.input(seeds);
+        let y = m.forward(&mut g, x, &Ctx::with_seed(s)).unwrap();
+        let v = g.value(y);
+        let row0 = v.index_axis0(0).unwrap();
+        let row1 = v.index_axis0(1).unwrap();
+        assert!(!approx_eq(&row0, &row1, 1e-5), "seeds must differentiate");
+    }
+
+    #[test]
+    fn seed_shape_is_validated() {
+        let (m, mut rng) = setup_linear();
+        let mut g = Graph::new();
+        let x = g.input(init::uniform(&[2, 5], -1.0, 1.0, &mut rng));
+        let bad = g.input(Tensor::zeros(&[2, 4]));
+        assert!(m.forward(&mut g, x, &Ctx::with_seed(bad)).is_err());
+    }
+
+    #[test]
+    fn gradients_reach_factors_and_seed() {
+        let (m, mut rng) = setup_linear();
+        let mut g = Graph::new();
+        let x = g.input(init::uniform(&[2, 5], -1.0, 1.0, &mut rng));
+        let seed = g.input(init::uniform(&[2, 3], -1.0, 1.0, &mut rng));
+        let y = m.forward(&mut g, x, &Ctx::with_seed(seed)).unwrap();
+        let l = g.mean_all(y).unwrap();
+        g.backward(l).unwrap();
+        g.flush_grads();
+        // B zero-init but gets gradient; seed gets gradient only through B,
+        // which is zero — so instead check B's gradient and A's absence.
+        assert!(m.b.grad().norm() > 0.0, "B must receive gradient");
+        for p in m.base.params() {
+            assert_eq!(p.grad().norm(), 0.0);
+        }
+    }
+
+    #[test]
+    fn conv_variant_matches_materialised_delta() {
+        let mut rng = init::rng(8);
+        let base = Conv2d::new_no_bias("c", 2, 4, 3, 1, 1, &mut rng).unwrap();
+        let m = MetaLoraCpConv::new(
+            "c",
+            Box::new(base),
+            LoraConfig {
+                rank: 2,
+                alpha: 2.0,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        m.b.set_value(init::uniform(&[2, 4], -0.5, 0.5, &mut rng));
+        let xv = init::uniform(&[1, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let cv = init::uniform(&[2], -1.0, 1.0, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(xv.clone());
+        let seed = g.input(cv.reshaped(&[1, 2]).unwrap());
+        let y = m.forward(&mut g, x, &Ctx::with_seed(seed)).unwrap();
+        let yb = m.base.forward(&mut g, x, &Ctx::none()).unwrap();
+        let got = ops::sub(&g.value(y), &g.value(yb)).unwrap();
+        let dw = m.delta_weight_for(&cv).unwrap();
+        let spec = ConvSpec::new(3, 1, 1).unwrap();
+        let expect = conv::conv2d(&xv, &dw, spec, spec).unwrap();
+        assert!(
+            approx_eq(&got, &expect, 1e-3),
+            "err {}",
+            metalora_tensor::max_rel_err(&got, &expect)
+        );
+    }
+
+    #[test]
+    fn conv_variant_no_seed_is_base() {
+        let mut rng = init::rng(9);
+        let base = Conv2d::new_no_bias("c", 2, 3, 3, 2, 1, &mut rng).unwrap();
+        let m = MetaLoraCpConv::new("c", Box::new(base), LoraConfig::default(), &mut rng)
+            .unwrap();
+        assert_eq!(m.in_channels(), 2);
+        assert_eq!(m.out_channels(), 3);
+        assert_eq!(m.stride(), 2);
+        let mut g = Graph::new();
+        let x = g.input(init::uniform(&[2, 2, 6, 6], -1.0, 1.0, &mut rng));
+        let y = m.forward(&mut g, x, &Ctx::none()).unwrap();
+        let yb = m.base.forward(&mut g, x, &Ctx::none()).unwrap();
+        assert!(approx_eq(&g.value(y), &g.value(yb), 1e-6));
+    }
+}

@@ -1,0 +1,242 @@
+//! General pairwise tensor contraction — Eq. 1 of the paper and the
+//! operation every tensor-network format in this crate is built from.
+//!
+//! `contract(A, B, axes_a, axes_b)` sums over the paired axes
+//! `(axes_a[k], axes_b[k])`, producing a tensor whose axes are the free
+//! axes of `A` (in order) followed by the free axes of `B` (in order) —
+//! exactly the `𝒜 ×ᵐₙ ℬ` notation of Section II-B.
+//!
+//! The fast path permutes both operands so contracted axes are adjacent and
+//! lowers the contraction to a single matrix multiply; [`contract_naive`]
+//! is the direct nested-loop evaluation kept as the oracle for tests and
+//! for the Fig. 1 verification bench.
+
+use crate::ops::{matmul, permute};
+use crate::shape::IndexIter;
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Validates contraction axes and returns the free axes of each operand.
+fn split_axes(
+    a: &Tensor,
+    b: &Tensor,
+    axes_a: &[usize],
+    axes_b: &[usize],
+) -> Result<(Vec<usize>, Vec<usize>)> {
+    if axes_a.len() != axes_b.len() {
+        return Err(TensorError::InvalidArgument(format!(
+            "contract: {} axes for lhs but {} for rhs",
+            axes_a.len(),
+            axes_b.len()
+        )));
+    }
+    let mut used_a = vec![false; a.rank()];
+    let mut used_b = vec![false; b.rank()];
+    for (&ax, &bx) in axes_a.iter().zip(axes_b) {
+        if ax >= a.rank() {
+            return Err(TensorError::AxisOutOfRange {
+                axis: ax,
+                rank: a.rank(),
+            });
+        }
+        if bx >= b.rank() {
+            return Err(TensorError::AxisOutOfRange {
+                axis: bx,
+                rank: b.rank(),
+            });
+        }
+        if used_a[ax] || used_b[bx] {
+            return Err(TensorError::InvalidArgument(format!(
+                "contract: repeated axis in {axes_a:?} / {axes_b:?}"
+            )));
+        }
+        used_a[ax] = true;
+        used_b[bx] = true;
+        if a.dims()[ax] != b.dims()[bx] {
+            return Err(TensorError::ShapeMismatch {
+                op: "contract",
+                lhs: a.dims().to_vec(),
+                rhs: b.dims().to_vec(),
+            });
+        }
+    }
+    let free_a = (0..a.rank()).filter(|&k| !used_a[k]).collect();
+    let free_b = (0..b.rank()).filter(|&k| !used_b[k]).collect();
+    Ok((free_a, free_b))
+}
+
+/// Contracts `a` and `b` over the paired axes `(axes_a[k], axes_b[k])`.
+///
+/// Output shape: free dims of `a` followed by free dims of `b`.
+pub fn contract(
+    a: &Tensor,
+    b: &Tensor,
+    axes_a: &[usize],
+    axes_b: &[usize],
+) -> Result<Tensor> {
+    let (free_a, free_b) = split_axes(a, b, axes_a, axes_b)?;
+
+    // Move free axes first (lhs) / last (rhs), contracted axes adjacent.
+    let mut perm_a = free_a.clone();
+    perm_a.extend_from_slice(axes_a);
+    let mut perm_b = axes_b.to_vec();
+    perm_b.extend_from_slice(&free_b);
+
+    let a_p = permute(a, &perm_a)?;
+    let b_p = permute(b, &perm_b)?;
+
+    let m: usize = free_a.iter().map(|&k| a.dims()[k]).product();
+    let s: usize = axes_a.iter().map(|&k| a.dims()[k]).product();
+    let n: usize = free_b.iter().map(|&k| b.dims()[k]).product();
+
+    let a_mat = a_p.reshape(&[m, s])?;
+    let b_mat = b_p.reshape(&[s, n])?;
+    let out = matmul(&a_mat, &b_mat)?;
+
+    let mut out_dims: Vec<usize> = free_a.iter().map(|&k| a.dims()[k]).collect();
+    out_dims.extend(free_b.iter().map(|&k| b.dims()[k]));
+    out.reshape(&out_dims)
+}
+
+/// Reference nested-loop implementation of [`contract`], used as the oracle
+/// in tests and the Fig. 1 bench. O(|out| · |contracted|).
+pub fn contract_naive(
+    a: &Tensor,
+    b: &Tensor,
+    axes_a: &[usize],
+    axes_b: &[usize],
+) -> Result<Tensor> {
+    let (free_a, free_b) = split_axes(a, b, axes_a, axes_b)?;
+    let mut out_dims: Vec<usize> = free_a.iter().map(|&k| a.dims()[k]).collect();
+    out_dims.extend(free_b.iter().map(|&k| b.dims()[k]));
+    let sum_dims: Vec<usize> = axes_a.iter().map(|&k| a.dims()[k]).collect();
+
+    let out_shape = Shape::new(&out_dims);
+    let sum_shape = Shape::new(&sum_dims);
+    let mut out = Tensor::zeros(&out_dims);
+
+    let mut ia = vec![0usize; a.rank()];
+    let mut ib = vec![0usize; b.rank()];
+    for (flat, out_idx) in IndexIter::new(&out_shape).enumerate() {
+        let mut acc = 0.0f32;
+        for sum_idx in IndexIter::new(&sum_shape) {
+            for (k, &ax) in free_a.iter().enumerate() {
+                ia[ax] = out_idx[k];
+            }
+            for (k, &ax) in axes_a.iter().enumerate() {
+                ia[ax] = sum_idx[k];
+            }
+            for (k, &bx) in free_b.iter().enumerate() {
+                ib[bx] = out_idx[free_a.len() + k];
+            }
+            for (k, &bx) in axes_b.iter().enumerate() {
+                ib[bx] = sum_idx[k];
+            }
+            acc += a.get(&ia)? * b.get(&ib)?;
+        }
+        out.data_mut()[flat] = acc;
+    }
+    Ok(out)
+}
+
+/// Outer product: contraction over zero axes.
+pub fn outer(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    contract(a, b, &[], &[])
+}
+
+/// Full inner product of two same-shaped tensors (contracts every axis).
+pub fn inner(a: &Tensor, b: &Tensor) -> Result<f32> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "inner",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    Ok(a.data().iter().zip(b.data()).map(|(&x, &y)| x * y).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, init, ops};
+
+    #[test]
+    fn contract_reduces_to_matmul() {
+        let mut r = init::rng(1);
+        let a = init::uniform(&[4, 5], -1.0, 1.0, &mut r);
+        let b = init::uniform(&[5, 6], -1.0, 1.0, &mut r);
+        let c = contract(&a, &b, &[1], &[0]).unwrap();
+        let m = ops::matmul(&a, &b).unwrap();
+        assert!(approx_eq(&c, &m, 1e-5));
+    }
+
+    #[test]
+    fn contract_matches_naive_rank3() {
+        let mut r = init::rng(2);
+        let a = init::uniform(&[3, 4, 5], -1.0, 1.0, &mut r);
+        let b = init::uniform(&[5, 4, 2], -1.0, 1.0, &mut r);
+        // Contract a's axes (1,2) with b's axes (1,0).
+        let fast = contract(&a, &b, &[1, 2], &[1, 0]).unwrap();
+        let slow = contract_naive(&a, &b, &[1, 2], &[1, 0]).unwrap();
+        assert_eq!(fast.dims(), &[3, 2]);
+        assert!(approx_eq(&fast, &slow, 1e-4));
+    }
+
+    #[test]
+    fn contract_output_axis_order() {
+        // Free axes of a then free axes of b, in original order.
+        let a = Tensor::zeros(&[2, 3, 4]);
+        let b = Tensor::zeros(&[4, 5, 3]);
+        let c = contract(&a, &b, &[2], &[0]).unwrap();
+        assert_eq!(c.dims(), &[2, 3, 5, 3]);
+    }
+
+    #[test]
+    fn contract_over_zero_axes_is_outer_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]).unwrap();
+        let o = outer(&a, &b).unwrap();
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn full_contraction_yields_scalar_tensor() {
+        let mut r = init::rng(3);
+        let a = init::uniform(&[3, 4], -1.0, 1.0, &mut r);
+        let b = init::uniform(&[3, 4], -1.0, 1.0, &mut r);
+        let c = contract(&a, &b, &[0, 1], &[0, 1]).unwrap();
+        assert_eq!(c.dims(), &[] as &[usize]);
+        let expect = inner(&a, &b).unwrap();
+        assert!((c.item().unwrap() - expect).abs() < 1e-4);
+    }
+
+    #[test]
+    fn contract_validation() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 5]);
+        assert!(contract(&a, &b, &[1], &[0]).is_err()); // 3 != 4
+        assert!(contract(&a, &b, &[1], &[0, 1]).is_err()); // arity
+        assert!(contract(&a, &b, &[2], &[0]).is_err()); // out of range
+        assert!(contract(&a, &a, &[0, 0], &[0, 1]).is_err()); // repeated
+    }
+
+    #[test]
+    fn inner_requires_same_shape() {
+        assert!(inner(&Tensor::zeros(&[2]), &Tensor::zeros(&[3])).is_err());
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        assert_eq!(inner(&a, &a).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn contraction_order_invariance_matrix_chain() {
+        // (A·B)·C == A·(B·C) via contract.
+        let mut r = init::rng(9);
+        let a = init::uniform(&[3, 4], -1.0, 1.0, &mut r);
+        let b = init::uniform(&[4, 5], -1.0, 1.0, &mut r);
+        let c = init::uniform(&[5, 2], -1.0, 1.0, &mut r);
+        let left = contract(&contract(&a, &b, &[1], &[0]).unwrap(), &c, &[1], &[0]).unwrap();
+        let right = contract(&a, &contract(&b, &c, &[1], &[0]).unwrap(), &[1], &[0]).unwrap();
+        assert!(approx_eq(&left, &right, 1e-4));
+    }
+}

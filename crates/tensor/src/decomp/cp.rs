@@ -1,0 +1,326 @@
+//! CANDECOMP/PARAFAC (CP) format and the ALS decomposition driver
+//! (Eq. 3–4 of the paper).
+
+use super::{fold, khatri_rao_list, unfold};
+use crate::ops::{matmul, matmul_transpose_a, matmul_transpose_b};
+use crate::{init, linalg, Result, Tensor, TensorError};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A tensor in CP format:
+/// `X[i₁..i_N] ≈ Σ_r λ_r ∏_n Aⁿ[i_n, r]` — Eq. 4.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpFormat {
+    /// Per-component scaling factors λ (the diagonal of **Λ** in Eq. 3).
+    pub lambda: Vec<f32>,
+    /// Factor matrices `Aⁿ : [I_n, R]`, one per mode.
+    pub factors: Vec<Tensor>,
+}
+
+impl CpFormat {
+    /// Validates and wraps factor matrices and scaling vector.
+    pub fn new(lambda: Vec<f32>, factors: Vec<Tensor>) -> Result<Self> {
+        let r = lambda.len();
+        if factors.is_empty() {
+            return Err(TensorError::InvalidArgument(
+                "CP format needs at least one factor".into(),
+            ));
+        }
+        for f in &factors {
+            if f.rank() != 2 || f.dims()[1] != r {
+                return Err(TensorError::ShapeMismatch {
+                    op: "CpFormat",
+                    lhs: f.dims().to_vec(),
+                    rhs: vec![f.dims().first().copied().unwrap_or(0), r],
+                });
+            }
+        }
+        Ok(CpFormat { lambda, factors })
+    }
+
+    /// Random CP tensor with entries scaled so the reconstruction has
+    /// roughly unit variance.
+    pub fn random(dims: &[usize], rank: usize, rng: &mut StdRng) -> Result<Self> {
+        if dims.is_empty() || rank == 0 {
+            return Err(TensorError::InvalidArgument(
+                "CP random: empty dims or zero rank".into(),
+            ));
+        }
+        let scale = (1.0 / rank as f32).powf(1.0 / dims.len() as f32);
+        let factors = dims
+            .iter()
+            .map(|&d| init::normal(&[d, rank], 0.0, scale, rng))
+            .collect();
+        Ok(CpFormat {
+            lambda: vec![1.0; rank],
+            factors,
+        })
+    }
+
+    /// CP rank `R`.
+    pub fn rank(&self) -> usize {
+        self.lambda.len()
+    }
+
+    /// Target tensor dimensions.
+    pub fn dims(&self) -> Vec<usize> {
+        self.factors.iter().map(|f| f.dims()[0]).collect()
+    }
+
+    /// Number of parameters stored by the format.
+    pub fn num_params(&self) -> usize {
+        self.lambda.len() + self.factors.iter().map(|f| f.len()).sum::<usize>()
+    }
+
+    /// Materialises the full tensor via
+    /// `X₍₀₎ = A⁰·diag(λ)·KR(A¹..A^{N-1})ᵀ`.
+    pub fn reconstruct(&self) -> Result<Tensor> {
+        let dims = self.dims();
+        let r = self.rank();
+        // A⁰ with columns scaled by λ.
+        let mut a0 = self.factors[0].clone();
+        for row in 0..a0.dims()[0] {
+            for c in 0..r {
+                let v = a0.get(&[row, c])? * self.lambda[c];
+                a0.set(&[row, c], v)?;
+            }
+        }
+        if self.factors.len() == 1 {
+            // Rank-1 modes: X = A⁰·λ summed over columns → vector.
+            let ones = Tensor::ones(&[r, 1]);
+            let v = matmul(&a0, &ones)?;
+            return v.reshape(&[dims[0]]);
+        }
+        let others: Vec<&Tensor> = self.factors[1..].iter().collect();
+        let kr = khatri_rao_list(&others)?;
+        let x0 = matmul_transpose_b(&a0, &kr)?;
+        fold(&x0, 0, &dims)
+    }
+
+    /// Naive elementwise reconstruction (test oracle).
+    pub fn reconstruct_naive(&self) -> Result<Tensor> {
+        let dims = self.dims();
+        let mut out = Tensor::zeros(&dims);
+        let shape = out.shape().clone();
+        for flat in 0..out.len() {
+            let idx = shape.multi_index(flat)?;
+            let mut acc = 0.0f32;
+            for (r, &l) in self.lambda.iter().enumerate() {
+                let mut prod = l;
+                for (n, f) in self.factors.iter().enumerate() {
+                    prod *= f.get(&[idx[n], r])?;
+                }
+                acc += prod;
+            }
+            out.data_mut()[flat] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Relative Frobenius reconstruction error against `target`.
+    pub fn relative_error(&self, target: &Tensor) -> Result<f32> {
+        let rec = self.reconstruct()?;
+        if rec.shape() != target.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "relative_error",
+                lhs: rec.dims().to_vec(),
+                rhs: target.dims().to_vec(),
+            });
+        }
+        let diff: f32 = rec
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum();
+        let denom = target.norm().max(1e-12);
+        Ok(diff.sqrt() / denom)
+    }
+}
+
+/// Alternating least squares CP decomposition.
+///
+/// Each sweep solves, for every mode `n`,
+/// `Aⁿ ← X₍ₙ₎ · KR(others) · (⊛_{m≠n} AᵐᵀAᵐ)⁺`, then renormalises columns
+/// into λ. Stops after `max_sweeps` or when the error improvement drops
+/// below `tol`.
+pub fn cp_als(
+    x: &Tensor,
+    rank: usize,
+    max_sweeps: usize,
+    tol: f32,
+    rng: &mut StdRng,
+) -> Result<CpFormat> {
+    if x.rank() < 2 {
+        return Err(TensorError::InvalidArgument(
+            "cp_als needs a tensor of rank >= 2".into(),
+        ));
+    }
+    if rank == 0 {
+        return Err(TensorError::InvalidArgument("cp_als rank 0".into()));
+    }
+    let n_modes = x.rank();
+    let mut cp = CpFormat::random(x.dims(), rank, rng)?;
+    let mut prev_err = f32::INFINITY;
+
+    for _sweep in 0..max_sweeps.max(1) {
+        for mode in 0..n_modes {
+            // Gram Hadamard product over the other modes.
+            let mut v = Tensor::ones(&[rank, rank]);
+            for (m, f) in cp.factors.iter().enumerate() {
+                if m == mode {
+                    continue;
+                }
+                let g = matmul_transpose_a(f, f)?;
+                v = crate::ops::mul(&v, &g)?;
+            }
+            // Khatri–Rao of the other factors in unfold column order.
+            let others: Vec<&Tensor> = (0..n_modes)
+                .filter(|&m| m != mode)
+                .map(|m| &cp.factors[m])
+                .collect();
+            let kr = khatri_rao_list(&others)?;
+            let xn = unfold(x, mode)?;
+            let mttkrp = matmul(&xn, &kr)?; // [I_n, R]
+            // Aⁿ = mttkrp · V⁺ — solve Vᵀ·Aᵀ = mttkrpᵀ (V symmetric).
+            let vp = linalg::pinv(&v, 1e-6)?;
+            let a_new = matmul(&mttkrp, &vp)?;
+            cp.factors[mode] = a_new;
+        }
+        // Normalise columns of every factor into λ.
+        let mut lambda = vec![1.0f32; rank];
+        for f in cp.factors.iter_mut() {
+            let rows = f.dims()[0];
+            #[allow(clippy::needless_range_loop)]
+            for c in 0..rank {
+                let mut nrm = 0.0f32;
+                for row in 0..rows {
+                    let v = f.get(&[row, c])?;
+                    nrm += v * v;
+                }
+                let nrm = nrm.sqrt();
+                if nrm > 1e-12 {
+                    for row in 0..rows {
+                        let v = f.get(&[row, c])? / nrm;
+                        f.set(&[row, c], v)?;
+                    }
+                    lambda[c] *= nrm;
+                }
+            }
+        }
+        cp.lambda = lambda;
+
+        let err = cp.relative_error(x)?;
+        if !err.is_finite() {
+            return Err(TensorError::Numerical(format!(
+                "cp_als diverged (error {err})"
+            )));
+        }
+        if (prev_err - err).abs() < tol {
+            break;
+        }
+        prev_err = err;
+    }
+    Ok(cp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, init};
+
+    fn exact_cp(dims: &[usize], rank: usize, seed: u64) -> (CpFormat, Tensor) {
+        let mut rng = init::rng(seed);
+        let cp = CpFormat::random(dims, rank, &mut rng).unwrap();
+        let full = cp.reconstruct().unwrap();
+        (cp, full)
+    }
+
+    #[test]
+    fn reconstruct_matches_naive() {
+        let (cp, full) = exact_cp(&[3, 4, 5], 2, 1);
+        let naive = cp.reconstruct_naive().unwrap();
+        assert!(approx_eq(&full, &naive, 1e-4));
+    }
+
+    #[test]
+    fn reconstruct_matrix_case_is_low_rank_product() {
+        // For 2 modes, CP reconstruct = A·diag(λ)·Bᵀ.
+        let (cp, full) = exact_cp(&[4, 6], 3, 2);
+        assert_eq!(full.dims(), &[4, 6]);
+        let naive = cp.reconstruct_naive().unwrap();
+        assert!(approx_eq(&full, &naive, 1e-4));
+    }
+
+    #[test]
+    fn cp_format_validation() {
+        assert!(CpFormat::new(vec![1.0], vec![]).is_err());
+        let bad = Tensor::zeros(&[3, 2]);
+        assert!(CpFormat::new(vec![1.0], vec![bad]).is_err()); // R mismatch
+        assert!(CpFormat::random(&[], 2, &mut init::rng(0)).is_err());
+        assert!(CpFormat::random(&[2], 0, &mut init::rng(0)).is_err());
+    }
+
+    #[test]
+    fn num_params_counts() {
+        let (cp, _) = exact_cp(&[3, 4], 2, 3);
+        assert_eq!(cp.num_params(), 2 + 3 * 2 + 4 * 2);
+        assert_eq!(cp.rank(), 2);
+        assert_eq!(cp.dims(), vec![3, 4]);
+    }
+
+    #[test]
+    fn cp_als_recovers_exact_low_rank() {
+        // Decompose a tensor that is exactly rank 2 — ALS should reach
+        // near-zero error.
+        let (_, target) = exact_cp(&[5, 6, 4], 2, 4);
+        let mut rng = init::rng(99);
+        let cp = cp_als(&target, 2, 60, 1e-7, &mut rng).unwrap();
+        let err = cp.relative_error(&target).unwrap();
+        // f32 ALS with a pinv cutoff plateaus around a few percent.
+        assert!(err < 5e-2, "relative error {err}");
+    }
+
+    #[test]
+    fn cp_als_error_decreases_with_rank() {
+        let mut rng = init::rng(7);
+        let x = init::uniform(&[6, 6, 6], -1.0, 1.0, &mut rng);
+        let e1 = cp_als(&x, 1, 30, 1e-7, &mut rng)
+            .unwrap()
+            .relative_error(&x)
+            .unwrap();
+        let e6 = cp_als(&x, 8, 30, 1e-7, &mut rng)
+            .unwrap()
+            .relative_error(&x)
+            .unwrap();
+        assert!(
+            e6 < e1,
+            "higher rank should fit better: rank1={e1}, rank8={e6}"
+        );
+    }
+
+    #[test]
+    fn cp_als_input_validation() {
+        let mut rng = init::rng(0);
+        assert!(cp_als(&Tensor::zeros(&[3]), 1, 5, 1e-4, &mut rng).is_err());
+        assert!(cp_als(&Tensor::zeros(&[3, 3]), 0, 5, 1e-4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn relative_error_shape_check() {
+        let (cp, _) = exact_cp(&[3, 4], 2, 5);
+        assert!(cp.relative_error(&Tensor::zeros(&[4, 3])).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (cp, _) = exact_cp(&[3, 4], 2, 6);
+        let json = serde_json::to_string(&cp).unwrap();
+        let back: CpFormat = serde_json::from_str(&json).unwrap();
+        assert!(approx_eq(
+            &cp.reconstruct().unwrap(),
+            &back.reconstruct().unwrap(),
+            1e-6
+        ));
+    }
+}

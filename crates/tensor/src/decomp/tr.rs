@@ -1,0 +1,387 @@
+//! Tensor-Ring (TR) format and a TR-SVD decomposition driver
+//! (Zhao et al. 2016, ref. [20] of the paper).
+
+use crate::contract::contract;
+use crate::linalg::{svd, Svd};
+use crate::ops::{matmul, permute};
+use crate::{init, Result, Tensor, TensorError};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A tensor in Tensor-Ring format: cores `G_n : [r_n, I_n, r_{n+1}]` with
+/// the ring closure `r_N = r_0`:
+///
+/// `X[i₁..i_N] = Tr( G₁[:,i₁,:] · G₂[:,i₂,:] ⋯ G_N[:,i_N,:] )`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrFormat {
+    /// Ring cores, each of shape `[r_n, I_n, r_{n+1}]`.
+    pub cores: Vec<Tensor>,
+}
+
+impl TrFormat {
+    /// Validates core shapes (rank-3, chained bond dimensions, closed
+    /// ring).
+    pub fn new(cores: Vec<Tensor>) -> Result<Self> {
+        if cores.is_empty() {
+            return Err(TensorError::InvalidArgument(
+                "TR format needs at least one core".into(),
+            ));
+        }
+        for c in &cores {
+            if c.rank() != 3 {
+                return Err(TensorError::InvalidArgument(format!(
+                    "TR core must be rank 3, got {:?}",
+                    c.dims()
+                )));
+            }
+        }
+        for k in 0..cores.len() {
+            let next = (k + 1) % cores.len();
+            if cores[k].dims()[2] != cores[next].dims()[0] {
+                return Err(TensorError::ShapeMismatch {
+                    op: "TrFormat ring closure",
+                    lhs: cores[k].dims().to_vec(),
+                    rhs: cores[next].dims().to_vec(),
+                });
+            }
+        }
+        Ok(TrFormat { cores })
+    }
+
+    /// Random TR tensor with every bond dimension equal to `rank`, scaled
+    /// so the reconstruction has modest variance.
+    pub fn random(dims: &[usize], rank: usize, rng: &mut StdRng) -> Result<Self> {
+        if dims.is_empty() || rank == 0 {
+            return Err(TensorError::InvalidArgument(
+                "TR random: empty dims or zero rank".into(),
+            ));
+        }
+        let n = dims.len() as f32;
+        // Each element of the reconstruction sums rank^N products of N core
+        // entries; scale to keep it O(1).
+        let scale = (1.0 / (rank as f32).powf(n)).powf(1.0 / n) * 0.8;
+        let cores = dims
+            .iter()
+            .map(|&d| init::normal(&[rank, d, rank], 0.0, scale, rng))
+            .collect();
+        Ok(TrFormat { cores })
+    }
+
+    /// Per-core bond dimensions `r_0..r_{N-1}`.
+    pub fn ranks(&self) -> Vec<usize> {
+        self.cores.iter().map(|c| c.dims()[0]).collect()
+    }
+
+    /// Target tensor dimensions.
+    pub fn dims(&self) -> Vec<usize> {
+        self.cores.iter().map(|c| c.dims()[1]).collect()
+    }
+
+    /// Number of parameters stored by the format.
+    pub fn num_params(&self) -> usize {
+        self.cores.iter().map(|c| c.len()).sum()
+    }
+
+    /// Materialises the full tensor by chaining core contractions and
+    /// closing the ring with a trace.
+    pub fn reconstruct(&self) -> Result<Tensor> {
+        // acc : [r0, I1..Ik, r_{k+1}].
+        let mut acc = self.cores[0].clone();
+        for core in &self.cores[1..] {
+            let last = acc.rank() - 1;
+            acc = contract(&acc, core, &[last], &[0])?;
+        }
+        // acc : [r0, I1, …, IN, r0] — trace over the first and last axes.
+        let r0 = acc.dims()[0];
+        let mid: Vec<usize> = acc.dims()[1..acc.rank() - 1].to_vec();
+        let mid_len: usize = mid.iter().product();
+        let flat = acc.reshaped(&[r0, mid_len, r0])?;
+        let mut out = Tensor::zeros(&[mid_len]);
+        for a in 0..r0 {
+            for m in 0..mid_len {
+                out.data_mut()[m] += flat.get(&[a, m, a])?;
+            }
+        }
+        out.reshape(&mid)
+    }
+
+    /// Naive elementwise reconstruction (test oracle): explicit trace of
+    /// the slice product per entry.
+    pub fn reconstruct_naive(&self) -> Result<Tensor> {
+        let dims = self.dims();
+        let mut out = Tensor::zeros(&dims);
+        let shape = out.shape().clone();
+        for flat in 0..out.len() {
+            let idx = shape.multi_index(flat)?;
+            // Product of the selected lateral slices.
+            let mut m: Option<Tensor> = None;
+            for (n, core) in self.cores.iter().enumerate() {
+                let (r_in, r_out) = (core.dims()[0], core.dims()[2]);
+                let mut slice = Tensor::zeros(&[r_in, r_out]);
+                for a in 0..r_in {
+                    for b in 0..r_out {
+                        slice.set(&[a, b], core.get(&[a, idx[n], b])?)?;
+                    }
+                }
+                m = Some(match m {
+                    None => slice,
+                    Some(prev) => matmul(&prev, &slice)?,
+                });
+            }
+            let m = m.expect("at least one core");
+            let mut tr = 0.0f32;
+            for a in 0..m.dims()[0] {
+                tr += m.get(&[a, a])?;
+            }
+            out.data_mut()[flat] = tr;
+        }
+        Ok(out)
+    }
+
+    /// Relative Frobenius reconstruction error against `target`.
+    pub fn relative_error(&self, target: &Tensor) -> Result<f32> {
+        let rec = self.reconstruct()?;
+        if rec.shape() != target.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "relative_error",
+                lhs: rec.dims().to_vec(),
+                rhs: target.dims().to_vec(),
+            });
+        }
+        let diff: f32 = rec
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum();
+        Ok(diff.sqrt() / target.norm().max(1e-12))
+    }
+}
+
+/// TR-SVD: sequential truncated SVDs producing a TR representation with
+/// bond dimensions capped at `max_rank`.
+///
+/// The first SVD splits rank `R₁ ≈ r₀·r₁`; subsequent modes follow the
+/// TT-style sweep with the ring index `r₀` carried on the trailing axis
+/// (Zhao et al. 2016, Alg. 1).
+pub fn tr_svd(x: &Tensor, max_rank: usize, eps: f32) -> Result<TrFormat> {
+    if x.rank() < 2 {
+        return Err(TensorError::InvalidArgument(
+            "tr_svd needs a tensor of rank >= 2".into(),
+        ));
+    }
+    if max_rank == 0 {
+        return Err(TensorError::InvalidArgument("tr_svd rank 0".into()));
+    }
+    let dims = x.dims().to_vec();
+    let n_modes = dims.len();
+
+    // --- First mode: split rank between r0 and r1. ---
+    let rest: usize = dims[1..].iter().product();
+    let c = x.reshaped(&[dims[0], rest])?;
+    let Svd { u, s, vt } = svd(&c)?;
+    let kept = truncation_rank(&s, max_rank * max_rank, eps);
+    // Factor kept ≈ r0·r1 with both ≤ max_rank, shrinking to an exact
+    // product if needed.
+    let r0 = max_rank.min(kept).max(1);
+    let r1 = (kept / r0).min(max_rank).max(1);
+    let kept = r0 * r1;
+
+    let u_k = take_cols(&u, kept)?; // [I1, kept]
+    // G1 : [I1, r0, r1] → [r0, I1, r1].
+    let g1 = permute(&u_k.reshaped(&[dims[0], r0, r1])?, &[1, 0, 2])?;
+
+    // Z = diag(s)·Vt truncated : [kept, rest] = [r0·r1, I2⋯IN].
+    let mut z = take_rows(&vt, kept)?;
+    for (r, zrow) in z
+        .data_mut()
+        .chunks_mut(rest)
+        .enumerate()
+        .take(kept)
+    {
+        for v in zrow.iter_mut() {
+            *v *= s[r];
+        }
+    }
+    // [r0, r1, I2..IN] → move r0 to the tail: [r1, I2..IN, r0].
+    let mut z_dims = vec![r0, r1];
+    z_dims.extend_from_slice(&dims[1..]);
+    let z_t = z.reshape(&z_dims)?;
+    let mut perm: Vec<usize> = (1..z_dims.len()).collect();
+    perm.push(0);
+    let mut z = permute(&z_t, &perm)?; // [r1, I2, ..., IN, r0]
+
+    let mut cores = vec![g1];
+    let mut r_prev = r1;
+    for &dim_k in &dims[1..n_modes - 1] {
+        // z : [r_prev, I_k, …, I_N, r0] — SVD split after I_k.
+        let lead = r_prev * dim_k;
+        let tail = z.len() / lead;
+        let zm = z.reshaped(&[lead, tail])?;
+        let Svd { u, s, vt } = svd(&zm)?;
+        let rk = truncation_rank(&s, max_rank, eps);
+        let u_k = take_cols(&u, rk)?;
+        cores.push(u_k.reshaped(&[r_prev, dim_k, rk])?);
+        let mut znew = take_rows(&vt, rk)?;
+        for (r, zrow) in znew.data_mut().chunks_mut(tail).enumerate().take(rk) {
+            for v in zrow.iter_mut() {
+                *v *= s[r];
+            }
+        }
+        z = znew;
+        r_prev = rk;
+    }
+    // Final core: [r_{N-1}, I_N, r0].
+    let g_last = z.reshape(&[r_prev, dims[n_modes - 1], r0])?;
+    cores.push(g_last);
+    TrFormat::new(cores)
+}
+
+/// Number of singular values kept under a hard cap and a relative energy
+/// threshold `eps`.
+fn truncation_rank(s: &[f32], cap: usize, eps: f32) -> usize {
+    let total: f32 = s.iter().map(|&x| x * x).sum();
+    if total <= 0.0 {
+        return 1;
+    }
+    let budget = (eps * eps) * total;
+    // Keep the smallest prefix whose discarded tail energy ≤ budget.
+    let mut tail = total;
+    let mut kept = s.len();
+    for (k, &sv) in s.iter().enumerate() {
+        if tail <= budget {
+            kept = k;
+            break;
+        }
+        tail -= sv * sv;
+    }
+    kept.clamp(1, cap.max(1)).min(s.len().max(1))
+}
+
+fn take_cols(m: &Tensor, k: usize) -> Result<Tensor> {
+    let (rows, cols) = (m.dims()[0], m.dims()[1]);
+    if k > cols {
+        return Err(TensorError::IndexOutOfRange { index: k, len: cols });
+    }
+    let mut out = Tensor::zeros(&[rows, k]);
+    for i in 0..rows {
+        let src = &m.data()[i * cols..i * cols + k];
+        out.data_mut()[i * k..(i + 1) * k].copy_from_slice(src);
+    }
+    Ok(out)
+}
+
+fn take_rows(m: &Tensor, k: usize) -> Result<Tensor> {
+    let (rows, cols) = (m.dims()[0], m.dims()[1]);
+    if k > rows {
+        return Err(TensorError::IndexOutOfRange { index: k, len: rows });
+    }
+    Tensor::from_vec(m.data()[..k * cols].to_vec(), &[k, cols])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, init};
+
+    #[test]
+    fn reconstruct_matches_naive() {
+        let mut rng = init::rng(1);
+        let tr = TrFormat::random(&[3, 4, 5], 2, &mut rng).unwrap();
+        let fast = tr.reconstruct().unwrap();
+        let slow = tr.reconstruct_naive().unwrap();
+        assert_eq!(fast.dims(), &[3, 4, 5]);
+        assert!(approx_eq(&fast, &slow, 1e-4));
+    }
+
+    #[test]
+    fn reconstruct_matrix_case() {
+        // 2-mode ring: X[i,j] = Σ_{a,b} G1[a,i,b]·G2[b,j,a].
+        let mut rng = init::rng(2);
+        let tr = TrFormat::random(&[4, 3], 2, &mut rng).unwrap();
+        let x = tr.reconstruct().unwrap();
+        let naive = tr.reconstruct_naive().unwrap();
+        assert!(approx_eq(&x, &naive, 1e-4));
+    }
+
+    #[test]
+    fn new_validates_ring() {
+        // Broken bond: 2→3 vs 2.
+        let c1 = Tensor::zeros(&[2, 4, 3]);
+        let c2 = Tensor::zeros(&[2, 5, 2]);
+        assert!(TrFormat::new(vec![c1, c2]).is_err());
+        assert!(TrFormat::new(vec![]).is_err());
+        assert!(TrFormat::new(vec![Tensor::zeros(&[2, 2])]).is_err());
+        // Open ring (last r_out ≠ first r_in).
+        let c1 = Tensor::zeros(&[2, 4, 3]);
+        let c2 = Tensor::zeros(&[3, 5, 5]);
+        assert!(TrFormat::new(vec![c1, c2]).is_err());
+    }
+
+    #[test]
+    fn ranks_dims_params() {
+        let mut rng = init::rng(3);
+        let tr = TrFormat::random(&[3, 4], 2, &mut rng).unwrap();
+        assert_eq!(tr.ranks(), vec![2, 2]);
+        assert_eq!(tr.dims(), vec![3, 4]);
+        assert_eq!(tr.num_params(), 2 * 3 * 2 + 2 * 4 * 2);
+    }
+
+    #[test]
+    fn tr_svd_recovers_exact_ring() {
+        // A tensor that *is* a rank-2 ring should decompose to low error.
+        let mut rng = init::rng(4);
+        let tr = TrFormat::random(&[4, 5, 3], 2, &mut rng).unwrap();
+        let target = tr.reconstruct().unwrap();
+        let rec = tr_svd(&target, 4, 1e-6).unwrap();
+        let err = rec.relative_error(&target).unwrap();
+        assert!(err < 2e-2, "relative error {err}");
+    }
+
+    #[test]
+    fn tr_svd_matrix() {
+        let mut rng = init::rng(5);
+        let m = init::uniform(&[6, 8], -1.0, 1.0, &mut rng);
+        let rec = tr_svd(&m, 8, 1e-6).unwrap();
+        let err = rec.relative_error(&m).unwrap();
+        assert!(err < 5e-2, "full-rank matrix should reconstruct, err {err}");
+    }
+
+    #[test]
+    fn tr_svd_error_decreases_with_rank() {
+        let mut rng = init::rng(6);
+        let x = init::uniform(&[5, 5, 5], -1.0, 1.0, &mut rng);
+        let e1 = tr_svd(&x, 1, 1e-9).unwrap().relative_error(&x).unwrap();
+        let e4 = tr_svd(&x, 5, 1e-9).unwrap().relative_error(&x).unwrap();
+        assert!(e4 < e1, "rank1={e1} rank5={e4}");
+    }
+
+    #[test]
+    fn tr_svd_validation() {
+        assert!(tr_svd(&Tensor::zeros(&[3]), 2, 1e-6).is_err());
+        assert!(tr_svd(&Tensor::zeros(&[3, 3]), 0, 1e-6).is_err());
+    }
+
+    #[test]
+    fn truncation_rank_behaviour() {
+        let s = vec![10.0, 5.0, 1.0, 0.5];
+        assert_eq!(truncation_rank(&s, 10, 0.0), 4);
+        assert_eq!(truncation_rank(&s, 2, 0.0), 2);
+        // Large eps keeps only the dominant value.
+        assert_eq!(truncation_rank(&s, 10, 0.6), 1);
+        assert_eq!(truncation_rank(&[0.0], 3, 0.1), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut rng = init::rng(7);
+        let tr = TrFormat::random(&[3, 4], 2, &mut rng).unwrap();
+        let json = serde_json::to_string(&tr).unwrap();
+        let back: TrFormat = serde_json::from_str(&json).unwrap();
+        assert!(approx_eq(
+            &tr.reconstruct().unwrap(),
+            &back.reconstruct().unwrap(),
+            1e-6
+        ));
+    }
+}

@@ -1,0 +1,295 @@
+//! Tucker format and HOSVD/HOOI decomposition drivers — the third format
+//! the paper's related-work section names ("CP decomposition and Tucker
+//! decomposition effectively reduce model size").
+
+use super::unfold;
+use crate::contract::contract;
+use crate::linalg::{svd, Svd};
+use crate::{init, Result, Tensor, TensorError};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A tensor in Tucker format:
+/// `X ≈ 𝒢 ×₁ U¹ ×₂ U² ⋯ ×_N U^N` with core `𝒢:[r₁..r_N]` and factor
+/// matrices `Uⁿ:[I_n, r_n]` (orthonormal columns after decomposition).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuckerFormat {
+    /// Core tensor `𝒢`.
+    pub core: Tensor,
+    /// Per-mode factor matrices `Uⁿ : [I_n, r_n]`.
+    pub factors: Vec<Tensor>,
+}
+
+impl TuckerFormat {
+    /// Validates core/factor shape agreement.
+    pub fn new(core: Tensor, factors: Vec<Tensor>) -> Result<Self> {
+        if factors.len() != core.rank() {
+            return Err(TensorError::InvalidArgument(format!(
+                "{} factors for a rank-{} core",
+                factors.len(),
+                core.rank()
+            )));
+        }
+        for (n, f) in factors.iter().enumerate() {
+            if f.rank() != 2 || f.dims()[1] != core.dims()[n] {
+                return Err(TensorError::ShapeMismatch {
+                    op: "TuckerFormat",
+                    lhs: f.dims().to_vec(),
+                    rhs: core.dims().to_vec(),
+                });
+            }
+        }
+        Ok(TuckerFormat { core, factors })
+    }
+
+    /// Random Tucker tensor with every core rank equal to `rank`.
+    pub fn random(dims: &[usize], rank: usize, rng: &mut StdRng) -> Result<Self> {
+        if dims.is_empty() || rank == 0 {
+            return Err(TensorError::InvalidArgument(
+                "Tucker random: empty dims or zero rank".into(),
+            ));
+        }
+        let core_dims = vec![rank; dims.len()];
+        let scale = (1.0 / (rank as f32)).powf(0.5);
+        let core = init::normal(&core_dims, 0.0, 1.0, rng);
+        let factors = dims
+            .iter()
+            .map(|&d| init::normal(&[d, rank], 0.0, scale, rng))
+            .collect();
+        Ok(TuckerFormat { core, factors })
+    }
+
+    /// Target tensor dimensions.
+    pub fn dims(&self) -> Vec<usize> {
+        self.factors.iter().map(|f| f.dims()[0]).collect()
+    }
+
+    /// Core ranks `r₁..r_N`.
+    pub fn ranks(&self) -> Vec<usize> {
+        self.core.dims().to_vec()
+    }
+
+    /// Number of parameters stored by the format.
+    pub fn num_params(&self) -> usize {
+        self.core.len() + self.factors.iter().map(|f| f.len()).sum::<usize>()
+    }
+
+    /// Materialises the full tensor by successive mode products.
+    pub fn reconstruct(&self) -> Result<Tensor> {
+        let mut acc = self.core.clone();
+        for (n, u) in self.factors.iter().enumerate() {
+            // Mode-n product: contract acc's axis n with Uᵀ's second axis,
+            // then bring the new axis back to position n.
+            // contract(acc, u, [n], [1]) puts the new I_n axis last.
+            let rank_before = acc.rank();
+            let c = contract(&acc, u, &[n], &[1])?;
+            // Move last axis back to position n.
+            let mut perm: Vec<usize> = (0..rank_before - 1).collect();
+            perm.insert(n, rank_before - 1);
+            acc = crate::ops::permute(&c, &perm)?;
+        }
+        Ok(acc)
+    }
+
+    /// Relative Frobenius reconstruction error against `target`.
+    pub fn relative_error(&self, target: &Tensor) -> Result<f32> {
+        let rec = self.reconstruct()?;
+        if rec.shape() != target.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "relative_error",
+                lhs: rec.dims().to_vec(),
+                rhs: target.dims().to_vec(),
+            });
+        }
+        let diff: f32 = rec
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum();
+        Ok(diff.sqrt() / target.norm().max(1e-12))
+    }
+}
+
+fn leading_singular_vectors(m: &Tensor, k: usize) -> Result<Tensor> {
+    let Svd { u, .. } = svd(m)?;
+    let (rows, cols) = (u.dims()[0], u.dims()[1]);
+    let k = k.min(cols).max(1);
+    let mut out = Tensor::zeros(&[rows, k]);
+    for i in 0..rows {
+        out.data_mut()[i * k..(i + 1) * k]
+            .copy_from_slice(&u.data()[i * cols..i * cols + k]);
+    }
+    Ok(out)
+}
+
+/// Higher-order SVD (HOSVD): factor `Uⁿ` = leading left singular vectors
+/// of the mode-`n` unfolding; core = projections of `X` onto the factors.
+pub fn hosvd(x: &Tensor, rank: usize) -> Result<TuckerFormat> {
+    if x.rank() < 2 {
+        return Err(TensorError::InvalidArgument(
+            "hosvd needs a tensor of rank >= 2".into(),
+        ));
+    }
+    if rank == 0 {
+        return Err(TensorError::InvalidArgument("hosvd rank 0".into()));
+    }
+    let n_modes = x.rank();
+    let mut factors = Vec::with_capacity(n_modes);
+    for mode in 0..n_modes {
+        let xn = unfold(x, mode)?;
+        factors.push(leading_singular_vectors(&xn, rank)?);
+    }
+    let core = project_core(x, &factors)?;
+    TuckerFormat::new(core, factors)
+}
+
+/// Higher-order orthogonal iteration (HOOI): alternating refinement of
+/// the HOSVD factors for `sweeps` passes.
+pub fn hooi(x: &Tensor, rank: usize, sweeps: usize) -> Result<TuckerFormat> {
+    let mut t = hosvd(x, rank)?;
+    let n_modes = x.rank();
+    for _ in 0..sweeps {
+        for mode in 0..n_modes {
+            // Project X by all factors except `mode`, then refresh that
+            // factor from the leading subspace of the projection.
+            let mut acc = x.clone();
+            for (m, u) in t.factors.iter().enumerate() {
+                if m == mode {
+                    continue;
+                }
+                // Contract axis: the axis index of mode m in `acc` is m
+                // (axes keep positions because we reinsert in place).
+                let rank_before = acc.rank();
+                let c = contract(&acc, u, &[m], &[0])?; // project: Uᵀ x
+                let mut perm: Vec<usize> = (0..rank_before - 1).collect();
+                perm.insert(m, rank_before - 1);
+                acc = crate::ops::permute(&c, &perm)?;
+            }
+            let an = unfold(&acc, mode)?;
+            t.factors[mode] = leading_singular_vectors(&an, rank)?;
+        }
+        t.core = project_core(x, &t.factors)?;
+    }
+    Ok(t)
+}
+
+/// Core `𝒢 = X ×₁ U¹ᵀ ⋯ ×_N U^Nᵀ`.
+fn project_core(x: &Tensor, factors: &[Tensor]) -> Result<Tensor> {
+    let mut acc = x.clone();
+    for (n, u) in factors.iter().enumerate() {
+        let rank_before = acc.rank();
+        let c = contract(&acc, u, &[n], &[0])?;
+        let mut perm: Vec<usize> = (0..rank_before - 1).collect();
+        perm.insert(n, rank_before - 1);
+        acc = crate::ops::permute(&c, &perm)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::ops::{matmul, matmul_transpose_a};
+
+    #[test]
+    fn reconstruct_matrix_case_is_u_core_vt() {
+        // 2-mode Tucker: X = U1 · G · U2ᵀ.
+        let mut rng = init::rng(1);
+        let t = TuckerFormat::random(&[5, 4], 2, &mut rng).unwrap();
+        let x = t.reconstruct().unwrap();
+        let g2 = matmul(&t.factors[0], &t.core.reshaped(&[2, 2]).unwrap()).unwrap();
+        let expect = crate::ops::matmul_transpose_b(&g2, &t.factors[1]).unwrap();
+        assert!(approx_eq(&x, &expect, 1e-4));
+    }
+
+    #[test]
+    fn new_validates() {
+        let core = Tensor::zeros(&[2, 2]);
+        assert!(TuckerFormat::new(core.clone(), vec![Tensor::zeros(&[3, 2])]).is_err());
+        assert!(TuckerFormat::new(
+            core.clone(),
+            vec![Tensor::zeros(&[3, 2]), Tensor::zeros(&[4, 3])]
+        )
+        .is_err());
+        assert!(TuckerFormat::new(
+            core,
+            vec![Tensor::zeros(&[3, 2]), Tensor::zeros(&[4, 2])]
+        )
+        .is_ok());
+        assert!(TuckerFormat::random(&[], 2, &mut init::rng(0)).is_err());
+        assert!(TuckerFormat::random(&[2], 0, &mut init::rng(0)).is_err());
+    }
+
+    #[test]
+    fn hosvd_recovers_exact_low_rank() {
+        let mut rng = init::rng(2);
+        let target = TuckerFormat::random(&[6, 5, 4], 2, &mut rng)
+            .unwrap()
+            .reconstruct()
+            .unwrap();
+        let rec = hosvd(&target, 2).unwrap();
+        let err = rec.relative_error(&target).unwrap();
+        assert!(err < 1e-3, "HOSVD on exact rank-2 target: err {err}");
+        assert_eq!(rec.ranks(), vec![2, 2, 2]);
+        assert_eq!(rec.dims(), vec![6, 5, 4]);
+    }
+
+    #[test]
+    fn hosvd_factors_are_orthonormal() {
+        let mut rng = init::rng(3);
+        let x = init::uniform(&[6, 5, 4], -1.0, 1.0, &mut rng);
+        let t = hosvd(&x, 3).unwrap();
+        for u in &t.factors {
+            let g = matmul_transpose_a(u, u).unwrap();
+            assert!(approx_eq(&g, &Tensor::eye(u.dims()[1]), 1e-3));
+        }
+    }
+
+    #[test]
+    fn hooi_improves_or_matches_hosvd() {
+        let mut rng = init::rng(4);
+        let x = init::uniform(&[6, 6, 6], -1.0, 1.0, &mut rng);
+        let e0 = hosvd(&x, 3).unwrap().relative_error(&x).unwrap();
+        let e1 = hooi(&x, 3, 3).unwrap().relative_error(&x).unwrap();
+        assert!(e1 <= e0 + 1e-4, "HOOI {e1} vs HOSVD {e0}");
+    }
+
+    #[test]
+    fn error_decreases_with_rank() {
+        let mut rng = init::rng(5);
+        let x = init::uniform(&[5, 5, 5], -1.0, 1.0, &mut rng);
+        let e1 = hosvd(&x, 1).unwrap().relative_error(&x).unwrap();
+        let e5 = hosvd(&x, 5).unwrap().relative_error(&x).unwrap();
+        assert!(e5 < e1);
+        assert!(e5 < 1e-3, "full-rank HOSVD reconstructs: {e5}");
+    }
+
+    #[test]
+    fn num_params_and_compression() {
+        let mut rng = init::rng(6);
+        let t = TuckerFormat::random(&[8, 8, 8], 2, &mut rng).unwrap();
+        assert_eq!(t.num_params(), 8 + 3 * 16);
+        assert!(t.num_params() < 512);
+    }
+
+    #[test]
+    fn drivers_validate_input() {
+        assert!(hosvd(&Tensor::zeros(&[3]), 2).is_err());
+        assert!(hosvd(&Tensor::zeros(&[3, 3]), 0).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut rng = init::rng(7);
+        let t = TuckerFormat::random(&[4, 3], 2, &mut rng).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TuckerFormat = serde_json::from_str(&json).unwrap();
+        assert!(approx_eq(
+            &t.reconstruct().unwrap(),
+            &back.reconstruct().unwrap(),
+            1e-6
+        ));
+    }
+}

@@ -1,0 +1,117 @@
+//! Error type shared by every fallible tensor operation.
+
+use std::fmt;
+
+/// Errors produced by tensor construction, shape algebra and numeric
+/// routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The number of data elements does not match the product of the shape.
+    DataShapeMismatch {
+        /// Number of elements supplied.
+        data_len: usize,
+        /// Shape the caller asked for.
+        shape: Vec<usize>,
+    },
+    /// Two shapes that must agree (elementwise op, contraction axis, …)
+    /// do not.
+    ShapeMismatch {
+        /// Human-readable operation name, e.g. `"matmul"`.
+        op: &'static str,
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+    },
+    /// An axis index is out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// Offending axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// An index is out of range along some axis.
+    IndexOutOfRange {
+        /// Offending flat or per-axis index.
+        index: usize,
+        /// Length of that axis (or total length).
+        len: usize,
+    },
+    /// Reshape target has a different element count.
+    ReshapeMismatch {
+        /// Source element count.
+        from: usize,
+        /// Target shape.
+        to: Vec<usize>,
+    },
+    /// Invalid argument that is not a shape problem (rank 0 where ≥1 needed,
+    /// zero-sized kernel, bad permutation, unparsable einsum spec, …).
+    InvalidArgument(String),
+    /// An iterative numeric routine (SVD, ALS) failed to converge or met a
+    /// singular system.
+    Numerical(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataShapeMismatch { data_len, shape } => write!(
+                f,
+                "data length {data_len} does not match shape {shape:?} (= {} elements)",
+                shape.iter().product::<usize>()
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+            TensorError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for length {len}")
+            }
+            TensorError::ReshapeMismatch { from, to } => write!(
+                f,
+                "cannot reshape {from} elements into {to:?} (= {} elements)",
+                to.iter().product::<usize>()
+            ),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            TensorError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TensorError::DataShapeMismatch {
+            data_len: 5,
+            shape: vec![2, 3],
+        };
+        let s = e.to_string();
+        assert!(s.contains('5') && s.contains("[2, 3]") && s.contains('6'), "{s}");
+
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        assert!(e.to_string().contains("matmul"));
+
+        let e = TensorError::ReshapeMismatch {
+            from: 6,
+            to: vec![4],
+        };
+        assert!(e.to_string().contains('6') && e.to_string().contains("[4]"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TensorError::InvalidArgument("x".into()));
+    }
+}

@@ -1,0 +1,496 @@
+//! Small dense linear algebra, written from scratch: Gaussian solve,
+//! Householder QR, one-sided Jacobi SVD and Moore–Penrose pseudo-inverse.
+//!
+//! These routines power the CP-ALS and TR-SVD decomposition drivers. They
+//! target matrices up to a few hundred rows/columns — the regime of every
+//! experiment in the reproduction — and favour clarity plus numerical
+//! robustness (pivoting, convergence checks) over peak speed.
+
+use crate::ops::{matmul, matmul_transpose_a, transpose2d};
+use crate::{Result, Tensor, TensorError};
+
+fn require_matrix(t: &Tensor, what: &'static str) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::InvalidArgument(format!(
+            "{what}: expected a matrix, got rank {}",
+            t.rank()
+        )));
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// Solves `A·x = b` for square `A` by Gaussian elimination with partial
+/// pivoting. `b` may be a vector `[n]` or a matrix `[n, k]` of right-hand
+/// sides.
+pub fn solve(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (n, n2) = require_matrix(a, "solve lhs")?;
+    if n != n2 {
+        return Err(TensorError::InvalidArgument(format!(
+            "solve: non-square matrix {n}x{n2}"
+        )));
+    }
+    let vector_rhs = b.rank() == 1;
+    let b2 = if vector_rhs {
+        b.reshaped(&[b.len(), 1])?
+    } else {
+        b.clone()
+    };
+    let (bn, k) = require_matrix(&b2, "solve rhs")?;
+    if bn != n {
+        return Err(TensorError::ShapeMismatch {
+            op: "solve",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+
+    // Augmented working copies.
+    let mut m = a.data().to_vec();
+    let mut rhs = b2.data().to_vec();
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut piv = col;
+        let mut best = m[col * n + col].abs();
+        for r in col + 1..n {
+            let v = m[r * n + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best < 1e-12 {
+            return Err(TensorError::Numerical(format!(
+                "solve: singular matrix (pivot {best:e} at column {col})"
+            )));
+        }
+        if piv != col {
+            for j in 0..n {
+                m.swap(col * n + j, piv * n + j);
+            }
+            for j in 0..k {
+                rhs.swap(col * k + j, piv * k + j);
+            }
+        }
+        let d = m[col * n + col];
+        for r in col + 1..n {
+            let f = m[r * n + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                m[r * n + j] -= f * m[col * n + j];
+            }
+            for j in 0..k {
+                rhs[r * k + j] -= f * rhs[col * k + j];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f32; n * k];
+    for row in (0..n).rev() {
+        for j in 0..k {
+            let mut acc = rhs[row * k + j];
+            for c in row + 1..n {
+                acc -= m[row * n + c] * x[c * k + j];
+            }
+            x[row * k + j] = acc / m[row * n + row];
+        }
+    }
+    let out = Tensor::from_vec(x, &[n, k])?;
+    if vector_rhs {
+        out.reshape(&[n])
+    } else {
+        Ok(out)
+    }
+}
+
+/// Thin Householder QR: `A = Q·R` with `Q:[m, r]`, `R:[r, n]`,
+/// `r = min(m, n)`. `Q` has orthonormal columns.
+pub fn qr(a: &Tensor) -> Result<(Tensor, Tensor)> {
+    let (m, n) = require_matrix(a, "qr")?;
+    let r_dim = m.min(n);
+    let mut r = a.data().to_vec(); // m x n, mutated in place
+    // Accumulate Q by applying the Householder reflectors to the identity.
+    let mut q = vec![0.0f32; m * m];
+    for i in 0..m {
+        q[i * m + i] = 1.0;
+    }
+    let mut v = vec![0.0f32; m];
+    for col in 0..r_dim {
+        // Householder vector for column `col` below the diagonal.
+        let mut norm = 0.0f32;
+        for row in col..m {
+            norm += r[row * n + col] * r[row * n + col];
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-12 {
+            continue; // column already zero below diagonal
+        }
+        let alpha = if r[col * n + col] >= 0.0 { -norm } else { norm };
+        let mut vnorm2 = 0.0f32;
+        for row in col..m {
+            let x = if row == col {
+                r[row * n + col] - alpha
+            } else {
+                r[row * n + col]
+            };
+            v[row] = x;
+            vnorm2 += x * x;
+        }
+        if vnorm2 < 1e-24 {
+            continue;
+        }
+        let beta = 2.0 / vnorm2;
+        // R ← (I − βvvᵀ) R, only columns ≥ col are affected.
+        for j in col..n {
+            let mut dot = 0.0f32;
+            for row in col..m {
+                dot += v[row] * r[row * n + j];
+            }
+            let s = beta * dot;
+            for row in col..m {
+                r[row * n + j] -= s * v[row];
+            }
+        }
+        // Q ← Q (I − βvvᵀ).
+        for i in 0..m {
+            let mut dot = 0.0f32;
+            for row in col..m {
+                dot += q[i * m + row] * v[row];
+            }
+            let s = beta * dot;
+            for row in col..m {
+                q[i * m + row] -= s * v[row];
+            }
+        }
+    }
+    // Thin slices.
+    let mut q_thin = vec![0.0f32; m * r_dim];
+    for i in 0..m {
+        q_thin[i * r_dim..(i + 1) * r_dim].copy_from_slice(&q[i * m..i * m + r_dim]);
+    }
+    let mut r_thin = vec![0.0f32; r_dim * n];
+    for i in 0..r_dim {
+        for j in 0..n {
+            r_thin[i * n + j] = if j >= i { r[i * n + j] } else { 0.0 };
+        }
+    }
+    Ok((
+        Tensor::from_vec(q_thin, &[m, r_dim])?,
+        Tensor::from_vec(r_thin, &[r_dim, n])?,
+    ))
+}
+
+/// Result of a singular value decomposition `A = U·diag(s)·Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `[m, r]`, orthonormal columns.
+    pub u: Tensor,
+    /// Singular values in non-increasing order, length `r = min(m, n)`.
+    pub s: Vec<f32>,
+    /// Right singular vectors as `Vᵀ`, `[r, n]`, orthonormal rows.
+    pub vt: Tensor,
+}
+
+/// Thin SVD via one-sided Jacobi rotations on the (possibly transposed)
+/// input. Robust and accurate for the moderate sizes used here.
+pub fn svd(a: &Tensor) -> Result<Svd> {
+    let (m, n) = require_matrix(a, "svd")?;
+    // One-sided Jacobi orthogonalises columns; work with the orientation
+    // that has fewer columns.
+    if n > m {
+        // A = U S Vᵀ ⇔ Aᵀ = V S Uᵀ.
+        let t = transpose2d(a)?;
+        let Svd { u, s, vt } = svd(&t)?;
+        return Ok(Svd {
+            u: transpose2d(&vt)?,
+            s,
+            vt: transpose2d(&u)?,
+        });
+    }
+
+    let mut u = a.data().to_vec(); // m x n, columns rotate toward orthogonal
+    let mut v = vec![0.0f32; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let max_sweeps = 60;
+    let eps = 1e-10f64;
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Gram entries for the (p,q) column pair.
+                let (mut app, mut aqq, mut apq) = (0.0f64, 0.0f64, 0.0f64);
+                for i in 0..m {
+                    let x = u[i * n + p] as f64;
+                    let y = u[i * n + q] as f64;
+                    app += x * x;
+                    aqq += y * y;
+                    apq += x * y;
+                }
+                off += apq * apq;
+                if apq.abs() <= eps * (app * aqq).sqrt() {
+                    continue;
+                }
+                // Jacobi rotation annihilating the (p,q) Gram entry.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let x = u[i * n + p];
+                    let y = u[i * n + q];
+                    u[i * n + p] = (c as f32) * x - (s as f32) * y;
+                    u[i * n + q] = (s as f32) * x + (c as f32) * y;
+                }
+                for i in 0..n {
+                    let x = v[i * n + p];
+                    let y = v[i * n + q];
+                    v[i * n + p] = (c as f32) * x - (s as f32) * y;
+                    v[i * n + q] = (s as f32) * x + (c as f32) * y;
+                }
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+    }
+
+    // Column norms are the singular values.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut sigmas = vec![0.0f32; n];
+    for (j, sig) in sigmas.iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for i in 0..m {
+            acc += u[i * n + j] * u[i * n + j];
+        }
+        *sig = acc.sqrt();
+    }
+    order.sort_by(|&a, &b| sigmas[b].partial_cmp(&sigmas[a]).expect("finite sv"));
+
+    let mut u_out = vec![0.0f32; m * n];
+    let mut vt_out = vec![0.0f32; n * n];
+    let mut s_out = vec![0.0f32; n];
+    for (dst, &src) in order.iter().enumerate() {
+        let sig = sigmas[src];
+        s_out[dst] = sig;
+        if sig > 1e-12 {
+            for i in 0..m {
+                u_out[i * n + dst] = u[i * n + src] / sig;
+            }
+        }
+        for i in 0..n {
+            vt_out[dst * n + i] = v[i * n + src];
+        }
+    }
+    Ok(Svd {
+        u: Tensor::from_vec(u_out, &[m, n])?,
+        s: s_out,
+        vt: Tensor::from_vec(vt_out, &[n, n])?,
+    })
+}
+
+/// Moore–Penrose pseudo-inverse via the SVD, with singular values below
+/// `rcond · s_max` treated as zero.
+pub fn pinv(a: &Tensor, rcond: f32) -> Result<Tensor> {
+    let (m, n) = require_matrix(a, "pinv")?;
+    let Svd { u, s, vt } = svd(a)?;
+    let smax = s.first().copied().unwrap_or(0.0);
+    let cutoff = rcond * smax;
+    let r = s.len();
+    // pinv = V · diag(1/s) · Uᵀ  — build V·diag first.
+    let v = transpose2d(&vt)?; // n x r
+    let mut vs = vec![0.0f32; n * r];
+    for i in 0..n {
+        for j in 0..r {
+            let inv = if s[j] > cutoff && s[j] > 0.0 {
+                1.0 / s[j]
+            } else {
+                0.0
+            };
+            vs[i * r + j] = v.data()[i * r + j] * inv;
+        }
+    }
+    let vs = Tensor::from_vec(vs, &[n, r])?;
+    let ut = transpose2d(&u)?; // r x m
+    let out = matmul(&vs, &ut)?;
+    debug_assert_eq!(out.dims(), &[n, m]);
+    Ok(out)
+}
+
+/// Least-squares solution of `A·X = B` (`A:[m,n]`, `B:[m,k]`) via the
+/// normal equations with pseudo-inverse fallback for rank deficiency.
+pub fn lstsq(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (_, n) = require_matrix(a, "lstsq lhs")?;
+    let ata = matmul_transpose_a(a, a)?;
+    let atb = matmul_transpose_a(a, b)?;
+    match solve(&ata, &atb) {
+        Ok(x) => Ok(x),
+        Err(TensorError::Numerical(_)) => {
+            let p = pinv(&ata, 1e-6)?;
+            let x = matmul(&p, &atb)?;
+            debug_assert_eq!(x.dims()[0], n);
+            Ok(x)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, init};
+
+    #[test]
+    fn solve_known_system() {
+        let a = Tensor::from_vec(vec![2.0, 1.0, 1.0, 3.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 10.0], &[2]).unwrap();
+        let x = solve(&a, &b).unwrap();
+        // 2x + y = 5, x + 3y = 10 → x = 1, y = 3.
+        assert!((x.data()[0] - 1.0).abs() < 1e-5);
+        assert!((x.data()[1] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn solve_multiple_rhs_and_random_roundtrip() {
+        let mut r = init::rng(1);
+        let a = init::uniform(&[6, 6], -1.0, 1.0, &mut r);
+        let x_true = init::uniform(&[6, 3], -1.0, 1.0, &mut r);
+        let b = matmul(&a, &x_true).unwrap();
+        let x = solve(&a, &b).unwrap();
+        assert!(approx_eq(&x, &x_true, 1e-3));
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 2.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        assert!(matches!(solve(&a, &b), Err(TensorError::Numerical(_))));
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero on the initial diagonal — fails without partial pivoting.
+        let a = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 7.0], &[2]).unwrap();
+        let x = solve(&a, &b).unwrap();
+        assert!((x.data()[0] - 7.0).abs() < 1e-6);
+        assert!((x.data()[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_orthonormal() {
+        let mut r = init::rng(2);
+        for (m, n) in [(5, 3), (3, 5), (4, 4)] {
+            let a = init::uniform(&[m, n], -1.0, 1.0, &mut r);
+            let (q, rr) = qr(&a).unwrap();
+            let back = matmul(&q, &rr).unwrap();
+            assert!(approx_eq(&back, &a, 1e-3), "QR reconstruct {m}x{n}");
+            let qtq = matmul_transpose_a(&q, &q).unwrap();
+            let eye = Tensor::eye(m.min(n));
+            assert!(approx_eq(&qtq, &eye, 1e-3), "QᵀQ = I for {m}x{n}");
+        }
+    }
+
+    #[test]
+    fn qr_r_is_upper_triangular() {
+        let mut rng = init::rng(4);
+        let a = init::uniform(&[5, 4], -1.0, 1.0, &mut rng);
+        let (_, r) = qr(&a).unwrap();
+        for i in 0..4 {
+            for j in 0..i {
+                assert!(r.get(&[i, j]).unwrap().abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn svd_reconstructs() {
+        let mut rng = init::rng(3);
+        for (m, n) in [(6, 4), (4, 6), (5, 5)] {
+            let a = init::uniform(&[m, n], -1.0, 1.0, &mut rng);
+            let Svd { u, s, vt } = svd(&a).unwrap();
+            let r = s.len();
+            assert_eq!(r, m.min(n));
+            // U diag(s) Vᵀ.
+            let mut us = u.clone();
+            for i in 0..m {
+                for j in 0..r {
+                    let v = us.get(&[i, j]).unwrap() * s[j];
+                    us.set(&[i, j], v).unwrap();
+                }
+            }
+            let back = matmul(&us, &vt).unwrap();
+            assert!(approx_eq(&back, &a, 1e-3), "SVD reconstruct {m}x{n}");
+            // Singular values sorted non-increasing and non-negative.
+            for w in s.windows(2) {
+                assert!(w[0] >= w[1] - 1e-6);
+            }
+            assert!(s.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn svd_orthogonality() {
+        let mut rng = init::rng(5);
+        let a = init::uniform(&[7, 4], -1.0, 1.0, &mut rng);
+        let Svd { u, s: _, vt } = svd(&a).unwrap();
+        let utu = matmul_transpose_a(&u, &u).unwrap();
+        assert!(approx_eq(&utu, &Tensor::eye(4), 1e-3));
+        let vvt = matmul(&vt, &transpose2d(&vt).unwrap()).unwrap();
+        assert!(approx_eq(&vvt, &Tensor::eye(4), 1e-3));
+    }
+
+    #[test]
+    fn svd_rank_one() {
+        // Known SVD: outer product of unit-ish vectors.
+        let a = Tensor::from_vec(vec![2.0, 4.0, 1.0, 2.0], &[2, 2]).unwrap();
+        let Svd { s, .. } = svd(&a).unwrap();
+        assert!(s[1] < 1e-5, "second sv should vanish, got {}", s[1]);
+        let expect = (4.0f32 + 16.0 + 1.0 + 4.0).sqrt();
+        assert!((s[0] - expect).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pinv_satisfies_moore_penrose() {
+        let mut rng = init::rng(6);
+        let a = init::uniform(&[5, 3], -1.0, 1.0, &mut rng);
+        let p = pinv(&a, 1e-6).unwrap();
+        assert_eq!(p.dims(), &[3, 5]);
+        // A · A⁺ · A = A.
+        let apa = matmul(&matmul(&a, &p).unwrap(), &a).unwrap();
+        assert!(approx_eq(&apa, &a, 1e-3));
+        // A⁺ · A · A⁺ = A⁺.
+        let pap = matmul(&matmul(&p, &a).unwrap(), &p).unwrap();
+        assert!(approx_eq(&pap, &p, 1e-3));
+    }
+
+    #[test]
+    fn lstsq_overdetermined() {
+        let mut rng = init::rng(7);
+        let a = init::uniform(&[10, 3], -1.0, 1.0, &mut rng);
+        let x_true = init::uniform(&[3, 2], -1.0, 1.0, &mut rng);
+        let b = matmul(&a, &x_true).unwrap();
+        let x = lstsq(&a, &b).unwrap();
+        assert!(approx_eq(&x, &x_true, 1e-3));
+    }
+
+    #[test]
+    fn lstsq_rank_deficient_falls_back() {
+        // Duplicate column makes AᵀA singular; pinv path must engage.
+        let a = Tensor::from_vec(
+            vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0],
+            &[4, 2],
+        )
+        .unwrap();
+        let b = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[4, 1]).unwrap();
+        let x = lstsq(&a, &b).unwrap();
+        // Minimal-norm solution: both coefficients 1.
+        let back = matmul(&a, &x).unwrap();
+        assert!(approx_eq(&back, &b, 1e-3));
+    }
+}

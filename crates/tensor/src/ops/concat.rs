@@ -1,0 +1,108 @@
+//! Concatenation along an arbitrary axis.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Concatenates tensors along `axis`. All other axes must agree.
+pub fn concat(parts: &[&Tensor], axis: usize) -> Result<Tensor> {
+    let first = parts
+        .first()
+        .ok_or_else(|| TensorError::InvalidArgument("concat of zero tensors".into()))?;
+    let rank = first.rank();
+    if axis >= rank {
+        return Err(TensorError::AxisOutOfRange { axis, rank });
+    }
+    let mut axis_total = 0usize;
+    for p in parts {
+        if p.rank() != rank {
+            return Err(TensorError::ShapeMismatch {
+                op: "concat",
+                lhs: first.dims().to_vec(),
+                rhs: p.dims().to_vec(),
+            });
+        }
+        for (k, (&a, &b)) in first.dims().iter().zip(p.dims()).enumerate() {
+            if k != axis && a != b {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat",
+                    lhs: first.dims().to_vec(),
+                    rhs: p.dims().to_vec(),
+                });
+            }
+        }
+        axis_total += p.dims()[axis];
+    }
+    let mut out_dims = first.dims().to_vec();
+    out_dims[axis] = axis_total;
+
+    let outer: usize = first.dims()[..axis].iter().product();
+    let inner: usize = first.dims()[axis + 1..].iter().product();
+    let out_row = axis_total * inner;
+    let mut out = vec![0.0f32; outer * out_row];
+    let mut offset = 0usize; // running offset along the concat axis, in elements of `inner`
+    for p in parts {
+        let mid = p.dims()[axis];
+        let src = p.data();
+        for o in 0..outer {
+            let src_base = o * mid * inner;
+            let dst_base = o * out_row + offset;
+            out[dst_base..dst_base + mid * inner]
+                .copy_from_slice(&src[src_base..src_base + mid * inner]);
+        }
+        offset += mid * inner;
+    }
+    Tensor::from_vec(out, &out_dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
+        Tensor::from_vec(v, d).unwrap()
+    }
+
+    #[test]
+    fn concat_vectors() {
+        let a = t(vec![1.0, 2.0], &[2]);
+        let b = t(vec![3.0], &[1]);
+        let c = concat(&[&a, &b], 0).unwrap();
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_matrix_axis0_and_axis1() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(vec![5.0, 6.0], &[1, 2]);
+        let c = concat(&[&a, &b], 0).unwrap();
+        assert_eq!(c.dims(), &[3, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+
+        let d = t(vec![7.0, 8.0], &[2, 1]);
+        let e = concat(&[&a, &d], 1).unwrap();
+        assert_eq!(e.dims(), &[2, 3]);
+        assert_eq!(e.data(), &[1.0, 2.0, 7.0, 3.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn concat_validates_shapes() {
+        let a = t(vec![1.0, 2.0], &[2]);
+        let b = t(vec![1.0, 2.0], &[1, 2]);
+        assert!(concat(&[&a, &b], 0).is_err());
+        let c = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let d = t(vec![1.0, 2.0, 3.0], &[1, 3]);
+        assert!(concat(&[&c, &d], 0).is_err());
+        assert!(concat(&[], 0).is_err());
+        assert!(concat(&[&a], 1).is_err());
+    }
+
+    #[test]
+    fn concat_3d_middle_axis() {
+        let a = Tensor::ones(&[2, 1, 2]);
+        let b = Tensor::full(&[2, 2, 2], 3.0);
+        let c = concat(&[&a, &b], 1).unwrap();
+        assert_eq!(c.dims(), &[2, 3, 2]);
+        assert_eq!(c.get(&[0, 0, 0]).unwrap(), 1.0);
+        assert_eq!(c.get(&[0, 1, 0]).unwrap(), 3.0);
+        assert_eq!(c.get(&[1, 2, 1]).unwrap(), 3.0);
+    }
+}

@@ -1,0 +1,364 @@
+//! Dense matrix multiplication kernels.
+//!
+//! A cache-friendly `ikj` loop ordering with the inner product vectorising
+//! over the contiguous last axis. At the model sizes of the MetaLoRA
+//! experiments (≤ a few hundred per dimension) this is within a small factor
+//! of BLAS and keeps the crate dependency-free.
+
+use crate::{Result, Tensor, TensorError};
+
+/// `C = A·B` for `A:[m,k]`, `B:[k,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = as_matrix_dims(a, "matmul lhs")?;
+    let (k2, n) = as_matrix_dims(b, "matmul rhs")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    // ikj order: for each (i, kk) scalar of A, axpy a row of B into a row
+    // of C. Inner loop is contiguous in both B and C.
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &aik) in ad[i * k..(i + 1) * k].iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = Aᵀ·B` for `A:[k,m]`, `B:[k,n]` without materialising `Aᵀ`.
+pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = as_matrix_dims(a, "matmul_transpose_a lhs")?;
+    let (k2, n) = as_matrix_dims(b, "matmul_transpose_a rhs")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_transpose_a",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    for kk in 0..k {
+        let a_row = &ad[kk * m..(kk + 1) * m];
+        let b_row = &bd[kk * n..(kk + 1) * n];
+        for (i, &aki) in a_row.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aki * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A·Bᵀ` for `A:[m,k]`, `B:[n,k]` without materialising `Bᵀ`.
+pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = as_matrix_dims(a, "matmul_transpose_b lhs")?;
+    let (n, k2) = as_matrix_dims(b, "matmul_transpose_b rhs")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_transpose_b",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    // Dot products of contiguous rows — ideal memory order for this layout.
+    for i in 0..m {
+        let a_row = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Matrix–vector product `y = A·x` for `A:[m,k]`, `x:[k]`.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    let (m, k) = as_matrix_dims(a, "matvec lhs")?;
+    if x.rank() != 1 || x.len() != k {
+        return Err(TensorError::ShapeMismatch {
+            op: "matvec",
+            lhs: a.dims().to_vec(),
+            rhs: x.dims().to_vec(),
+        });
+    }
+    let (ad, xd) = (a.data(), x.data());
+    let mut out = vec![0.0f32; m];
+    for i in 0..m {
+        let row = &ad[i * k..(i + 1) * k];
+        out[i] = row.iter().zip(xd).map(|(&a, &b)| a * b).sum();
+    }
+    Tensor::from_vec(out, &[m])
+}
+
+
+/// Batched matrix product `C[b] = A[b]·B[b]` for `A:[B,m,k]`, `B:[B,k,n]`.
+pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (bs, m, k) = as_batch_dims(a, "bmm lhs")?;
+    let (bs2, k2, n) = as_batch_dims(b, "bmm rhs")?;
+    if bs != bs2 || k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "bmm",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; bs * m * n];
+    let (ad, bd) = (a.data(), b.data());
+    for bi in 0..bs {
+        let a_base = bi * m * k;
+        let b_base = bi * k * n;
+        let o_base = bi * m * n;
+        for i in 0..m {
+            let out_row = &mut out[o_base + i * n..o_base + (i + 1) * n];
+            for (kk, &aik) in ad[a_base + i * k..a_base + (i + 1) * k].iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &bd[b_base + kk * n..b_base + (kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[bs, m, n])
+}
+
+/// Batched `C[b] = A[b]ᵀ·B[b]` for `A:[B,k,m]`, `B:[B,k,n]`.
+pub fn bmm_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (bs, k, m) = as_batch_dims(a, "bmm_transpose_a lhs")?;
+    let (bs2, k2, n) = as_batch_dims(b, "bmm_transpose_a rhs")?;
+    if bs != bs2 || k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "bmm_transpose_a",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; bs * m * n];
+    let (ad, bd) = (a.data(), b.data());
+    for bi in 0..bs {
+        let a_base = bi * k * m;
+        let b_base = bi * k * n;
+        let o_base = bi * m * n;
+        for kk in 0..k {
+            let a_row = &ad[a_base + kk * m..a_base + (kk + 1) * m];
+            let b_row = &bd[b_base + kk * n..b_base + (kk + 1) * n];
+            for (i, &aki) in a_row.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[o_base + i * n..o_base + (i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aki * bv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[bs, m, n])
+}
+
+/// Batched `C[b] = A[b]·B[b]ᵀ` for `A:[B,m,k]`, `B:[B,n,k]`.
+pub fn bmm_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (bs, m, k) = as_batch_dims(a, "bmm_transpose_b lhs")?;
+    let (bs2, n, k2) = as_batch_dims(b, "bmm_transpose_b rhs")?;
+    if bs != bs2 || k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "bmm_transpose_b",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; bs * m * n];
+    let (ad, bd) = (a.data(), b.data());
+    for bi in 0..bs {
+        let a_base = bi * m * k;
+        let b_base = bi * n * k;
+        let o_base = bi * m * n;
+        for i in 0..m {
+            let a_row = &ad[a_base + i * k..a_base + (i + 1) * k];
+            for j in 0..n {
+                let b_row = &bd[b_base + j * k..b_base + (j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                out[o_base + i * n + j] = acc;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[bs, m, n])
+}
+
+fn as_batch_dims(t: &Tensor, what: &'static str) -> Result<(usize, usize, usize)> {
+    if t.rank() != 3 {
+        return Err(TensorError::InvalidArgument(format!(
+            "{what}: expected rank-3 tensor, got rank {}",
+            t.rank()
+        )));
+    }
+    Ok((t.dims()[0], t.dims()[1], t.dims()[2]))
+}
+
+fn as_matrix_dims(t: &Tensor, what: &'static str) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::InvalidArgument(format!(
+            "{what}: expected rank-2 tensor, got rank {}",
+            t.rank()
+        )));
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::transpose2d;
+    use crate::{approx_eq, init};
+
+    fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
+        Tensor::from_vec(v, d).unwrap()
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::arange(1.0, 1.0, 6).reshape(&[2, 3]).unwrap();
+        let b = Tensor::arange(1.0, 1.0, 12).reshape(&[3, 4]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 4]);
+        // Row 0: [1,2,3]·cols of b.
+        assert_eq!(c.get(&[0, 0]).unwrap(), 1.0 + 2.0 * 5.0 + 3.0 * 9.0);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut r = init::rng(1);
+        let a = init::uniform(&[4, 4], -1.0, 1.0, &mut r);
+        let i = Tensor::eye(4);
+        assert!(approx_eq(&matmul(&a, &i).unwrap(), &a, 1e-6));
+        assert!(approx_eq(&matmul(&i, &a).unwrap(), &a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        assert!(matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2])).is_err());
+        assert!(matmul(&Tensor::zeros(&[2]), &Tensor::zeros(&[2, 2])).is_err());
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let mut r = init::rng(3);
+        let a = init::uniform(&[5, 7], -1.0, 1.0, &mut r);
+        let b = init::uniform(&[5, 4], -1.0, 1.0, &mut r);
+        let expect = matmul(&transpose2d(&a).unwrap(), &b).unwrap();
+        assert!(approx_eq(&matmul_transpose_a(&a, &b).unwrap(), &expect, 1e-5));
+
+        let c = init::uniform(&[6, 7], -1.0, 1.0, &mut r);
+        let expect = matmul(&a, &transpose2d(&c).unwrap()).unwrap();
+        assert!(approx_eq(&matmul_transpose_b(&a, &c).unwrap(), &expect, 1e-5));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut r = init::rng(5);
+        let a = init::uniform(&[4, 6], -1.0, 1.0, &mut r);
+        let x = init::uniform(&[6], -1.0, 1.0, &mut r);
+        let y = matvec(&a, &x).unwrap();
+        let y2 = matmul(&a, &x.reshaped(&[6, 1]).unwrap()).unwrap();
+        assert!(approx_eq(&y, &y2.reshape(&[4]).unwrap(), 1e-5));
+        assert!(matvec(&a, &Tensor::zeros(&[5])).is_err());
+    }
+
+    #[test]
+    fn matmul_zero_dims() {
+        // Degenerate but legal: inner dimension 0 produces all-zero output.
+        let a = Tensor::zeros(&[2, 0]);
+        let b = Tensor::zeros(&[0, 3]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 3]);
+        assert!(c.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn bmm_matches_per_slice_matmul() {
+        let mut r = init::rng(8);
+        let a = init::uniform(&[3, 4, 5], -1.0, 1.0, &mut r);
+        let b = init::uniform(&[3, 5, 6], -1.0, 1.0, &mut r);
+        let c = bmm(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[3, 4, 6]);
+        for bi in 0..3 {
+            let ai = a.index_axis0(bi).unwrap();
+            let bi_m = b.index_axis0(bi).unwrap();
+            let expect = matmul(&ai, &bi_m).unwrap();
+            assert!(approx_eq(&c.index_axis0(bi).unwrap(), &expect, 1e-5));
+        }
+    }
+
+    #[test]
+    fn bmm_transposed_variants() {
+        let mut r = init::rng(9);
+        let a = init::uniform(&[2, 5, 4], -1.0, 1.0, &mut r);
+        let b = init::uniform(&[2, 5, 3], -1.0, 1.0, &mut r);
+        let c = bmm_transpose_a(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 4, 3]);
+        for bi in 0..2 {
+            let expect = matmul_transpose_a(
+                &a.index_axis0(bi).unwrap(),
+                &b.index_axis0(bi).unwrap(),
+            )
+            .unwrap();
+            assert!(approx_eq(&c.index_axis0(bi).unwrap(), &expect, 1e-5));
+        }
+
+        let a = init::uniform(&[2, 4, 5], -1.0, 1.0, &mut r);
+        let b = init::uniform(&[2, 3, 5], -1.0, 1.0, &mut r);
+        let c = bmm_transpose_b(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 4, 3]);
+        for bi in 0..2 {
+            let expect = matmul_transpose_b(
+                &a.index_axis0(bi).unwrap(),
+                &b.index_axis0(bi).unwrap(),
+            )
+            .unwrap();
+            assert!(approx_eq(&c.index_axis0(bi).unwrap(), &expect, 1e-5));
+        }
+    }
+
+    #[test]
+    fn bmm_validates() {
+        assert!(bmm(&Tensor::zeros(&[2, 3, 4]), &Tensor::zeros(&[3, 4, 5])).is_err());
+        assert!(bmm(&Tensor::zeros(&[2, 3, 4]), &Tensor::zeros(&[2, 5, 6])).is_err());
+        assert!(bmm(&Tensor::zeros(&[3, 4]), &Tensor::zeros(&[2, 4, 5])).is_err());
+    }
+}

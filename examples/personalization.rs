@@ -1,0 +1,78 @@
+//! Per-user personalisation — the recommendation-flavoured application the
+//! paper's Sec. III-E sketches ("models need to adapt to individual user
+//! preferences").
+//!
+//! Simulation: every *user* has a personal rendering style (a fixed shift
+//! of the base distribution). A single shared model must serve all users.
+//! A static LoRA learns one compromise adapter; MetaLoRA generates the
+//! adapter per request from the request's own features, so each user's
+//! style is handled without storing per-user weights.
+//!
+//! This example adapts both methods on a mixed-user stream, then measures
+//! per-user KNN accuracy on *new* users whose styles were never seen.
+//!
+//! Run with: `cargo run --release -p metalora --example personalization`
+
+use metalora::config::ExperimentConfig;
+use metalora::data::dataset::generate;
+use metalora::data::knn::{Distance, KnnClassifier};
+use metalora::data::Shift;
+use metalora::methods::Method;
+use metalora::report::render_table;
+use metalora::tensor::init;
+use metalora::{pipeline, Arch};
+
+/// The unseen users and their personal styles.
+fn new_users() -> Vec<(&'static str, Shift)> {
+    vec![
+        ("user-A (dim screen)", Shift::Brightness(-0.25)),
+        ("user-B (noisy camera)", Shift::Noise(0.18)),
+        ("user-C (soft focus)", Shift::Blur(2)),
+    ]
+}
+
+fn main() -> metalora::Result<()> {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.adapt_steps = 60;
+    cfg.pretrain_epochs = 4;
+
+    let mut rows = Vec::new();
+    for method in [Method::Lora, Method::MetaLoraTr] {
+        println!("preparing shared model with {method}…");
+        let net = pipeline::pretrain(&cfg, Arch::ResNet, 2)?;
+        let adapted = pipeline::adapt(net, method, &cfg, 2)?;
+
+        let mut row = vec![method.name().to_string()];
+        let mut rng = init::rng(77);
+        for (_user, style) in new_users() {
+            // Each user's personal gallery: support (labelled history) and
+            // query (new requests).
+            let support = generate(style, cfg.support_per_class, cfg.image_size, &mut rng)?;
+            let query = generate(style, cfg.query_per_class, cfg.image_size, &mut rng)?;
+            let s_emb = adapted.embed_images(&support.images)?;
+            let q_emb = adapted.embed_images(&query.images)?;
+            let knn = KnnClassifier::fit(s_emb, support.labels.clone(), Distance::L2)?;
+            let acc = knn.accuracy(&q_emb, &query.labels, 5)?;
+            row.push(format!("{:.1}%", 100.0 * acc));
+        }
+        rows.push(row);
+    }
+
+    let mut headers = vec!["Method".to_string()];
+    headers.extend(new_users().iter().map(|(u, _)| u.to_string()));
+    println!("\nper-user KNN (K=5) accuracy, users unseen during adaptation:\n");
+    println!("{}", render_table(&headers, &rows));
+
+    // Show that MetaLoRA's generated seeds really differ per user style —
+    // the mechanism behind per-request personalisation.
+    let net = pipeline::pretrain(&cfg, Arch::ResNet, 2)?;
+    let adapted = pipeline::adapt(net, Method::MetaLoraTr, &cfg, 2)?;
+    let mut rng = init::rng(78);
+    println!("mean generated-seed norm per user style (input-conditioned):");
+    for (user, style) in new_users() {
+        let imgs = generate(style, 2, cfg.image_size, &mut rng)?;
+        let norm = adapted.seed_summary(&imgs.images)?;
+        println!("  {user}: {norm:.4}");
+    }
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! Data substrate integration: the synthetic task family is learnable,
+//! shifts genuinely shift, and the KNN probe behaves sensibly on raw
+//! pixels.
+
+use metalora::data::dataset::generate;
+use metalora::data::knn::{Distance, KnnClassifier};
+use metalora::data::stats::welch_t_test;
+use metalora::data::synth::NUM_CLASSES;
+use metalora::data::task::TaskFamily;
+use metalora::data::Shift;
+use metalora::tensor::{init, ops, Tensor};
+
+/// Flattens `[N, C, H, W]` images into `[N, C·H·W]` raw-pixel embeddings.
+fn flatten(images: &Tensor) -> Tensor {
+    let n = images.dims()[0];
+    let d = images.len() / n;
+    images.reshaped(&[n, d]).unwrap()
+}
+
+#[test]
+fn raw_pixel_knn_beats_chance_on_base_task() {
+    let mut rng = init::rng(1);
+    let support = generate(Shift::Identity, 10, 16, &mut rng).unwrap();
+    let query = generate(Shift::Identity, 4, 16, &mut rng).unwrap();
+    let knn = KnnClassifier::fit(
+        flatten(&support.images),
+        support.labels.clone(),
+        Distance::L2,
+    )
+    .unwrap();
+    let acc = knn
+        .accuracy(&flatten(&query.images), &query.labels, 5)
+        .unwrap();
+    let chance = 1.0 / NUM_CLASSES as f32;
+    assert!(acc > 2.0 * chance, "raw-pixel KNN accuracy {acc}");
+}
+
+#[test]
+fn shifts_degrade_raw_pixel_transfer() {
+    // A probe fitted on identity images should classify identity queries
+    // better than heavily shifted queries — i.e. the shifts are real
+    // distribution shifts.
+    let mut rng = init::rng(2);
+    let support = generate(Shift::Identity, 12, 16, &mut rng).unwrap();
+    let knn = KnnClassifier::fit(
+        flatten(&support.images),
+        support.labels.clone(),
+        Distance::L2,
+    )
+    .unwrap();
+    let acc_on = |shift: Shift, rng: &mut rand::rngs::StdRng| {
+        let q = generate(shift, 6, 16, rng).unwrap();
+        knn.accuracy(&flatten(&q.images), &q.labels, 5).unwrap()
+    };
+    let base = acc_on(Shift::Identity, &mut rng);
+    let inverted = acc_on(Shift::Invert, &mut rng);
+    assert!(
+        inverted < base,
+        "inversion should hurt raw-pixel transfer: {inverted} !< {base}"
+    );
+}
+
+#[test]
+fn task_family_covers_disjoint_pools() {
+    let fam = TaskFamily::standard();
+    let train_names: Vec<String> = fam.train.iter().map(|t| t.shift.name()).collect();
+    let eval_names: Vec<String> = fam.eval.iter().map(|t| t.shift.name()).collect();
+    for e in &eval_names {
+        assert!(!train_names.contains(e), "eval shift {e} seen in training");
+    }
+    assert_eq!(train_names.len(), 12);
+    assert_eq!(eval_names.len(), 6);
+}
+
+#[test]
+fn every_task_is_generable_at_standard_size() {
+    let fam = TaskFamily::standard();
+    let mut rng = init::rng(3);
+    for task in fam.train.iter().chain(&fam.eval) {
+        let d = generate(task.shift, 1, 32, &mut rng).unwrap();
+        assert_eq!(d.len(), NUM_CLASSES, "{}", task.name());
+        assert!(!d.images.has_non_finite(), "{}", task.name());
+        // Images stay in [0, 1].
+        assert!(d.images.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}
+
+#[test]
+fn class_means_are_distinguishable() {
+    // Within the base task, per-class mean images must differ — otherwise
+    // the classification problem would be vacuous.
+    let mut rng = init::rng(4);
+    let d = generate(Shift::Identity, 20, 16, &mut rng).unwrap();
+    let n = d.len();
+    let dim = d.images.len() / n;
+    let flat = d.images.reshaped(&[n, dim]).unwrap();
+    let mut means: Vec<Tensor> = Vec::new();
+    for class in 0..NUM_CLASSES {
+        let idx: Vec<usize> = (0..n).filter(|&i| d.labels[i] == class).collect();
+        let rows = metalora::nn::train::gather_rows(&flat, &idx).unwrap();
+        means.push(ops::mean_axis(&rows, 0).unwrap());
+    }
+    for i in 0..NUM_CLASSES {
+        for j in (i + 1)..NUM_CLASSES {
+            let diff = ops::sub(&means[i], &means[j]).unwrap().norm();
+            assert!(diff > 0.1, "classes {i} and {j} indistinguishable: {diff}");
+        }
+    }
+}
+
+#[test]
+fn welch_test_on_accuracy_vectors() {
+    // Realistic use: two accuracy samples with a visible gap are
+    // significant; nearly identical ones are not.
+    let better = [0.73, 0.71, 0.74, 0.72, 0.75, 0.73];
+    let baseline = [0.67, 0.68, 0.66, 0.69, 0.67, 0.68];
+    let r = welch_t_test(&better, &baseline).unwrap();
+    assert!(r.significantly_greater(0.05), "p = {}", r.p);
+
+    let same_a = [0.70, 0.71, 0.69, 0.72];
+    let same_b = [0.71, 0.70, 0.72, 0.69];
+    let r = welch_t_test(&same_a, &same_b).unwrap();
+    assert!(!r.significantly_greater(0.05), "p = {}", r.p);
+}
