@@ -1,0 +1,186 @@
+//! **K1 — kernel throughput**: wall-clock sweep of the deterministic
+//! parallel layer across thread counts for the hot kernels (dense matmul,
+//! `conv2d` via im2col, the KNN distance matrix), verifying bitwise
+//! equality against the single-thread run at every point and emitting the
+//! raw numbers to `BENCH_kernels.json`.
+//!
+//! Run with: `cargo run --release -p metalora-bench --bin kernels`
+//! (`--scale quick` shrinks sizes/reps for CI smoke runs).
+
+use metalora::report::render_table;
+use metalora_data::knn::{Distance, KnnClassifier};
+use metalora_tensor::conv::{conv2d, ConvSpec};
+use metalora_tensor::{init, ops, par, Tensor};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct KernelPoint {
+    kernel: String,
+    threads: usize,
+    best_ms: f64,
+    gflops: f64,
+    speedup_vs_1: f64,
+    bitwise_equal_to_serial: bool,
+}
+
+#[derive(Serialize)]
+struct KernelReport {
+    host_cpus: usize,
+    scale: String,
+    points: Vec<KernelPoint>,
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut() -> Tensor) -> (f64, Tensor) {
+    let mut best = f64::INFINITY;
+    let mut last = f();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        last = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, last)
+}
+
+fn bitwise_eq(a: &Tensor, b: &Tensor) -> bool {
+    a.dims() == b.dims()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn sweep(
+    name: &str,
+    flops: f64,
+    threads: &[usize],
+    reps: usize,
+    points: &mut Vec<KernelPoint>,
+    f: impl Fn() -> Tensor,
+) {
+    par::set_num_threads(1);
+    let (serial_ms, serial_out) = time_ms(reps, &f);
+    for &t in threads {
+        par::set_num_threads(t);
+        let (ms, out) = time_ms(reps, &f);
+        points.push(KernelPoint {
+            kernel: name.to_string(),
+            threads: t,
+            best_ms: ms,
+            gflops: flops / (ms * 1e6),
+            speedup_vs_1: serial_ms / ms,
+            bitwise_equal_to_serial: bitwise_eq(&serial_out, &out),
+        });
+    }
+    par::set_num_threads(0);
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--scale")
+        && std::env::args().any(|a| a == "quick");
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Sweep past the host count on purpose: oversubscription must not
+    // change results, only throughput.
+    let threads: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= 8.max(host_cpus))
+        .collect();
+    let (mm_dim, reps) = if quick { (128, 2) } else { (384, 5) };
+    println!(
+        "=== K1 — kernel throughput (host_cpus={host_cpus}, sizes {}) ===\n",
+        if quick { "quick" } else { "standard" }
+    );
+    // Force the parallel path even at quick sizes so the sweep actually
+    // exercises the thread team.
+    par::set_par_threshold(0);
+
+    let mut rng = init::rng(0);
+    let mut points = Vec::new();
+
+    // Dense matmul, m = k = n.
+    let a = init::uniform(&[mm_dim, mm_dim], -1.0, 1.0, &mut rng);
+    let b = init::uniform(&[mm_dim, mm_dim], -1.0, 1.0, &mut rng);
+    let mm_flops = 2.0 * (mm_dim as f64).powi(3);
+    sweep(
+        &format!("matmul {mm_dim}x{mm_dim}x{mm_dim}"),
+        mm_flops,
+        &threads,
+        reps,
+        &mut points,
+        || ops::matmul(&a, &b).unwrap(),
+    );
+
+    // conv2d on the acceptance shape [8, 16, 32, 32], 3x3 kernel, 32 out.
+    let (n, c, hw, k, o) = if quick { (2, 8, 16, 3, 16) } else { (8, 16, 32, 3, 32) };
+    let x = init::uniform(&[n, c, hw, hw], -1.0, 1.0, &mut rng);
+    let w = init::uniform(&[k, k, c, o], -1.0, 1.0, &mut rng);
+    let spec = ConvSpec::new(k, 1, 1).unwrap();
+    let oh = spec.out_size(hw).unwrap();
+    let conv_flops = 2.0 * (n * oh * oh * c * k * k * o) as f64;
+    sweep(
+        &format!("conv2d [{n},{c},{hw},{hw}] k{k} o{o}"),
+        conv_flops,
+        &threads,
+        reps,
+        &mut points,
+        || conv2d(&x, &w, spec, spec).unwrap(),
+    );
+
+    // KNN distance matrix + vote (predictions re-encoded as a tensor so
+    // the sweep helper can compare bitwise).
+    let (ns, nq, d) = if quick { (200, 100, 16) } else { (1000, 500, 32) };
+    let support = init::uniform(&[ns, d], -1.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..ns).map(|i| i % 5).collect();
+    let queries = init::uniform(&[nq, d], -1.0, 1.0, &mut rng);
+    let knn = KnnClassifier::fit(support, labels, Distance::L2).unwrap();
+    let knn_flops = 3.0 * (ns * nq * d) as f64;
+    sweep(
+        &format!("knn predict {ns}x{nq} d{d}"),
+        knn_flops,
+        &threads,
+        reps,
+        &mut points,
+        || {
+            let pred = knn.predict(&queries, 5).unwrap();
+            let data: Vec<f32> = pred.iter().map(|&p| p as f32).collect();
+            Tensor::from_vec(data, &[nq]).unwrap()
+        },
+    );
+
+    par::set_par_threshold(usize::MAX);
+
+    let headers: Vec<String> = ["kernel", "threads", "best ms", "GFLOP/s", "speedup", "bitwise"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.kernel.clone(),
+                p.threads.to_string(),
+                format!("{:.3}", p.best_ms),
+                format!("{:.2}", p.gflops),
+                format!("{:.2}x", p.speedup_vs_1),
+                p.bitwise_equal_to_serial.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+
+    assert!(
+        points.iter().all(|p| p.bitwise_equal_to_serial),
+        "parallel kernel diverged from serial output"
+    );
+
+    let report = KernelReport {
+        host_cpus,
+        scale: if quick { "quick" } else { "standard" }.to_string(),
+        points,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise");
+    let path = "BENCH_kernels.json";
+    std::fs::write(path, json).expect("write BENCH_kernels.json");
+    println!("raw sweep written to {path}");
+}

@@ -85,36 +85,42 @@ impl KnnClassifier {
         let k = k.min(self.len());
         let d = self.embeddings.dims()[1];
         let m = queries.dims()[0];
-        let mut out = Vec::with_capacity(m);
-        let mut scored: Vec<(f32, usize)> = Vec::with_capacity(self.len());
-        for qi in 0..m {
-            let q = &queries.data()[qi * d..(qi + 1) * d];
-            scored.clear();
-            for si in 0..self.len() {
-                let s = &self.embeddings.data()[si * d..(si + 1) * d];
-                scored.push((self.dist(q, s), si));
-            }
-            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
-            // Majority vote over the k nearest; ties → nearest tied class.
-            let mut votes: Vec<(usize, usize, f32)> = Vec::new(); // (label, count, best_dist)
-            for &(dist, si) in &scored[..k] {
-                let label = self.labels[si];
-                match votes.iter_mut().find(|(l, _, _)| *l == label) {
-                    Some((_, c, best)) => {
-                        *c += 1;
-                        if dist < *best {
-                            *best = dist;
-                        }
-                    }
-                    None => votes.push((label, 1, dist)),
+        // Queries are fully independent (own distance row, sort and vote),
+        // so the distance matrix + vote parallelises per query row with
+        // results identical to the serial loop.
+        let mut out = vec![0usize; m];
+        metalora_tensor::par::par_row_blocks(&mut out, 1, self.len() * (d + 8), |first, block| {
+            let mut scored: Vec<(f32, usize)> = Vec::with_capacity(self.len());
+            for (r, slot) in block.iter_mut().enumerate() {
+                let qi = first + r;
+                let q = &queries.data()[qi * d..(qi + 1) * d];
+                scored.clear();
+                for si in 0..self.len() {
+                    let s = &self.embeddings.data()[si * d..(si + 1) * d];
+                    scored.push((self.dist(q, s), si));
                 }
+                scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+                // Majority vote over the k nearest; ties → nearest tied class.
+                let mut votes: Vec<(usize, usize, f32)> = Vec::new(); // (label, count, best_dist)
+                for &(dist, si) in &scored[..k] {
+                    let label = self.labels[si];
+                    match votes.iter_mut().find(|(l, _, _)| *l == label) {
+                        Some((_, c, best)) => {
+                            *c += 1;
+                            if dist < *best {
+                                *best = dist;
+                            }
+                        }
+                        None => votes.push((label, 1, dist)),
+                    }
+                }
+                votes.sort_by(|a, b| {
+                    b.1.cmp(&a.1)
+                        .then(a.2.partial_cmp(&b.2).expect("finite distances"))
+                });
+                *slot = votes[0].0;
             }
-            votes.sort_by(|a, b| {
-                b.1.cmp(&a.1)
-                    .then(a.2.partial_cmp(&b.2).expect("finite distances"))
-            });
-            out.push(votes[0].0);
-        }
+        });
         Ok(out)
     }
 

@@ -253,7 +253,8 @@ impl Module for BatchNorm2d {
             // y = γ·(x − μ)·invstd + β with fixed running statistics.
             let c = self.channels;
             let mean = self.running_mean.value().reshape(&[c, 1, 1])?;
-            let invstd = ops::map(&self.running_var.value(), |v| 1.0 / (v + self.eps).sqrt())
+            let eps = self.eps;
+            let invstd = ops::map(&self.running_var.value(), move |v| 1.0 / (v + eps).sqrt())
                 .reshape(&[c, 1, 1])?;
             let mv = g.input(mean);
             let sv = g.input(invstd);

@@ -17,6 +17,7 @@
 //! (spatial, in-channels, out-channels); activations are `[N, C, H, W]`.
 
 use crate::contract::contract;
+use crate::par::par_row_blocks;
 use crate::{Result, Tensor, TensorError};
 
 /// Spatial geometry of a convolution along one axis.
@@ -171,22 +172,24 @@ pub fn im2col(x: &Tensor, h_spec: ConvSpec, w_spec: ConvSpec) -> Result<Tensor> 
     let src = padded.data();
     let cols_w = c * kh * kw;
     let mut cols = vec![0.0f32; n * oh * ow * cols_w];
-    for ni in 0..n {
-        for ohi in 0..oh {
+    // One patch row per (ni, ohi, owi); rows are pure gathers from the
+    // shared padded image, so the split is trivially deterministic.
+    par_row_blocks(&mut cols, cols_w.max(1), cols_w, |first, block| {
+        for (r, row) in block.chunks_mut(cols_w.max(1)).enumerate() {
+            let ri = first + r;
+            let (ni, rem) = (ri / (oh * ow), ri % (oh * ow));
+            let (ohi, owi) = (rem / ow, rem % ow);
             let h0 = ohi * h_spec.stride;
-            for owi in 0..ow {
-                let w0 = owi * w_spec.stride;
-                let row = ((ni * oh + ohi) * ow + owi) * cols_w;
-                for ci in 0..c {
-                    for khi in 0..kh {
-                        let s = ((ni * c + ci) * hp + h0 + khi) * wp + w0;
-                        let d = row + (ci * kh + khi) * kw;
-                        cols[d..d + kw].copy_from_slice(&src[s..s + kw]);
-                    }
+            let w0 = owi * w_spec.stride;
+            for ci in 0..c {
+                for khi in 0..kh {
+                    let s = ((ni * c + ci) * hp + h0 + khi) * wp + w0;
+                    let d = (ci * kh + khi) * kw;
+                    row[d..d + kw].copy_from_slice(&src[s..s + kw]);
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(cols, &[n * oh * ow, cols_w])
 }
 
@@ -215,24 +218,31 @@ pub fn col2im(
     let (hp, wp) = (h + 2 * h_spec.pad, w + 2 * w_spec.pad);
     let mut padded = vec![0.0f32; n * c * hp * wp];
     let src = cols.data();
-    for ni in 0..n {
-        for ohi in 0..oh {
-            let h0 = ohi * h_spec.stride;
-            for owi in 0..ow {
-                let w0 = owi * w_spec.stride;
-                let row = ((ni * oh + ohi) * ow + owi) * cols_w;
-                for ci in 0..c {
-                    for khi in 0..kh {
-                        let d = ((ni * c + ci) * hp + h0 + khi) * wp + w0;
-                        let s = row + (ci * kh + khi) * kw;
-                        for kwi in 0..kw {
-                            padded[d + kwi] += src[s + kwi];
+    // Overlapping patches only ever collide *within* one batch image, so the
+    // scatter parallelises over `ni` with the per-element accumulation order
+    // (ohi, owi, ci, khi, kwi) unchanged from the serial loop.
+    let img = c * hp * wp;
+    par_row_blocks(&mut padded, img.max(1), oh * ow * cols_w, |first, block| {
+        for (r, image) in block.chunks_mut(img.max(1)).enumerate() {
+            let ni = first + r;
+            for ohi in 0..oh {
+                let h0 = ohi * h_spec.stride;
+                for owi in 0..ow {
+                    let w0 = owi * w_spec.stride;
+                    let row = ((ni * oh + ohi) * ow + owi) * cols_w;
+                    for ci in 0..c {
+                        for khi in 0..kh {
+                            let d = (ci * hp + h0 + khi) * wp + w0;
+                            let s = row + (ci * kh + khi) * kw;
+                            for kwi in 0..kw {
+                                image[d + kwi] += src[s + kwi];
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
     // Crop the padding back off.
     let mut out = Tensor::zeros(&[n, c, h, w]);
     let dst = out.data_mut();

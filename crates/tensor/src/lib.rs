@@ -32,6 +32,7 @@ pub mod error;
 pub mod init;
 pub mod linalg;
 pub mod ops;
+pub mod par;
 pub mod shape;
 pub mod tensor;
 

@@ -1,8 +1,15 @@
 //! Reductions: full and per-axis sums, means, maxima and argmax.
+//!
+//! Per-axis reductions parallelise over the `outer` lanes — each output
+//! element still accumulates in increasing `m` order, so results stay
+//! bitwise identical to serial. The full reductions ([`sum_all`],
+//! [`mean_all`]) deliberately stay serial: splitting them would require
+//! combining per-thread partials, changing the accumulation order.
 
+use crate::par::par_row_blocks;
 use crate::{Result, Tensor, TensorError};
 
-/// Sum of all elements.
+/// Sum of all elements. Always serial (see module docs).
 pub fn sum_all(t: &Tensor) -> f32 {
     t.data().iter().sum()
 }
@@ -43,15 +50,17 @@ pub fn sum_axis(t: &Tensor, axis: usize) -> Result<Tensor> {
     let (outer, mid, inner) = axis_split(t, axis)?;
     let src = t.data();
     let mut out = vec![0.0f32; outer * inner];
-    for o in 0..outer {
-        for m in 0..mid {
-            let base = (o * mid + m) * inner;
-            let dst = &mut out[o * inner..(o + 1) * inner];
-            for (d, &s) in dst.iter_mut().zip(&src[base..base + inner]) {
-                *d += s;
+    par_row_blocks(&mut out, inner.max(1), mid * inner, |first, block| {
+        for (r, dst) in block.chunks_mut(inner.max(1)).enumerate() {
+            let o = first + r;
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                for (d, &s) in dst.iter_mut().zip(&src[base..base + inner]) {
+                    *d += s;
+                }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &reduced_dims(t, axis))
 }
 
@@ -73,17 +82,19 @@ pub fn max_axis(t: &Tensor, axis: usize) -> Result<Tensor> {
     }
     let src = t.data();
     let mut out = vec![f32::NEG_INFINITY; outer * inner];
-    for o in 0..outer {
-        for m in 0..mid {
-            let base = (o * mid + m) * inner;
-            let dst = &mut out[o * inner..(o + 1) * inner];
-            for (d, &s) in dst.iter_mut().zip(&src[base..base + inner]) {
-                if s > *d {
-                    *d = s;
+    par_row_blocks(&mut out, inner.max(1), mid * inner, |first, block| {
+        for (r, dst) in block.chunks_mut(inner.max(1)).enumerate() {
+            let o = first + r;
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                for (d, &s) in dst.iter_mut().zip(&src[base..base + inner]) {
+                    if s > *d {
+                        *d = s;
+                    }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &reduced_dims(t, axis))
 }
 
@@ -102,18 +113,21 @@ pub fn argmax(t: &Tensor) -> Result<Vec<usize>> {
     }
     let lanes = t.len() / last;
     let src = t.data();
-    let mut out = Vec::with_capacity(lanes);
-    for l in 0..lanes {
-        let row = &src[l * last..(l + 1) * last];
-        let mut best = 0usize;
-        for (j, &v) in row.iter().enumerate() {
-            if v > row[best] {
-                best = j;
+    let mut out = vec![0usize; lanes];
+    par_row_blocks(&mut out, 1, last, |first, block| {
+        for (r, slot) in block.iter_mut().enumerate() {
+            let l = first + r;
+            let row = &src[l * last..(l + 1) * last];
+            let mut best = 0usize;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
             }
+            debug_assert!(!row[best].is_nan(), "argmax over NaN data");
+            *slot = best;
         }
-        debug_assert!(!row[best].is_nan(), "argmax over NaN data");
-        out.push(best);
-    }
+    });
     Ok(out)
 }
 

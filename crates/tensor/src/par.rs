@@ -1,0 +1,233 @@
+//! Deterministic parallel execution layer.
+//!
+//! Every hot kernel in the workspace (matmul family, im2col/col2im, the
+//! large elementwise/reduction ops, the KNN distance matrix) funnels its
+//! output through [`par_row_blocks`]: the output buffer is split into
+//! disjoint, fixed-size row blocks and a scoped thread team pulls blocks
+//! from a shared queue.
+//!
+//! # Determinism guarantee
+//!
+//! Results are **bitwise identical** to the serial path regardless of the
+//! worker count, because the unit of work is a *row* of the output and the
+//! kernels invoked here compute each row self-containedly, reading only
+//! shared immutable inputs. Block boundaries are a fixed function of the
+//! problem shape (never of the thread count), so even a kernel that did
+//! couple rows within a block would stay deterministic. No reduction ever
+//! combines per-thread partials — ops whose accumulation order would have
+//! to change under parallelism (e.g. `sum_all`) deliberately stay serial.
+//!
+//! # Controls
+//!
+//! * `METALORA_THREADS` — environment variable fixing the worker count
+//!   (read once, first use).
+//! * [`set_num_threads`] — programmatic override, takes precedence.
+//! * [`set_par_threshold`] / `METALORA_PAR_THRESHOLD` — minimum estimated
+//!   flop count below which work stays on the calling thread; small
+//!   problems never pay the thread-spawn cost.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Work below this estimated flop count runs serially (tunable via
+/// [`set_par_threshold`] or `METALORA_PAR_THRESHOLD`).
+pub const DEFAULT_PAR_THRESHOLD: usize = 1 << 19;
+
+/// Upper bound on the number of blocks a problem is split into.
+const MAX_BLOCKS: usize = 64;
+
+/// Minimum elements per block, so tiny rows are grouped into chunks big
+/// enough to amortise queue traffic.
+const MIN_BLOCK_ELEMS: usize = 1 << 12;
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static THRESHOLD_OVERRIDE: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Fixes the worker count; `0` reverts to `METALORA_THREADS` / hardware
+/// detection. `1` forces fully serial execution.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The worker count parallel sections will use: the [`set_num_threads`]
+/// override if set, else `METALORA_THREADS`, else the hardware parallelism.
+pub fn num_threads() -> usize {
+    let n = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if n > 0 {
+        return n;
+    }
+    static FROM_ENV: OnceLock<usize> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        std::env::var("METALORA_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Sets the serial/parallel flop threshold; `usize::MAX` reverts to
+/// `METALORA_PAR_THRESHOLD` / [`DEFAULT_PAR_THRESHOLD`].
+pub fn set_par_threshold(flops: usize) {
+    THRESHOLD_OVERRIDE.store(flops, Ordering::Relaxed);
+}
+
+/// The current serial/parallel flop threshold.
+pub fn par_threshold() -> usize {
+    let t = THRESHOLD_OVERRIDE.load(Ordering::Relaxed);
+    if t != usize::MAX {
+        return t;
+    }
+    static FROM_ENV: OnceLock<usize> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        std::env::var("METALORA_PAR_THRESHOLD")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_PAR_THRESHOLD)
+    })
+}
+
+/// Rows per block: a fixed function of the problem shape only, so the
+/// partition (and therefore any block-coupled numerics) is independent of
+/// the thread count.
+fn block_rows_for(rows: usize, row_len: usize) -> usize {
+    let by_count = rows.div_ceil(MAX_BLOCKS);
+    let by_elems = MIN_BLOCK_ELEMS.div_ceil(row_len.max(1));
+    by_count.max(by_elems).clamp(1, rows.max(1))
+}
+
+/// Runs `kernel` over the rows of `out` (`row_len` elements each),
+/// possibly in parallel.
+///
+/// `kernel(first_row, block)` must fill `block` — the rows
+/// `first_row .. first_row + block.len() / row_len` — reading only shared
+/// inputs and writing only `block`. **Each row must be computed
+/// independently of every other row**; that is what makes the parallel
+/// schedule bitwise-equal to the serial one.
+///
+/// `cost_per_row` is an estimated flop count per row; the whole call runs
+/// on the calling thread when `rows * cost_per_row` is under
+/// [`par_threshold`], when only one worker is configured, or when there is
+/// a single block.
+pub fn par_row_blocks<T, F>(out: &mut [T], row_len: usize, cost_per_row: usize, kernel: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if out.is_empty() {
+        return;
+    }
+    debug_assert!(row_len > 0 && out.len() % row_len == 0);
+    let rows = out.len() / row_len;
+    let block = block_rows_for(rows, row_len);
+    let n_blocks = rows.div_ceil(block);
+    let threads = num_threads().min(n_blocks);
+    if threads <= 1 || rows.saturating_mul(cost_per_row) < par_threshold() {
+        kernel(0, out);
+        return;
+    }
+    // Fixed-size blocks, dynamically scheduled: workers pull the next
+    // (index, slice) pair from a shared iterator. Scheduling order cannot
+    // affect results because blocks are disjoint and rows independent.
+    let queue = Mutex::new(out.chunks_mut(block * row_len).enumerate());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let next = queue.lock().expect("queue poisoned").next();
+                match next {
+                    Some((bi, chunk)) => kernel(bi * block, chunk),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that touch the global overrides and restores the
+    /// defaults on drop (the test harness runs tests concurrently).
+    struct Guard(std::sync::MutexGuard<'static, ()>);
+
+    fn guard() -> Guard {
+        static LOCK: Mutex<()> = Mutex::new(());
+        Guard(LOCK.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            set_num_threads(0);
+            set_par_threshold(usize::MAX);
+        }
+    }
+
+    #[test]
+    fn serial_fallback_below_threshold() {
+        let _g = guard();
+        set_num_threads(4);
+        set_par_threshold(usize::MAX - 1); // everything is "too small"
+        let mut out = vec![0.0f32; 64];
+        par_row_blocks(&mut out, 8, 1, |first, block| {
+            for (r, row) in block.chunks_mut(8).enumerate() {
+                row.fill((first + r) as f32);
+            }
+        });
+        for (r, row) in out.chunks(8).enumerate() {
+            assert!(row.iter().all(|&x| x == r as f32));
+        }
+    }
+
+    #[test]
+    fn parallel_covers_all_rows_exactly_once() {
+        let _g = guard();
+        set_par_threshold(0);
+        for threads in [1, 2, 3, 7, 16] {
+            set_num_threads(threads);
+            let rows = 97; // not a multiple of any block size
+            let mut out = vec![-1.0f32; rows * 5];
+            par_row_blocks(&mut out, 5, 1000, |first, block| {
+                for (r, row) in block.chunks_mut(5).enumerate() {
+                    assert!(row.iter().all(|&x| x == -1.0), "row visited twice");
+                    row.fill((first + r) as f32);
+                }
+            });
+            for (r, row) in out.chunks(5).enumerate() {
+                assert!(
+                    row.iter().all(|&x| x == r as f32),
+                    "threads={threads} row={r} wrong: {row:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_output_is_fine() {
+        let _g = guard();
+        par_row_blocks(&mut [] as &mut [f32], 4, 1, |_, _| panic!("no work"));
+    }
+
+    #[test]
+    fn block_sizes_are_shape_deterministic() {
+        // Only the shape feeds the partition; calling twice must agree.
+        assert_eq!(block_rows_for(256, 256), block_rows_for(256, 256));
+        assert!(block_rows_for(1, 1) == 1);
+        // Tiny rows get grouped; big rows split down to MAX_BLOCKS.
+        assert!(block_rows_for(1 << 20, 1) >= MIN_BLOCK_ELEMS);
+        assert_eq!(block_rows_for(6400, 512), 100);
+    }
+
+    #[test]
+    fn threads_env_override_applies() {
+        let _g = guard();
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+}

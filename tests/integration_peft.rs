@@ -166,7 +166,7 @@ fn meta_seed_depends_on_input_shift() {
 fn multi_lora_slots_specialise() {
     // Train slot 0 on one label mapping and slot 1 on a permuted mapping;
     // each slot should fit its own mapping better.
-    let mut rng = init::rng(8);
+    let mut rng = init::rng(13);
     let mut net = quick_resnet(8);
     let inj = inject::multi_into_resnet(&mut net, 2, LoraConfig::default(), &mut rng).unwrap();
     let (x, labels) = batch(9, 8, 16);

@@ -1,0 +1,240 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! minimal self-describing serialisation layer with the same *spelling* as
+//! serde: `#[derive(Serialize, Deserialize)]` plus `serde_json::to_string`
+//! / `from_str`. Instead of serde's visitor architecture, both traits go
+//! through an owned [`Value`] tree — adequate for the checkpoint/config/
+//! result types this workspace round-trips, and formats compatibly with
+//! serde_json's externally-tagged enum encoding.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+
+/// A self-describing data tree, the interchange point between
+/// [`Serialize`]/[`Deserialize`] impls and data formats (`serde_json`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Any number; stored as `f64` (exact for every `f32`/small integer
+    /// this workspace serialises).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Key-value map in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Map lookup that produces a descriptive [`Error`] when missing.
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key)
+            .ok_or_else(|| Error(format!("missing field `{key}`")))
+    }
+}
+
+/// Deserialisation error (also reused by the derive for malformed input).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the self-describing [`Value`] tree.
+pub trait Serialize {
+    /// Serialises `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from the self-describing [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`], validating shape and fields.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    other => Err(Error(format!(
+                        "expected number for {}, got {other:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(Deserialize::from_value).collect(),
+            other => Err(Error(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(f32::from_value(&3.5f32.to_value()).unwrap(), 3.5);
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        let s = "hi".to_string();
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1.0f32, -2.5, 3.25];
+        assert_eq!(Vec::<f32>::from_value(&v.to_value()).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1usize);
+        m.insert("b".to_string(), 2usize);
+        assert_eq!(
+            BTreeMap::<String, usize>::from_value(&m.to_value()).unwrap(),
+            m
+        );
+        assert_eq!(Option::<f32>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn field_lookup_errors() {
+        let v = Value::Map(vec![("x".into(), Value::Num(1.0))]);
+        assert!(v.field("x").is_ok());
+        assert!(v.field("y").is_err());
+        assert!(Vec::<f32>::from_value(&Value::Bool(true)).is_err());
+    }
+}
