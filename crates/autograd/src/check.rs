@@ -80,6 +80,73 @@ where
     Ok(report)
 }
 
+/// Parameter-space variant of [`grad_check`]: validates the gradients a
+/// `backward` + [`Graph::flush_grads`] pass deposits into `params` against
+/// central finite differences of the loss w.r.t. each parameter entry.
+///
+/// `f` builds a scalar loss on a fresh graph each call, binding the
+/// parameters itself (e.g. a `Module::forward` plus a reduction). It runs
+/// `2·Σ len(p) + 1` times, so keep the parameters small in tests.
+pub fn grad_check_params<F>(
+    params: &[crate::ParamRef],
+    eps: f32,
+    f: F,
+) -> Result<GradCheckReport>
+where
+    F: Fn(&mut Graph) -> Result<Var>,
+{
+    // Analytic pass.
+    for p in params {
+        p.zero_grad();
+    }
+    let mut g = Graph::new();
+    let loss = f(&mut g)?;
+    g.backward(loss)?;
+    g.flush_grads();
+    let analytic: Vec<Tensor> = params.iter().map(|p| p.grad()).collect();
+    for p in params {
+        p.zero_grad();
+    }
+
+    let eval = |f: &F| -> Result<f32> {
+        let mut g = Graph::new();
+        let loss = f(&mut g)?;
+        g.value(loss).item()
+    };
+
+    let mut report = GradCheckReport {
+        max_rel_err: 0.0,
+        worst: (0, 0),
+        analytic: 0.0,
+        numeric: 0.0,
+    };
+    for (i, p) in params.iter().enumerate() {
+        let base = p.value();
+        for k in 0..base.len() {
+            let orig = base.data()[k];
+            let mut t = base.clone();
+            t.data_mut()[k] = orig + eps;
+            p.set_value(t);
+            let plus = eval(&f)?;
+            let mut t = base.clone();
+            t.data_mut()[k] = orig - eps;
+            p.set_value(t);
+            let minus = eval(&f)?;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let a = analytic[i].data()[k];
+            let rel = (a - numeric).abs() / (1.0 + a.abs().max(numeric.abs()));
+            if rel > report.max_rel_err {
+                report.max_rel_err = rel;
+                report.worst = (i, k);
+                report.analytic = a;
+                report.numeric = numeric;
+            }
+        }
+        p.set_value(base);
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +183,26 @@ mod tests {
         })
         .unwrap();
         assert!(ok.passes(1e-2), "{ok:?}");
+    }
+
+    #[test]
+    fn grad_check_params_passes_on_bound_parameters() {
+        let mut rng = init::rng(5);
+        let w = crate::ParamRef::new("w", init::uniform(&[3, 2], -1.0, 1.0, &mut rng));
+        let b = crate::ParamRef::new("b", init::uniform(&[2], -1.0, 1.0, &mut rng));
+        let x = init::uniform(&[4, 3], -1.0, 1.0, &mut rng);
+        let report = grad_check_params(&[w.clone(), b.clone()], 1e-2, |g| {
+            let xv = g.input(x.clone());
+            let wv = g.bind(&w);
+            let bv = g.bind(&b);
+            let y = g.linear(xv, wv, bv)?;
+            let y = g.tanh(y);
+            g.mean_all(y)
+        })
+        .unwrap();
+        assert!(report.passes(1e-2), "{report:?}");
+        // The check must restore the original values and leave grads clean.
+        assert_eq!(w.grad().norm(), 0.0);
     }
 
     #[test]

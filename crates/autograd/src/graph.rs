@@ -551,6 +551,13 @@ impl Graph {
         let cols = conv::im2col(xv, h_spec, w_spec)?;
         let wm = conv::weight_to_matrix(wv)?;
         let out = ops::matmul(&cols, &wm)?;
+        // This path lowers conv itself (to cache `cols` for backward), so
+        // it records the conv counter just like `conv::conv2d` does.
+        metalora_obs::counters::record_kernel(
+            metalora_obs::counters::Kernel::Conv,
+            (2 * n * oh * ow * wv.len()) as u64,
+            (4 * (xv.len() + wv.len() + out.len())) as u64,
+        );
         let out = ops::permute(&out.reshape(&[n, oh, ow, o])?, &[0, 3, 1, 2])?;
         Ok(self.push(
             out,

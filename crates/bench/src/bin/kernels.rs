@@ -183,4 +183,13 @@ fn main() {
     let path = "BENCH_kernels.json";
     std::fs::write(path, json).expect("write BENCH_kernels.json");
     println!("raw sweep written to {path}");
+
+    if metalora_obs::enabled() {
+        let report = metalora_obs::report::RunReport::capture("kernels");
+        println!("\n{}", report.summary_table());
+        match report.write() {
+            Ok(p) => println!("run log written to {}", p.display()),
+            Err(e) => eprintln!("could not write run log: {e}"),
+        }
+    }
 }

@@ -13,6 +13,8 @@ fn main() {
     let opts = opts_from_env();
     banner("Table I — method × backbone × K", &opts);
 
+    // Scope the run report (METALORA_OBS=1) to this run.
+    metalora_obs::reset();
     let t0 = std::time::Instant::now();
     let t1 = Table1Options::new(opts.cfg.clone(), opts.seeds.clone());
     let result = run_table1(&t1).expect("table 1 run");
@@ -29,5 +31,14 @@ fn main() {
     let path = "table1_result.json";
     if std::fs::write(path, json).is_ok() {
         println!("raw per-episode samples written to {path}");
+    }
+
+    if metalora_obs::enabled() {
+        let report = metalora_obs::report::RunReport::capture("table1");
+        println!("\n{}", report.summary_table());
+        match report.write() {
+            Ok(p) => println!("run log written to {}", p.display()),
+            Err(e) => eprintln!("could not write run log: {e}"),
+        }
     }
 }

@@ -70,6 +70,7 @@ impl Backbone for AnyBackbone {
 
 /// Pretrains a backbone on the base (Identity-shift) distribution.
 pub fn pretrain(cfg: &ExperimentConfig, arch: Arch, seed: u64) -> Result<AnyBackbone> {
+    let _span = metalora_obs::span!("pretrain");
     let mut rng = init::rng(seed.wrapping_mul(31).wrapping_add(17));
     let net = match arch {
         Arch::ResNet => AnyBackbone::ResNet(ResNet::new(&cfg.resnet(), &mut rng)?),
@@ -214,6 +215,11 @@ impl Adapted {
 
 /// Shared adaptation loop: Adam over `params` on the training-task
 /// mixture, with a per-step context derived from the sampled task id.
+///
+/// When instrumentation is enabled the whole run is pushed to the obs
+/// metrics sink as one record (mean step loss / accuracy / grad norm)
+/// under the current span path; the extra readouts only happen while
+/// observing and never feed back into the computation.
 fn adapt_train(
     model: &dyn Module,
     family: &TaskFamily,
@@ -222,7 +228,10 @@ fn adapt_train(
     ctx_of: impl Fn(usize) -> Ctx,
     rng: &mut rand::rngs::StdRng,
 ) -> Result<()> {
-    let mut opt = Adam::new(params, cfg.adapt_lr);
+    let observing = metalora_obs::enabled();
+    let t0 = observing.then(std::time::Instant::now);
+    let (mut loss_sum, mut acc_sum, mut grad_sum) = (0.0f64, 0.0f64, 0.0f64);
+    let mut opt = Adam::new(params.clone(), cfg.adapt_lr);
     for _ in 0..cfg.adapt_steps {
         let (batch, tid) = sample_mixture_batch(family, cfg.adapt_per_class, cfg.image_size, rng)?;
         let mut g = Graph::new();
@@ -231,13 +240,32 @@ fn adapt_train(
         let loss = g.softmax_cross_entropy(logits, &batch.labels)?;
         g.backward(loss)?;
         g.flush_grads();
+        if observing {
+            loss_sum += g.value(loss).item()? as f64;
+            acc_sum +=
+                metalora_nn::train::accuracy(&g.value(logits), &batch.labels)? as f64;
+            grad_sum += metalora_nn::train::grad_norm(&params);
+        }
         opt.step();
+    }
+    if let Some(t0) = t0 {
+        let steps = cfg.adapt_steps.max(1) as f64;
+        let phase = metalora_obs::span::current_path();
+        let phase = if phase.is_empty() { "adapt" } else { &phase };
+        metalora_obs::metrics::record_epoch(
+            phase,
+            loss_sum / steps,
+            acc_sum / steps,
+            grad_sum / steps,
+            t0.elapsed().as_secs_f64(),
+        );
     }
     Ok(())
 }
 
 /// Adapts a pretrained backbone with the requested method.
 pub fn adapt(backbone: AnyBackbone, method: Method, cfg: &ExperimentConfig, seed: u64) -> Result<Adapted> {
+    let _span = metalora_obs::span!("adapt/{method:?}");
     let mut rng = init::rng(seed.wrapping_mul(7919).wrapping_add(101));
     let family = TaskFamily::reduced(cfg.n_train_tasks, cfg.n_eval_tasks);
     let lora = cfg.lora_config();
@@ -412,6 +440,7 @@ impl ProbeResult {
 
 /// Runs the KNN probe of Table I over the held-out evaluation tasks.
 pub fn probe(adapted: &Adapted, cfg: &ExperimentConfig, seed: u64) -> Result<ProbeResult> {
+    let _span = metalora_obs::span!("probe/{:?}", adapted.method);
     if adapted.family.eval.is_empty() {
         return Err(TensorError::InvalidArgument(
             "no evaluation tasks configured".into(),

@@ -121,6 +121,13 @@ impl KnnClassifier {
                 *slot = votes[0].0;
             }
         });
+        // Distance matrix dominates: ~3 ops per dimension per (query,
+        // support) pair (sub/mul/add for L2, comparable for cosine).
+        metalora_obs::counters::record_kernel(
+            metalora_obs::counters::Kernel::Knn,
+            (3 * m * self.len() * d) as u64,
+            (4 * (queries.len() + self.embeddings.len()) + 8 * m) as u64,
+        );
         Ok(out)
     }
 

@@ -57,8 +57,24 @@ pub struct EpochStats {
     pub batches: usize,
 }
 
+/// Global L2 norm of the gradients accumulated on `params`.
+pub fn grad_norm(params: &[metalora_autograd::ParamRef]) -> f64 {
+    let mut sq = 0.0f64;
+    for p in params {
+        for &v in p.grad().data() {
+            sq += v as f64 * v as f64;
+        }
+    }
+    sq.sqrt()
+}
+
 /// Runs one supervised epoch of `model` on `(images, labels)` with
 /// cross-entropy, updating through `opt`. Returns epoch statistics.
+///
+/// When `metalora_obs` instrumentation is enabled the epoch is also
+/// pushed to the metrics sink (loss, accuracy, mean per-batch gradient
+/// norm, wall time) under the current span path; observation never
+/// changes the computation itself.
 pub fn train_epoch(
     model: &dyn Module,
     images: &Tensor,
@@ -67,6 +83,9 @@ pub fn train_epoch(
     opt: &mut dyn Optimizer,
     rng: &mut StdRng,
 ) -> Result<EpochStats> {
+    let observing = metalora_obs::enabled();
+    let t0 = observing.then(std::time::Instant::now);
+    let mut grad_norm_sum = 0.0f64;
     let mut stats = EpochStats::default();
     for idx in batch_indices(labels.len(), batch_size, rng) {
         let xb = gather_rows(images, &idx)?;
@@ -79,12 +98,26 @@ pub fn train_epoch(
         stats.accuracy += accuracy(&g.value(logits), &yb)?;
         g.backward(loss)?;
         g.flush_grads();
+        if observing {
+            grad_norm_sum += grad_norm(&model.params());
+        }
         opt.step();
         stats.batches += 1;
     }
     if stats.batches > 0 {
         stats.loss /= stats.batches as f32;
         stats.accuracy /= stats.batches as f32;
+    }
+    if let Some(t0) = t0 {
+        let phase = metalora_obs::span::current_path();
+        let phase = if phase.is_empty() { "train" } else { &phase };
+        metalora_obs::metrics::record_epoch(
+            phase,
+            stats.loss as f64,
+            stats.accuracy as f64,
+            grad_norm_sum / stats.batches.max(1) as f64,
+            t0.elapsed().as_secs_f64(),
+        );
     }
     Ok(stats)
 }

@@ -1,0 +1,251 @@
+//! Global kernel and memory counters.
+//!
+//! All counters are process-wide relaxed atomics: recording from inside a
+//! parallel kernel is safe and nearly free, and the exact interleaving of
+//! increments does not matter because only totals are reported.
+//!
+//! Two accounting caveats, by design:
+//!
+//! * Lowered kernels count at every layer they pass through — `conv2d`
+//!   records under [`Kernel::Conv`] *and* its internal im2col matmul
+//!   records under [`Kernel::Matmul`]; likewise `contract` lowers to
+//!   matmul. Per-kernel rows answer "how much work did this entry point
+//!   see", not a disjoint partition of machine flops.
+//! * [`track_alloc`]/[`track_free`] may be toggled on mid-run, so frees
+//!   of buffers allocated while disabled can drive the live-byte count
+//!   negative; the snapshot clamps at zero and the peak only ratchets up.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+
+/// Instrumented kernel entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Dense matmul family (`matmul`, transposed variants, `matvec`, `bmm`).
+    Matmul,
+    /// `conv2d` (im2col + matmul production path).
+    Conv,
+    /// Pairwise tensor contraction (`contract`).
+    Contract,
+    /// The general einsum evaluator.
+    Einsum,
+    /// KNN distance matrix + vote.
+    Knn,
+}
+
+const N_KERNELS: usize = 5;
+
+impl Kernel {
+    /// All kernels, in reporting order.
+    pub const ALL: [Kernel; N_KERNELS] = [
+        Kernel::Matmul,
+        Kernel::Conv,
+        Kernel::Contract,
+        Kernel::Einsum,
+        Kernel::Knn,
+    ];
+
+    /// Stable lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Matmul => "matmul",
+            Kernel::Conv => "conv",
+            Kernel::Contract => "contract",
+            Kernel::Einsum => "einsum",
+            Kernel::Knn => "knn",
+        }
+    }
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_U64: AtomicU64 = AtomicU64::new(0);
+
+static CALLS: [AtomicU64; N_KERNELS] = [ZERO_U64; N_KERNELS];
+static FLOPS: [AtomicU64; N_KERNELS] = [ZERO_U64; N_KERNELS];
+static BYTES: [AtomicU64; N_KERNELS] = [ZERO_U64; N_KERNELS];
+
+static DISPATCH_PARALLEL: AtomicU64 = AtomicU64::new(0);
+static DISPATCH_SERIAL: AtomicU64 = AtomicU64::new(0);
+
+static TENSOR_BYTES_ALIVE: AtomicI64 = AtomicI64::new(0);
+static PEAK_TENSOR_BYTES: AtomicI64 = AtomicI64::new(0);
+
+/// Records one invocation of `kernel` with its estimated flop count and
+/// the bytes it moved (inputs + outputs).
+#[inline]
+pub fn record_kernel(kernel: Kernel, flops: u64, bytes: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let i = kernel as usize;
+    CALLS[i].fetch_add(1, Relaxed);
+    FLOPS[i].fetch_add(flops, Relaxed);
+    BYTES[i].fetch_add(bytes, Relaxed);
+}
+
+/// Records one serial-vs-parallel dispatch decision of the `par` layer.
+#[inline]
+pub fn record_dispatch(parallel: bool) {
+    if !crate::enabled() {
+        return;
+    }
+    if parallel {
+        DISPATCH_PARALLEL.fetch_add(1, Relaxed);
+    } else {
+        DISPATCH_SERIAL.fetch_add(1, Relaxed);
+    }
+}
+
+/// Records a tensor buffer allocation, ratcheting the peak-alive mark.
+#[inline]
+pub fn track_alloc(bytes: usize) {
+    if !crate::enabled() {
+        return;
+    }
+    let now = TENSOR_BYTES_ALIVE.fetch_add(bytes as i64, Relaxed) + bytes as i64;
+    let mut peak = PEAK_TENSOR_BYTES.load(Relaxed);
+    while now > peak {
+        match PEAK_TENSOR_BYTES.compare_exchange_weak(peak, now, Relaxed, Relaxed) {
+            Ok(_) => break,
+            Err(p) => peak = p,
+        }
+    }
+}
+
+/// Records a tensor buffer release.
+#[inline]
+pub fn track_free(bytes: usize) {
+    if !crate::enabled() {
+        return;
+    }
+    TENSOR_BYTES_ALIVE.fetch_sub(bytes as i64, Relaxed);
+}
+
+/// One row of the per-kernel table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStat {
+    /// Kernel name (see [`Kernel::name`]).
+    pub kernel: &'static str,
+    /// Invocation count.
+    pub calls: u64,
+    /// Estimated floating-point operations.
+    pub flops: u64,
+    /// Bytes moved (inputs + outputs, 4 bytes per element).
+    pub bytes_moved: u64,
+}
+
+/// A consistent-enough copy of every counter (individually atomic reads;
+/// a concurrent recorder may land between rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Per-kernel stats in [`Kernel::ALL`] order.
+    pub kernels: Vec<KernelStat>,
+    /// `par_row_blocks` calls that spawned a thread team.
+    pub dispatch_parallel: u64,
+    /// `par_row_blocks` calls that stayed on the calling thread.
+    pub dispatch_serial: u64,
+    /// Tensor bytes currently alive (clamped at zero).
+    pub tensor_bytes_alive: u64,
+    /// High-water mark of tensor bytes alive.
+    pub peak_tensor_bytes: u64,
+}
+
+/// Snapshots every counter.
+pub fn snapshot() -> CounterSnapshot {
+    let kernels = Kernel::ALL
+        .iter()
+        .map(|&k| {
+            let i = k as usize;
+            KernelStat {
+                kernel: k.name(),
+                calls: CALLS[i].load(Relaxed),
+                flops: FLOPS[i].load(Relaxed),
+                bytes_moved: BYTES[i].load(Relaxed),
+            }
+        })
+        .collect();
+    CounterSnapshot {
+        kernels,
+        dispatch_parallel: DISPATCH_PARALLEL.load(Relaxed),
+        dispatch_serial: DISPATCH_SERIAL.load(Relaxed),
+        tensor_bytes_alive: TENSOR_BYTES_ALIVE.load(Relaxed).max(0) as u64,
+        peak_tensor_bytes: PEAK_TENSOR_BYTES.load(Relaxed).max(0) as u64,
+    }
+}
+
+/// Zeroes every counter.
+pub fn reset() {
+    for i in 0..N_KERNELS {
+        CALLS[i].store(0, Relaxed);
+        FLOPS[i].store(0, Relaxed);
+        BYTES[i].store(0, Relaxed);
+    }
+    DISPATCH_PARALLEL.store(0, Relaxed);
+    DISPATCH_SERIAL.store(0, Relaxed);
+    TENSOR_BYTES_ALIVE.store(0, Relaxed);
+    PEAK_TENSOR_BYTES.store(0, Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::lock;
+
+    #[test]
+    fn kernel_counters_accumulate() {
+        let _g = lock();
+        record_kernel(Kernel::Matmul, 100, 8);
+        record_kernel(Kernel::Matmul, 50, 4);
+        record_kernel(Kernel::Knn, 7, 2);
+        let snap = snapshot();
+        let mm = &snap.kernels[Kernel::Matmul as usize];
+        assert_eq!((mm.calls, mm.flops, mm.bytes_moved), (2, 150, 12));
+        let knn = &snap.kernels[Kernel::Knn as usize];
+        assert_eq!((knn.calls, knn.flops, knn.bytes_moved), (1, 7, 2));
+        assert_eq!(snap.kernels[Kernel::Conv as usize].calls, 0);
+    }
+
+    #[test]
+    fn dispatch_tally() {
+        let _g = lock();
+        record_dispatch(true);
+        record_dispatch(false);
+        record_dispatch(false);
+        let snap = snapshot();
+        assert_eq!(snap.dispatch_parallel, 1);
+        assert_eq!(snap.dispatch_serial, 2);
+    }
+
+    #[test]
+    fn peak_ratchets_and_alive_clamps() {
+        let _g = lock();
+        track_alloc(100);
+        track_alloc(50);
+        track_free(120);
+        track_alloc(10);
+        let snap = snapshot();
+        assert_eq!(snap.peak_tensor_bytes, 150);
+        assert_eq!(snap.tensor_bytes_alive, 40);
+        // Frees of untracked buffers cannot push the reported value below 0.
+        track_free(1_000_000);
+        assert_eq!(snapshot().tensor_bytes_alive, 0);
+        assert_eq!(snapshot().peak_tensor_bytes, 150);
+    }
+
+    #[test]
+    fn peak_is_ratcheted_concurrently() {
+        let _g = lock();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        track_alloc(8);
+                        track_free(8);
+                    }
+                });
+            }
+        });
+        let snap = snapshot();
+        assert_eq!(snap.tensor_bytes_alive, 0);
+        assert!(snap.peak_tensor_bytes >= 8);
+    }
+}

@@ -1,0 +1,342 @@
+//! Structured run reports: `RUNLOG_<name>.json` plus a summary table.
+//!
+//! [`RunReport::capture`] snapshots the three collectors (spans, counters,
+//! metrics) into one value that can be serialised ([`RunReport::to_json`],
+//! [`RunReport::write`]) or rendered for humans
+//! ([`RunReport::summary_table`]).
+//!
+//! ## Schema (`schema_version` 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "name": "table1",
+//!   "spans":   [ {"path": "pretrain", "count": 2, "total_ms": 813.4} ],
+//!   "kernels": [ {"kernel": "matmul", "calls": 10, "flops": 123, "bytes_moved": 456} ],
+//!   "dispatch": {"parallel": 3, "serial": 7},
+//!   "memory":  {"peak_tensor_bytes": 8192, "tensor_bytes_alive": 0},
+//!   "epochs":  [ {"phase": "pretrain", "epoch": 0, "loss": 2.1,
+//!                 "accuracy": 0.14, "grad_norm": 0.9, "wall_s": 0.4} ]
+//! }
+//! ```
+
+use crate::counters::{self, CounterSnapshot};
+use crate::json;
+use crate::metrics::{self, EpochRecord};
+use crate::span::{self, SpanStat};
+use std::path::{Path, PathBuf};
+
+/// Version stamp written into every run log.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A captured snapshot of everything the instrumentation recorded.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Report name; also names the output file (`RUNLOG_<name>.json`).
+    pub name: String,
+    /// Aggregated spans, sorted by path.
+    pub spans: Vec<(String, SpanStat)>,
+    /// Kernel / dispatch / memory counters.
+    pub counters: CounterSnapshot,
+    /// Training epoch records in insertion order.
+    pub epochs: Vec<EpochRecord>,
+}
+
+impl RunReport {
+    /// Snapshots the current global instrumentation state under `name`.
+    pub fn capture(name: &str) -> RunReport {
+        RunReport {
+            name: name.to_string(),
+            spans: span::snapshot(),
+            counters: counters::snapshot(),
+            epochs: metrics::snapshot(),
+        }
+    }
+
+    /// Serialises the report (see the module docs for the schema).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        s.push_str(&format!("  \"name\": {},\n", json::string(&self.name)));
+
+        s.push_str("  \"spans\": [\n");
+        for (i, (path, stat)) in self.spans.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"path\": {}, \"count\": {}, \"total_ms\": {}}}{}\n",
+                json::string(path),
+                stat.count,
+                json::num(stat.total_ns as f64 / 1e6),
+                comma(i, self.spans.len())
+            ));
+        }
+        s.push_str("  ],\n");
+
+        s.push_str("  \"kernels\": [\n");
+        for (i, k) in self.counters.kernels.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"kernel\": {}, \"calls\": {}, \"flops\": {}, \"bytes_moved\": {}}}{}\n",
+                json::string(k.kernel),
+                k.calls,
+                k.flops,
+                k.bytes_moved,
+                comma(i, self.counters.kernels.len())
+            ));
+        }
+        s.push_str("  ],\n");
+
+        s.push_str(&format!(
+            "  \"dispatch\": {{\"parallel\": {}, \"serial\": {}}},\n",
+            self.counters.dispatch_parallel, self.counters.dispatch_serial
+        ));
+        s.push_str(&format!(
+            "  \"memory\": {{\"peak_tensor_bytes\": {}, \"tensor_bytes_alive\": {}}},\n",
+            self.counters.peak_tensor_bytes, self.counters.tensor_bytes_alive
+        ));
+
+        s.push_str("  \"epochs\": [\n");
+        for (i, e) in self.epochs.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"phase\": {}, \"epoch\": {}, \"loss\": {}, \"accuracy\": {}, \
+                 \"grad_norm\": {}, \"wall_s\": {}}}{}\n",
+                json::string(&e.phase),
+                e.epoch,
+                json::num(e.loss),
+                json::num(e.accuracy),
+                json::num(e.grad_norm),
+                json::num(e.wall_s),
+                comma(i, self.epochs.len())
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// The output file name: `RUNLOG_<name>.json` with the name sanitised
+    /// to `[A-Za-z0-9._-]`.
+    pub fn file_name(&self) -> String {
+        let safe: String = self
+            .name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        format!("RUNLOG_{safe}.json")
+    }
+
+    /// Writes the JSON report into `dir` and returns the full path.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Writes the JSON report into the current directory.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        self.write_to(Path::new("."))
+    }
+
+    /// Renders the human-readable summary: spans, kernel counters,
+    /// dispatch/memory lines and the epoch metrics.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== run report: {} ===\n", self.name));
+
+        if !self.spans.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .spans
+                .iter()
+                .map(|(path, stat)| {
+                    vec![
+                        path.clone(),
+                        stat.count.to_string(),
+                        format!("{:.2}", stat.total_ns as f64 / 1e6),
+                        format!("{:.2}", stat.total_ns as f64 / 1e6 / stat.count.max(1) as f64),
+                    ]
+                })
+                .collect();
+            out.push_str(&table(&["span", "count", "total ms", "mean ms"], &rows));
+        }
+
+        let active: Vec<_> = self
+            .counters
+            .kernels
+            .iter()
+            .filter(|k| k.calls > 0)
+            .collect();
+        if !active.is_empty() {
+            let rows: Vec<Vec<String>> = active
+                .iter()
+                .map(|k| {
+                    vec![
+                        k.kernel.to_string(),
+                        k.calls.to_string(),
+                        format!("{:.3e}", k.flops as f64),
+                        format!("{:.3e}", k.bytes_moved as f64),
+                    ]
+                })
+                .collect();
+            out.push_str(&table(&["kernel", "calls", "flops", "bytes moved"], &rows));
+        }
+
+        out.push_str(&format!(
+            "dispatch: {} parallel / {} serial   peak tensor bytes: {}\n",
+            self.counters.dispatch_parallel,
+            self.counters.dispatch_serial,
+            self.counters.peak_tensor_bytes
+        ));
+
+        if !self.epochs.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .epochs
+                .iter()
+                .map(|e| {
+                    vec![
+                        e.phase.clone(),
+                        e.epoch.to_string(),
+                        format!("{:.4}", e.loss),
+                        format!("{:.4}", e.accuracy),
+                        if e.grad_norm.is_finite() {
+                            format!("{:.4}", e.grad_norm)
+                        } else {
+                            "-".to_string()
+                        },
+                        format!("{:.3}", e.wall_s),
+                    ]
+                })
+                .collect();
+            out.push_str(&table(
+                &["phase", "epoch", "loss", "accuracy", "grad norm", "wall s"],
+                &rows,
+            ));
+        }
+        out
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+/// Column-aligned plain-text table (local twin of `metalora::report::
+/// render_table`, which lives above this crate in the dependency order).
+fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (c, cell) in cells.iter().enumerate().take(cols) {
+            if c > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<w$}", w = widths[c]));
+        }
+        line.trim_end().to_string()
+    };
+    let header: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Kernel;
+    use crate::tests::lock;
+
+    fn populate() {
+        {
+            let _outer = crate::span!("pretrain");
+            let _inner = crate::span!("epoch0");
+        }
+        counters::record_kernel(Kernel::Matmul, 2000, 96);
+        counters::record_dispatch(false);
+        counters::track_alloc(4096);
+        metrics::record_epoch("pretrain", 1.25, 0.5, 0.75, 0.01);
+    }
+
+    #[test]
+    fn capture_and_json_roundtrip_structure() {
+        let _g = lock();
+        populate();
+        let report = RunReport::capture("unit test");
+        assert_eq!(report.file_name(), "RUNLOG_unit_test.json");
+        let js = report.to_json();
+        assert!(js.contains("\"schema_version\": 1"));
+        assert!(js.contains("\"path\": \"pretrain/epoch0\""));
+        assert!(js.contains("\"kernel\": \"matmul\", \"calls\": 1, \"flops\": 2000"));
+        assert!(js.contains("\"dispatch\": {\"parallel\": 0, \"serial\": 1}"));
+        assert!(js.contains("\"peak_tensor_bytes\": 4096"));
+        assert!(js.contains("\"phase\": \"pretrain\", \"epoch\": 0, \"loss\": 1.25"));
+        // Braces/brackets balance — cheap structural sanity without a parser.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                js.matches(open).count(),
+                js.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_grad_norm_serialises_as_null() {
+        let _g = lock();
+        metrics::record_epoch("p", 1.0, 0.5, f64::NAN, 0.1);
+        let js = RunReport::capture("n").to_json();
+        assert!(js.contains("\"grad_norm\": null"));
+    }
+
+    #[test]
+    fn write_creates_runlog_file() {
+        let _g = lock();
+        populate();
+        let dir = std::env::temp_dir();
+        let path = RunReport::capture("write-test").write_to(&dir).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"name\": \"write-test\""));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn summary_table_lists_sections() {
+        let _g = lock();
+        populate();
+        let text = RunReport::capture("summary").summary_table();
+        assert!(text.contains("span"));
+        assert!(text.contains("pretrain/epoch0"));
+        assert!(text.contains("matmul"));
+        assert!(text.contains("dispatch: 0 parallel / 1 serial"));
+        assert!(text.contains("peak tensor bytes: 4096"));
+        assert!(text.contains("0.5000")); // accuracy column
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let _g = lock();
+        let report = RunReport::capture("empty");
+        assert!(report.to_json().contains("\"spans\": [\n  ]"));
+        assert!(report.summary_table().contains("dispatch: 0 parallel / 0 serial"));
+    }
+}

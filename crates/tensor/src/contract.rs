@@ -91,6 +91,13 @@ pub fn contract(
     let a_mat = a_p.reshape(&[m, s])?;
     let b_mat = b_p.reshape(&[s, n])?;
     let out = matmul(&a_mat, &b_mat)?;
+    // Counted at this entry point *and* inside the matmul it lowers to —
+    // see the layering note in `metalora_obs::counters`.
+    metalora_obs::counters::record_kernel(
+        metalora_obs::counters::Kernel::Contract,
+        (2 * m * s * n) as u64,
+        (4 * (a.len() + b.len() + m * n)) as u64,
+    );
 
     let mut out_dims: Vec<usize> = free_a.iter().map(|&k| a.dims()[k]).collect();
     out_dims.extend(free_b.iter().map(|&k| b.dims()[k]));

@@ -301,6 +301,13 @@ pub fn conv2d(x: &Tensor, w: &Tensor, h_spec: ConvSpec, w_spec: ConvSpec) -> Res
     let cols = im2col(x, h_spec, w_spec)?; // [N·OH·OW, C·KH·KW]
     let wm = weight_to_matrix(w)?; // [C·KH·KW, O]
     let out = crate::ops::matmul(&cols, &wm)?; // [N·OH·OW, O]
+    // Counted at this entry point *and* inside the matmul above — see the
+    // layering note in `metalora_obs::counters`.
+    metalora_obs::counters::record_kernel(
+        metalora_obs::counters::Kernel::Conv,
+        (2 * n * oh * ow * w.len()) as u64,
+        (4 * (x.len() + w.len() + out.len())) as u64,
+    );
     // [N,OH,OW,O] → [N,O,OH,OW].
     let out = out.reshape(&[n, oh, ow, o])?;
     crate::ops::permute(&out, &[0, 3, 1, 2])

@@ -148,6 +148,15 @@ pub fn einsum(spec: &str, operands: &[&Tensor]) -> Result<Tensor> {
         }
         out.data_mut()[flat] = acc;
     }
+    // Direct summation: each (out, summed) index pair multiplies all
+    // operands together and accumulates once.
+    let terms = out.len() as u64 * sum_dims.iter().product::<usize>() as u64;
+    let in_elems: usize = operands.iter().map(|t| t.len()).sum();
+    metalora_obs::counters::record_kernel(
+        metalora_obs::counters::Kernel::Einsum,
+        terms * (operands.len() as u64 + 1),
+        (4 * (in_elems + out.len())) as u64,
+    );
     Ok(out)
 }
 

@@ -17,6 +17,18 @@ use crate::{Result, Tensor, TensorError};
 /// L2-resident.
 const KC: usize = 128;
 
+/// Reports one matmul-family invocation to the observability layer:
+/// `flops` multiply-adds counted as 2 ops each, bytes = all three
+/// operands at 4 bytes per element.
+#[inline]
+fn record_mm(in_elems: usize, out_elems: usize, flops: usize) {
+    metalora_obs::counters::record_kernel(
+        metalora_obs::counters::Kernel::Matmul,
+        flops as u64,
+        (4 * (in_elems + out_elems)) as u64,
+    );
+}
+
 /// `C = A·B` for `A:[m,k]`, `B:[k,n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, k) = as_matrix_dims(a, "matmul lhs")?;
@@ -33,6 +45,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
         matmul_rows(ad, bd, k, n, first, block);
     });
+    record_mm(a.len() + b.len(), out.len(), 2 * m * k * n);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -90,6 +103,7 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         }
     });
+    record_mm(a.len() + b.len(), out.len(), 2 * m * k * n);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -121,6 +135,7 @@ pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         }
     });
+    record_mm(a.len() + b.len(), out.len(), 2 * m * k * n);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -143,6 +158,7 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
             *o = row.iter().zip(xd).map(|(&a, &b)| a * b).sum();
         }
     });
+    record_mm(a.len() + x.len(), out.len(), 2 * m * k);
     Tensor::from_vec(out, &[m])
 }
 
@@ -175,6 +191,7 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         }
     });
+    record_mm(a.len() + b.len(), out.len(), 2 * bs * m * k * n);
     Tensor::from_vec(out, &[bs, m, n])
 }
 
@@ -205,6 +222,7 @@ pub fn bmm_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         }
     });
+    record_mm(a.len() + b.len(), out.len(), 2 * bs * m * k * n);
     Tensor::from_vec(out, &[bs, m, n])
 }
 
@@ -236,6 +254,7 @@ pub fn bmm_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         }
     });
+    record_mm(a.len() + b.len(), out.len(), 2 * bs * m * k * n);
     Tensor::from_vec(out, &[bs, m, n])
 }
 

@@ -127,9 +127,11 @@ where
     let n_blocks = rows.div_ceil(block);
     let threads = num_threads().min(n_blocks);
     if threads <= 1 || rows.saturating_mul(cost_per_row) < par_threshold() {
+        metalora_obs::counters::record_dispatch(false);
         kernel(0, out);
         return;
     }
+    metalora_obs::counters::record_dispatch(true);
     // Fixed-size blocks, dynamically scheduled: workers pull the next
     // (index, slice) pair from a shared iterator. Scheduling order cannot
     // affect results because blocks are disjoint and rows independent.
@@ -153,7 +155,7 @@ mod tests {
 
     /// Serialises tests that touch the global overrides and restores the
     /// defaults on drop (the test harness runs tests concurrently).
-    struct Guard(std::sync::MutexGuard<'static, ()>);
+    struct Guard(#[allow(dead_code)] std::sync::MutexGuard<'static, ()>);
 
     fn guard() -> Guard {
         static LOCK: Mutex<()> = Mutex::new(());
@@ -207,9 +209,19 @@ mod tests {
     }
 
     #[test]
-    fn empty_output_is_fine() {
+    fn empty_output_invokes_no_work() {
         let _g = guard();
-        par_row_blocks(&mut [] as &mut [f32], 4, 1, |_, _| panic!("no work"));
+        // The scheduler must return without calling the kernel at all on a
+        // zero-size output — even with parallelism forced on.
+        for threads in [1, 4] {
+            set_num_threads(threads);
+            set_par_threshold(0);
+            let calls = AtomicUsize::new(0);
+            par_row_blocks(&mut [] as &mut [f32], 4, 1, |_, _| {
+                calls.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(calls.load(Ordering::SeqCst), 0, "threads={threads}");
+        }
     }
 
     #[test]

@@ -10,13 +10,61 @@ use serde::{Deserialize, Serialize};
 /// (permute, reshape-with-copy) materialise a new buffer. This keeps the
 /// kernel code simple and predictable at the model scales used by the
 /// MetaLoRA experiments.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Buffer lifetimes are reported to `metalora_obs` (peak tensor bytes
+/// alive) when instrumentation is enabled; every construction must go
+/// through [`Tensor::from_parts`] and every buffer hand-off through
+/// [`Tensor::take_data`] so allocs and frees stay paired.
+#[derive(Debug, PartialEq, Serialize)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
 }
 
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor::from_parts(self.shape.clone(), self.data.clone())
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        metalora_obs::counters::track_free(self.data.capacity() * 4);
+    }
+}
+
+impl Deserialize for Tensor {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let shape = Shape::from_value(v.field("shape")?)?;
+        let data = Vec::<f32>::from_value(v.field("data")?)?;
+        if data.len() != shape.num_elements() {
+            return Err(serde::Error(format!(
+                "tensor data length {} does not match shape {:?}",
+                data.len(),
+                shape.dims()
+            )));
+        }
+        Ok(Tensor::from_parts(shape, data))
+    }
+}
+
 impl Tensor {
+    /// The one true constructor: pairs the buffer with its shape and
+    /// reports the allocation to the observability layer (matched by the
+    /// `Drop` impl / [`Tensor::take_data`]).
+    fn from_parts(shape: Shape, data: Vec<f32>) -> Self {
+        metalora_obs::counters::track_alloc(data.capacity() * 4);
+        Tensor { shape, data }
+    }
+
+    /// Moves the buffer out, un-reporting it; the tensor is left empty
+    /// so its `Drop` frees (and reports) nothing.
+    fn take_data(&mut self) -> Vec<f32> {
+        let data = std::mem::take(&mut self.data);
+        metalora_obs::counters::track_free(data.capacity() * 4);
+        data
+    }
+
     /// Builds a tensor from a flat row-major buffer and a shape.
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
         let shape = Shape::new(dims);
@@ -26,17 +74,14 @@ impl Tensor {
                 shape: dims.to_vec(),
             });
         }
-        Ok(Tensor { shape, data })
+        Ok(Tensor::from_parts(shape, data))
     }
 
     /// A tensor filled with zeros.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let n = shape.num_elements();
-        Tensor {
-            shape,
-            data: vec![0.0; n],
-        }
+        Tensor::from_parts(shape, vec![0.0; n])
     }
 
     /// A tensor filled with ones.
@@ -48,18 +93,12 @@ impl Tensor {
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         let n = shape.num_elements();
-        Tensor {
-            shape,
-            data: vec![value; n],
-        }
+        Tensor::from_parts(shape, vec![value; n])
     }
 
     /// A rank-0 tensor holding one value.
     pub fn scalar(value: f32) -> Self {
-        Tensor {
-            shape: Shape::new(&[]),
-            data: vec![value],
-        }
+        Tensor::from_parts(Shape::new(&[]), vec![value])
     }
 
     /// The `n×n` identity matrix.
@@ -75,10 +114,7 @@ impl Tensor {
     /// `[n]`.
     pub fn arange(start: f32, step: f32, n: usize) -> Self {
         let data = (0..n).map(|i| start + step * i as f32).collect();
-        Tensor {
-            shape: Shape::new(&[n]),
-            data,
-        }
+        Tensor::from_parts(Shape::new(&[n]), data)
     }
 
     /// Tensor shape.
@@ -124,8 +160,8 @@ impl Tensor {
     }
 
     /// Consumes the tensor and returns its buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        self.take_data()
     }
 
     /// Element at a multi-index.
@@ -154,7 +190,7 @@ impl Tensor {
 
     /// Reinterprets the buffer under a new shape with the same element
     /// count. O(1) — the buffer is moved, not copied.
-    pub fn reshape(self, dims: &[usize]) -> Result<Self> {
+    pub fn reshape(mut self, dims: &[usize]) -> Result<Self> {
         let target = Shape::new(dims);
         if target.num_elements() != self.data.len() {
             return Err(TensorError::ReshapeMismatch {
@@ -162,10 +198,7 @@ impl Tensor {
                 to: dims.to_vec(),
             });
         }
-        Ok(Tensor {
-            shape: target,
-            data: self.data,
-        })
+        Ok(Tensor::from_parts(target, self.take_data()))
     }
 
     /// Like [`Tensor::reshape`] but borrows and copies.

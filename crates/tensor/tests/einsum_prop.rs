@@ -1,0 +1,136 @@
+//! Property tests pinning `einsum` and `contract` to handwritten loop
+//! oracles: for random shapes and values, the optimised paths must agree
+//! with the O(everything) nested-loop definition of each contraction.
+
+use metalora_tensor::contract::{contract, contract_naive};
+use metalora_tensor::einsum::einsum;
+use metalora_tensor::{approx_eq, init, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn einsum_matmul_matches_loops(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..1000,
+    ) {
+        let mut rng = init::rng(seed);
+        let a = init::uniform(&[m, k], -2.0, 2.0, &mut rng);
+        let b = init::uniform(&[k, n], -2.0, 2.0, &mut rng);
+        let got = einsum("ab,bc->ac", &[&a, &b]).unwrap();
+
+        let mut expect = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for l in 0..k {
+                    acc += a.data()[i * k + l] * b.data()[l * n + j];
+                }
+                expect.data_mut()[i * n + j] = acc;
+            }
+        }
+        prop_assert!(approx_eq(&got, &expect, 1e-4));
+    }
+
+    #[test]
+    fn einsum_cp_chain_matches_loops(
+        i in 1usize..5, r in 1usize..5, o in 1usize..5, seed in 0u64..1000,
+    ) {
+        // The Eq. 6 kernel: ΔW[i,o] = Σ_r A[i,r]·B[r,o]·c[r].
+        let mut rng = init::rng(seed);
+        let a = init::uniform(&[i, r], -2.0, 2.0, &mut rng);
+        let b = init::uniform(&[r, o], -2.0, 2.0, &mut rng);
+        let c = init::uniform(&[r], -2.0, 2.0, &mut rng);
+        let got = einsum("ir,ro,r->io", &[&a, &b, &c]).unwrap();
+
+        let mut expect = Tensor::zeros(&[i, o]);
+        for ii in 0..i {
+            for oo in 0..o {
+                let mut acc = 0.0f32;
+                for rr in 0..r {
+                    acc += a.data()[ii * r + rr] * b.data()[rr * o + oo] * c.data()[rr];
+                }
+                expect.data_mut()[ii * o + oo] = acc;
+            }
+        }
+        prop_assert!(approx_eq(&got, &expect, 1e-4));
+    }
+
+    #[test]
+    fn einsum_tr_cores_match_loops(
+        i in 1usize..4, o in 1usize..4, r in 1usize..4, seed in 0u64..1000,
+    ) {
+        // The Eq. 7 kernel: ΔW[i,o] = Σ_{x,y,z} A[x,i,y]·B[y,o,z]·C[z,x].
+        let mut rng = init::rng(seed);
+        let a = init::uniform(&[r, i, r], -2.0, 2.0, &mut rng);
+        let b = init::uniform(&[r, o, r], -2.0, 2.0, &mut rng);
+        let c = init::uniform(&[r, r], -2.0, 2.0, &mut rng);
+        let got = einsum("xiy,yoz,zx->io", &[&a, &b, &c]).unwrap();
+
+        let mut expect = Tensor::zeros(&[i, o]);
+        for ii in 0..i {
+            for oo in 0..o {
+                let mut acc = 0.0f32;
+                for x in 0..r {
+                    for y in 0..r {
+                        for z in 0..r {
+                            acc += a.data()[(x * i + ii) * r + y]
+                                * b.data()[(y * o + oo) * r + z]
+                                * c.data()[z * r + x];
+                        }
+                    }
+                }
+                expect.data_mut()[ii * o + oo] = acc;
+            }
+        }
+        prop_assert!(approx_eq(&got, &expect, 1e-3));
+    }
+
+    #[test]
+    fn einsum_inner_product_matches_loop(
+        n in 1usize..20, seed in 0u64..1000,
+    ) {
+        let mut rng = init::rng(seed);
+        let a = init::uniform(&[n], -2.0, 2.0, &mut rng);
+        let b = init::uniform(&[n], -2.0, 2.0, &mut rng);
+        let got = einsum("a,a->", &[&a, &b]).unwrap();
+        let expect: f32 = a.data().iter().zip(b.data()).map(|(&x, &y)| x * y).sum();
+        prop_assert!((got.item().unwrap() - expect).abs() <= 1e-4 * (1.0 + expect.abs()));
+    }
+
+    #[test]
+    fn contract_matches_naive_single_axis(
+        d0 in 1usize..4, d1 in 1usize..4, s in 1usize..4,
+        e0 in 1usize..4, seed in 0u64..1000,
+        ax_a in 0usize..3, ax_b in 0usize..2,
+    ) {
+        // a has the shared axis s at position ax_a, b at position ax_b.
+        let mut a_dims = vec![d0, d1];
+        a_dims.insert(ax_a.min(2), s);
+        let mut b_dims = vec![e0];
+        b_dims.insert(ax_b.min(1), s);
+        let mut rng = init::rng(seed);
+        let a = init::uniform(&a_dims, -2.0, 2.0, &mut rng);
+        let b = init::uniform(&b_dims, -2.0, 2.0, &mut rng);
+        let ia = ax_a.min(2);
+        let ib = ax_b.min(1);
+        let got = contract(&a, &b, &[ia], &[ib]).unwrap();
+        let expect = contract_naive(&a, &b, &[ia], &[ib]).unwrap();
+        prop_assert_eq!(got.dims(), expect.dims());
+        prop_assert!(approx_eq(&got, &expect, 1e-3));
+    }
+
+    #[test]
+    fn contract_matches_naive_double_axis(
+        m in 1usize..4, s0 in 1usize..4, s1 in 1usize..4, n in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = init::rng(seed);
+        let a = init::uniform(&[m, s0, s1], -2.0, 2.0, &mut rng);
+        let b = init::uniform(&[s0, s1, n], -2.0, 2.0, &mut rng);
+        let got = contract(&a, &b, &[1, 2], &[0, 1]).unwrap();
+        let expect = contract_naive(&a, &b, &[1, 2], &[0, 1]).unwrap();
+        prop_assert_eq!(got.dims(), expect.dims());
+        prop_assert!(approx_eq(&got, &expect, 1e-3));
+    }
+}

@@ -1,0 +1,184 @@
+//! Golden regression: a fully seeded quick pipeline run must reproduce
+//! the committed numbers bit-for-bit. The parallel kernel layer is
+//! deterministic by construction, so the goldens hold for any
+//! `METALORA_THREADS` setting (CI runs this file at 1 and 4 threads).
+//!
+//! After an *intentional* numeric change, regenerate with
+//! `cargo test --test integration_golden -- --nocapture` and copy the
+//! printed `GOLDEN_*` block over the constants below.
+
+use metalora::config::ExperimentConfig;
+use metalora::methods::Method;
+use metalora::table1::{run_table1, Table1Options};
+use metalora::{pipeline, Arch};
+
+const SEED: u64 = 42;
+
+/// Pretrain per-epoch losses followed by the adapt-phase mean loss,
+/// as exact f64 bit patterns (quick config: 2 + 1 records).
+const GOLDEN_LOSSES: [u64; 3] = [
+    0x40036d6900000000, // 2.4284229278564453
+    0x4001083ba0000000, // 2.1290199756622314
+    0x4000841480000000, // 2.0644922256469727
+];
+
+/// Probe mean accuracy for K = 5 and K = 10, as exact f32 bit patterns.
+const GOLDEN_ACCS: [u32; 2] = [
+    0x3ea00000, // 0.3125
+    0x3ea00000, // 0.3125
+];
+
+/// One seeded quick run: ResNet pretrain → Meta-LoRA TR adapt → probe.
+/// Returns the K=5 / K=10 probe accuracies.
+fn run_pipeline() -> [f32; 2] {
+    let cfg = ExperimentConfig::quick();
+    let net = pipeline::pretrain(&cfg, Arch::ResNet, SEED).unwrap();
+    let adapted = pipeline::adapt(net, Method::MetaLoraTr, &cfg, SEED).unwrap();
+    let probe = pipeline::probe(&adapted, &cfg, SEED).unwrap();
+    [
+        probe.mean_accuracy(5).unwrap(),
+        probe.mean_accuracy(10).unwrap(),
+    ]
+}
+
+#[test]
+fn golden_quick_pipeline() {
+    // Reference run with instrumentation off.
+    metalora_obs::set_enabled(false);
+    metalora_obs::reset();
+    let accs_off = run_pipeline();
+
+    // Observed run: numerics must not move by a single bit.
+    metalora_obs::set_enabled(true);
+    metalora_obs::reset();
+    let accs_on = run_pipeline();
+    let epochs = metalora_obs::metrics::snapshot();
+    let spans = metalora_obs::span::snapshot();
+    let counters = metalora_obs::counters::snapshot();
+    metalora_obs::set_enabled(false);
+    metalora_obs::reset();
+
+    for (k, (on, off)) in [5usize, 10].into_iter().zip(accs_on.iter().zip(&accs_off)) {
+        assert_eq!(
+            on.to_bits(),
+            off.to_bits(),
+            "K={k}: instrumentation changed the numerics ({on} vs {off})"
+        );
+    }
+
+    // The observed run produced the expected records.
+    let losses: Vec<f64> = epochs.iter().map(|e| e.loss).collect();
+    assert_eq!(
+        epochs.iter().map(|e| e.phase.as_str()).collect::<Vec<_>>(),
+        ["pretrain", "pretrain", "adapt/MetaLoraTr"],
+    );
+    for e in &epochs {
+        assert!(e.loss.is_finite() && e.loss > 0.0, "{e:?}");
+        assert!((0.0..=1.0).contains(&e.accuracy), "{e:?}");
+        assert!(e.grad_norm.is_finite() && e.grad_norm >= 0.0, "{e:?}");
+    }
+    let span_paths: Vec<&str> = spans.iter().map(|(p, _)| p.as_str()).collect();
+    for expect in ["pretrain", "adapt/MetaLoraTr", "probe/MetaLoraTr"] {
+        assert!(span_paths.contains(&expect), "missing span {expect:?} in {span_paths:?}");
+    }
+    let calls_of = |k: metalora_obs::counters::Kernel| {
+        counters.kernels.iter().find(|s| s.kernel == k.name()).map_or(0, |s| s.calls)
+    };
+    assert!(calls_of(metalora_obs::counters::Kernel::Matmul) > 0);
+    assert!(calls_of(metalora_obs::counters::Kernel::Conv) > 0);
+    assert!(calls_of(metalora_obs::counters::Kernel::Knn) > 0);
+    assert!(counters.peak_tensor_bytes > 0);
+
+    // Regeneration aid: printed only under --nocapture.
+    println!("const GOLDEN_LOSSES: [u64; {}] = [", losses.len());
+    for l in &losses {
+        println!("    0x{:016x}, // {l:?}", l.to_bits());
+    }
+    println!("];");
+    println!("const GOLDEN_ACCS: [u32; 2] = [");
+    for a in &accs_on {
+        println!("    0x{:08x}, // {a:?}", a.to_bits());
+    }
+    println!("];");
+
+    // The committed goldens.
+    assert_eq!(losses.len(), GOLDEN_LOSSES.len());
+    for (i, (l, g)) in losses.iter().zip(&GOLDEN_LOSSES).enumerate() {
+        assert_eq!(
+            l.to_bits(),
+            *g,
+            "loss[{i}] drifted: got {l:?} (0x{:016x}), golden 0x{g:016x}",
+            l.to_bits()
+        );
+    }
+    for (i, (a, g)) in accs_on.iter().zip(&GOLDEN_ACCS).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            *g,
+            "acc[{i}] drifted: got {a:?} (0x{:08x}), golden 0x{g:08x}",
+            a.to_bits()
+        );
+    }
+}
+
+/// Full quick-scale Table I grid with instrumentation on: the run report
+/// must serialise to valid JSON carrying per-phase spans, per-kernel
+/// counters and per-epoch metrics, and land on disk as `RUNLOG_*.json`.
+/// Slow (the whole 5-method × 2-backbone grid), so nightly-only.
+#[test]
+#[ignore = "slow: full quick-scale table1 grid; run via --include-ignored"]
+fn runlog_captures_full_table1_grid() {
+    metalora_obs::set_enabled(true);
+    metalora_obs::reset();
+    let mut cfg = ExperimentConfig::quick();
+    cfg.probe_rounds = 1;
+    run_table1(&Table1Options::new(cfg, vec![0])).unwrap();
+
+    let report = metalora_obs::report::RunReport::capture("table1_grid_test");
+    metalora_obs::set_enabled(false);
+    metalora_obs::reset();
+
+    // Valid JSON with the full schema.
+    let json = report.to_json();
+    let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+    for key in ["schema_version", "name", "spans", "kernels", "dispatch", "memory", "epochs"] {
+        assert!(v.field(key).is_ok(), "missing key {key:?}");
+    }
+
+    // Every phase of every method shows up in the span tree…
+    let span_paths: Vec<String> = report.spans.iter().map(|(p, _)| p.clone()).collect();
+    for m in ["Original", "Lora", "MultiLora", "MetaLoraCp", "MetaLoraTr"] {
+        assert!(
+            span_paths.iter().any(|p| p == &format!("adapt/{m}")),
+            "no adapt span for {m}: {span_paths:?}"
+        );
+        assert!(span_paths.iter().any(|p| p == &format!("probe/{m}")));
+    }
+    // …and the epochs sink saw both pretraining and adaptation.
+    let phases: Vec<&str> = report.epochs.iter().map(|e| e.phase.as_str()).collect();
+    assert!(phases.contains(&"pretrain"));
+    assert!(phases.contains(&"adapt/MetaLoraTr"));
+
+    // Kernel counters moved, and wall time was accounted per phase.
+    assert!(report.counters.kernels.iter().any(|k| k.kernel == "matmul" && k.flops > 0));
+    assert!(report.counters.dispatch_parallel + report.counters.dispatch_serial > 0);
+    assert!(report.counters.peak_tensor_bytes > 0);
+    assert!(report.epochs.iter().all(|e| e.wall_s >= 0.0));
+
+    // The writer puts a well-named file on disk.
+    let dir = std::env::temp_dir();
+    let path = report.write_to(&dir).unwrap();
+    assert!(path.file_name().unwrap().to_str().unwrap().starts_with("RUNLOG_"));
+    let on_disk = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(on_disk, json);
+
+    // The human summary mentions each section.
+    let table = report.summary_table();
+    for needle in ["span", "kernel", "epoch"] {
+        assert!(
+            table.to_lowercase().contains(needle),
+            "summary table missing {needle:?}:\n{table}"
+        );
+    }
+}
