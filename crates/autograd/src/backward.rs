@@ -3,7 +3,7 @@
 use crate::graph::{gelu_bwd, Graph, Node, Op, Var};
 use crate::Result;
 use metalora_tensor::conv;
-use metalora_tensor::{ops, Tensor, TensorError};
+use metalora_tensor::{ops, workspace, Tensor, TensorError};
 
 /// Reduces a gradient of broadcast shape back to the original operand
 /// shape: sums over prepended axes, then over axes the operand held at
@@ -34,7 +34,7 @@ fn broadcast_axis(g: &Tensor, axis: usize, d: usize) -> Result<Tensor> {
     dims.insert(axis, d);
     let outer: usize = dims[..axis].iter().product();
     let inner: usize = dims[axis + 1..].iter().product();
-    let mut out = Tensor::zeros(&dims);
+    let mut out = workspace::zeroed_tensor(&dims);
     let src = g.data();
     let dst = out.data_mut();
     for o in 0..outer {
@@ -47,7 +47,9 @@ fn broadcast_axis(g: &Tensor, axis: usize, d: usize) -> Result<Tensor> {
     Ok(out)
 }
 
-/// Adds `t` into the gradient slot of `nodes[v]`.
+/// Adds `t` into the gradient slot of `nodes[v]`. When the slot is already
+/// occupied `t` is consumed by the addition; its buffer goes back to the
+/// workspace arena, where the next backward temporary picks it up.
 fn accumulate(nodes: &mut [Node], v: Var, t: Tensor) {
     let slot = &mut nodes[v.0].grad;
     match slot {
@@ -56,6 +58,7 @@ fn accumulate(nodes: &mut [Node], v: Var, t: Tensor) {
             for (a, &b) in g.data_mut().iter_mut().zip(t.data()) {
                 *a += b;
             }
+            workspace::recycle(t);
         }
         None => *slot = Some(t),
     }
@@ -125,7 +128,7 @@ impl Graph {
                     let y = &node.value;
                     let c = *y.dims().last().expect("rank >= 1");
                     let lanes = y.len() / c;
-                    let mut dx = Tensor::zeros(y.dims());
+                    let mut dx = workspace::zeroed_tensor(y.dims());
                     for l in 0..lanes {
                         let yr = &y.data()[l * c..(l + 1) * c];
                         let gr = &g.data()[l * c..(l + 1) * c];
@@ -202,9 +205,9 @@ impl Graph {
                     let c = *xhat.dims().last().expect("rank >= 1");
                     let lanes = xhat.len() / c;
                     let gv = &parents[gamma.0].value;
-                    let mut dgamma = Tensor::zeros(&[c]);
-                    let mut dbeta = Tensor::zeros(&[c]);
-                    let mut dx = Tensor::zeros(xhat.dims());
+                    let mut dgamma = workspace::zeroed_tensor(&[c]);
+                    let mut dbeta = workspace::zeroed_tensor(&[c]);
+                    let mut dx = workspace::zeroed_tensor(xhat.dims());
                     for l in 0..lanes {
                         let istd = invstd.data()[l];
                         let grow = &g.data()[l * c..(l + 1) * c];
@@ -244,8 +247,8 @@ impl Graph {
                     );
                     let m = (n * h * w) as f32;
                     let gv = &parents[gamma.0].value;
-                    let mut dgamma = Tensor::zeros(&[c]);
-                    let mut dbeta = Tensor::zeros(&[c]);
+                    let mut dgamma = workspace::zeroed_tensor(&[c]);
+                    let mut dbeta = workspace::zeroed_tensor(&[c]);
                     // First pass: per-channel sums.
                     for ci in 0..c {
                         let mut sdy = 0.0f32;
@@ -261,7 +264,7 @@ impl Graph {
                         dgamma.data_mut()[ci] = sdyx;
                         dbeta.data_mut()[ci] = sdy;
                     }
-                    let mut dx = Tensor::zeros(xhat.dims());
+                    let mut dx = workspace::zeroed_tensor(xhat.dims());
                     for ci in 0..c {
                         let scale = gv.data()[ci] * invstd.data()[ci];
                         let sdy = dbeta.data()[ci] / m;
@@ -307,6 +310,7 @@ impl Graph {
                     let wm = conv::weight_to_matrix(wv)?;
                     let dcols = ops::matmul_transpose_b(&gm, &wm)?;
                     let dx = conv::col2im(&dcols, n, cch, hh, ww_in, *h_spec, *w_spec)?;
+                    workspace::recycle(dcols);
                     accumulate(parents, *x, dx);
                     accumulate(parents, *w, dw);
                 }
@@ -314,7 +318,7 @@ impl Graph {
                     let xv = &parents[a.0].value;
                     let (n, c, h, w) = (xv.dims()[0], xv.dims()[1], xv.dims()[2], xv.dims()[3]);
                     let hw = (h * w) as f32;
-                    let mut dx = Tensor::zeros(xv.dims());
+                    let mut dx = workspace::zeroed_tensor(xv.dims());
                     for ni in 0..n {
                         for cci in 0..c {
                             let gy = g.data()[ni * c + cci] / hw;

@@ -1,22 +1,28 @@
 //! **K1 — kernel throughput**: wall-clock sweep of the deterministic
 //! parallel layer across thread counts for the hot kernels (dense matmul,
-//! `conv2d` via im2col, the KNN distance matrix), verifying bitwise
-//! equality against the single-thread run at every point and emitting the
-//! raw numbers to `BENCH_kernels.json`.
+//! `conv2d` via im2col, the KNN distance matrix), with the packed
+//! register-tiled path and the legacy scalar path measured side by side.
+//! Every point is verified bitwise against the legacy single-thread run,
+//! and the workspace-arena hit rate is reported both for the sweep and for
+//! a quick pretrain+adapt pipeline. Raw numbers go to `BENCH_kernels.json`.
 //!
 //! Run with: `cargo run --release -p metalora-bench --bin kernels`
 //! (`--scale quick` shrinks sizes/reps for CI smoke runs).
 
+use metalora::config::{Arch, ExperimentConfig};
+use metalora::methods::Method;
+use metalora::pipeline::{adapt, pretrain};
 use metalora::report::render_table;
 use metalora_data::knn::{Distance, KnnClassifier};
 use metalora_tensor::conv::{conv2d, ConvSpec};
-use metalora_tensor::{init, ops, par, Tensor};
+use metalora_tensor::{init, ops, par, workspace, Tensor};
 use serde::Serialize;
 use std::time::Instant;
 
 #[derive(Serialize)]
 struct KernelPoint {
     kernel: String,
+    path: String,
     threads: usize,
     best_ms: f64,
     gflops: f64,
@@ -25,10 +31,40 @@ struct KernelPoint {
 }
 
 #[derive(Serialize)]
+struct ArenaStats {
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+    bytes_reused: u64,
+    peak_pooled_bytes: u64,
+}
+
+impl ArenaStats {
+    fn capture() -> Self {
+        let snap = metalora_obs::counters::snapshot();
+        let total = snap.workspace_hits + snap.workspace_misses;
+        ArenaStats {
+            hits: snap.workspace_hits,
+            misses: snap.workspace_misses,
+            hit_rate: if total == 0 {
+                0.0
+            } else {
+                snap.workspace_hits as f64 / total as f64
+            },
+            bytes_reused: snap.workspace_bytes_reused,
+            peak_pooled_bytes: snap.peak_workspace_pooled_bytes,
+        }
+    }
+}
+
+#[derive(Serialize)]
 struct KernelReport {
     host_cpus: usize,
     scale: String,
+    simd_level: String,
     points: Vec<KernelPoint>,
+    sweep_arena: ArenaStats,
+    train_arena: ArenaStats,
 }
 
 /// Best-of-`reps` wall time in milliseconds.
@@ -51,6 +87,11 @@ fn bitwise_eq(a: &Tensor, b: &Tensor) -> bool {
             .all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
+/// Sweeps one kernel over thread counts for both the legacy and the packed
+/// path. Each path's `speedup_vs_1` divides by its own single-thread point
+/// from the same run (the earlier design timed a separate warm-up baseline,
+/// which made the t=1 row read ~0.99x), and every point is compared
+/// bitwise against the legacy serial output.
 fn sweep(
     name: &str,
     flops: f64,
@@ -59,20 +100,30 @@ fn sweep(
     points: &mut Vec<KernelPoint>,
     f: impl Fn() -> Tensor,
 ) {
+    ops::set_packing_enabled(false);
     par::set_num_threads(1);
-    let (serial_ms, serial_out) = time_ms(reps, &f);
-    for &t in threads {
-        par::set_num_threads(t);
-        let (ms, out) = time_ms(reps, &f);
-        points.push(KernelPoint {
-            kernel: name.to_string(),
-            threads: t,
-            best_ms: ms,
-            gflops: flops / (ms * 1e6),
-            speedup_vs_1: serial_ms / ms,
-            bitwise_equal_to_serial: bitwise_eq(&serial_out, &out),
-        });
+    let (_, reference) = time_ms(1, &f);
+    for (path, packed) in [("legacy", false), ("packed", true)] {
+        ops::set_packing_enabled(packed);
+        let mut base_ms = f64::NAN;
+        for &t in threads {
+            par::set_num_threads(t);
+            let (ms, out) = time_ms(reps, &f);
+            if t == 1 {
+                base_ms = ms;
+            }
+            points.push(KernelPoint {
+                kernel: name.to_string(),
+                path: path.to_string(),
+                threads: t,
+                best_ms: ms,
+                gflops: flops / (ms * 1e6),
+                speedup_vs_1: base_ms / ms,
+                bitwise_equal_to_serial: bitwise_eq(&reference, &out),
+            });
+        }
     }
+    ops::set_packing_enabled(true);
     par::set_num_threads(0);
 }
 
@@ -80,6 +131,7 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--scale")
         && std::env::args().any(|a| a == "quick");
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let simd = ops::simd_level().name().to_string();
     // Sweep past the host count on purpose: oversubscription must not
     // change results, only throughput.
     let threads: Vec<usize> = [1usize, 2, 4, 8]
@@ -88,12 +140,17 @@ fn main() {
         .collect();
     let (mm_dim, reps) = if quick { (128, 2) } else { (384, 5) };
     println!(
-        "=== K1 — kernel throughput (host_cpus={host_cpus}, sizes {}) ===\n",
+        "=== K1 — kernel throughput (host_cpus={host_cpus}, simd={simd}, sizes {}) ===\n",
         if quick { "quick" } else { "standard" }
     );
     // Force the parallel path even at quick sizes so the sweep actually
-    // exercises the thread team.
+    // exercises the thread team, and count arena traffic from a cold pool.
     par::set_par_threshold(0);
+    metalora_obs::set_enabled(true);
+    // Drain the pool BEFORE resetting counters: clear() debits the pooled
+    // byte gauge, so the other order would start the gauge negative.
+    workspace::clear();
+    metalora_obs::reset();
 
     let mut rng = init::rng(0);
     let mut points = Vec::new();
@@ -149,8 +206,19 @@ fn main() {
     );
 
     par::set_par_threshold(usize::MAX);
+    let sweep_arena = ArenaStats::capture();
 
-    let headers: Vec<String> = ["kernel", "threads", "best ms", "GFLOP/s", "speedup", "bitwise"]
+    // Arena hit rate on the real training hot path: a quick pretrain +
+    // MetaLoRA adapt, counted from a cold pool.
+    println!("measuring arena hit rate on the quick train pipeline...");
+    workspace::clear();
+    metalora_obs::reset();
+    let cfg = ExperimentConfig::quick();
+    let backbone = pretrain(&cfg, Arch::ResNet, 0).expect("pretrain");
+    let _adapted = adapt(backbone, Method::MetaLoraCp, &cfg, 0).expect("adapt");
+    let train_arena = ArenaStats::capture();
+
+    let headers: Vec<String> = ["kernel", "path", "threads", "best ms", "GFLOP/s", "speedup", "bitwise"]
         .iter()
         .map(|s| s.to_string())
         .collect();
@@ -159,6 +227,7 @@ fn main() {
         .map(|p| {
             vec![
                 p.kernel.clone(),
+                p.path.clone(),
                 p.threads.to_string(),
                 format!("{:.3}", p.best_ms),
                 format!("{:.2}", p.gflops),
@@ -168,28 +237,38 @@ fn main() {
         })
         .collect();
     println!("{}", render_table(&headers, &rows));
+    println!(
+        "arena hit rate: sweep {:.1}% ({}/{} checkouts), train {:.1}% ({}/{} checkouts)",
+        100.0 * sweep_arena.hit_rate,
+        sweep_arena.hits,
+        sweep_arena.hits + sweep_arena.misses,
+        100.0 * train_arena.hit_rate,
+        train_arena.hits,
+        train_arena.hits + train_arena.misses,
+    );
 
     assert!(
         points.iter().all(|p| p.bitwise_equal_to_serial),
-        "parallel kernel diverged from serial output"
+        "kernel output diverged from the legacy serial run"
     );
 
     let report = KernelReport {
         host_cpus,
         scale: if quick { "quick" } else { "standard" }.to_string(),
+        simd_level: simd,
         points,
+        sweep_arena,
+        train_arena,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialise");
     let path = "BENCH_kernels.json";
     std::fs::write(path, json).expect("write BENCH_kernels.json");
     println!("raw sweep written to {path}");
 
-    if metalora_obs::enabled() {
-        let report = metalora_obs::report::RunReport::capture("kernels");
-        println!("\n{}", report.summary_table());
-        match report.write() {
-            Ok(p) => println!("run log written to {}", p.display()),
-            Err(e) => eprintln!("could not write run log: {e}"),
-        }
+    let report = metalora_obs::report::RunReport::capture("kernels");
+    println!("\n{}", report.summary_table());
+    match report.write() {
+        Ok(p) => println!("run log written to {}", p.display()),
+        Err(e) => eprintln!("could not write run log: {e}"),
     }
 }

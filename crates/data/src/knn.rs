@@ -4,9 +4,19 @@
 //! support set and classifies queries by majority vote among the K
 //! nearest embeddings. Ties break toward the class of the nearest member
 //! among the tied classes, which makes the probe fully deterministic.
+//!
+//! The L2 distance matrix runs through a blocked squared-difference
+//! microkernel over supports packed with the GEMM packing of
+//! [`metalora_tensor::ops::microkernel`]: [`NR`]-wide support tiles,
+//! [`KC`]-tall dimension tiles, SIMD-dispatched like the matmul kernel.
+//! Each `(query, support)` pair still accumulates `(q−s)²` one dimension
+//! at a time in increasing order from `0.0` — the exact arithmetic of the
+//! scalar loop (no `‖a‖²−2ab` expansion) — so predictions are bit-stable
+//! against the legacy path and across thread counts.
 
 use crate::Result;
-use metalora_tensor::{Tensor, TensorError};
+use metalora_tensor::ops::microkernel::{self, SimdLevel, KC, NR};
+use metalora_tensor::{workspace, Tensor, TensorError};
 
 /// Distance metric for the probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,6 +25,94 @@ pub enum Distance {
     L2,
     /// One minus cosine similarity.
     Cosine,
+}
+
+/// Blocked L2 tile: adds `(q[dd] − s[dd][j])²` for `dd ∈ [0, kc)` into
+/// `acc[j]`, `j ∈ [0, ne)`, with `sp` a `[kc×ne]` packed support tile
+/// (k-major, [`microkernel::pack_b`] layout). The accumulator row is
+/// loaded, updated in increasing-`dd` order, and stored back, so KC tiling
+/// never reorders any element's additions.
+///
+/// # Safety
+/// `q` must be valid for `kc` reads, `sp` for `kc*ne`, `acc` for `ne`
+/// reads and writes; `ne ≤ NR`.
+#[inline(always)]
+unsafe fn l2_tile_body(q: *const f32, sp: *const f32, kc: usize, ne: usize, acc: *mut f32) {
+    let mut a = [0.0f32; NR];
+    for j in 0..ne {
+        a[j] = *acc.add(j);
+    }
+    if ne == NR {
+        for dd in 0..kc {
+            let qv = *q.add(dd);
+            for j in 0..NR {
+                let df = qv - *sp.add(dd * NR + j);
+                a[j] += df * df;
+            }
+        }
+    } else {
+        for dd in 0..kc {
+            let qv = *q.add(dd);
+            for j in 0..ne {
+                let df = qv - *sp.add(dd * ne + j);
+                a[j] += df * df;
+            }
+        }
+    }
+    for j in 0..ne {
+        *acc.add(j) = a[j];
+    }
+}
+
+unsafe fn l2_tile_scalar(q: *const f32, sp: *const f32, kc: usize, ne: usize, acc: *mut f32) {
+    l2_tile_body(q, sp, kc, ne, acc)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn l2_tile_avx2(q: *const f32, sp: *const f32, kc: usize, ne: usize, acc: *mut f32) {
+    l2_tile_body(q, sp, kc, ne, acc)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn l2_tile_avx512(q: *const f32, sp: *const f32, kc: usize, ne: usize, acc: *mut f32) {
+    l2_tile_body(q, sp, kc, ne, acc)
+}
+
+#[inline]
+unsafe fn run_l2(lvl: SimdLevel, q: *const f32, sp: *const f32, kc: usize, ne: usize, acc: *mut f32) {
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => l2_tile_avx512(q, sp, kc, ne, acc),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => l2_tile_avx2(q, sp, kc, ne, acc),
+        _ => l2_tile_scalar(q, sp, kc, ne, acc),
+    }
+}
+
+/// Fills `dists[j] = ‖q − s_j‖²` over all `len` supports from the packed
+/// panel `sp` (`len×d`, [`microkernel::pack_b`] layout). `dists` must
+/// arrive zeroed — the tiles accumulate into it.
+fn l2_blocked(q: &[f32], sp: &[f32], len: usize, d: usize, dists: &mut [f32]) {
+    let lvl = microkernel::simd_level();
+    let len_full = len - len % NR;
+    for kb in (0..d).step_by(KC) {
+        let kc = (kb + KC).min(d) - kb;
+        let tiles = &sp[kb * len..];
+        let qp = q[kb..].as_ptr();
+        for j0 in (0..len_full).step_by(NR) {
+            // Safety: tile j0 spans kc*NR packed floats; dists[j0..] has
+            // at least NR slots below len_full.
+            unsafe { run_l2(lvl, qp, tiles[j0 * kc..].as_ptr(), kc, NR, dists[j0..].as_mut_ptr()) }
+        }
+        let ne = len - len_full;
+        if ne > 0 {
+            unsafe {
+                run_l2(lvl, qp, tiles[len_full * kc..].as_ptr(), kc, ne, dists[len_full..].as_mut_ptr())
+            }
+        }
+    }
 }
 
 /// A fitted KNN classifier over embedding vectors.
@@ -85,19 +183,41 @@ impl KnnClassifier {
         let k = k.min(self.len());
         let d = self.embeddings.dims()[1];
         let m = queries.dims()[0];
+        let len = self.len();
+        // Blocked path: pack the supports once (shared read-only across
+        // the thread team) and run the tiled squared-difference kernel.
+        // Cosine and tiny problems keep the legacy per-pair loop.
+        let blocked = self.distance == Distance::L2 && microkernel::use_packed(3 * m * len * d);
+        let packed: Option<workspace::WorkspaceGuard> = if blocked {
+            let mut g = workspace::take(len * d);
+            // Support j, dim dd lives at embeddings[j*d + dd]: k-stride 1,
+            // column-stride d.
+            microkernel::pack_b(self.embeddings.data(), 0, d, len, 1, d, &mut g);
+            Some(g)
+        } else {
+            None
+        };
+        let sp: Option<&[f32]> = packed.as_deref();
         // Queries are fully independent (own distance row, sort and vote),
         // so the distance matrix + vote parallelises per query row with
         // results identical to the serial loop.
         let mut out = vec![0usize; m];
         metalora_tensor::par::par_row_blocks(&mut out, 1, self.len() * (d + 8), |first, block| {
             let mut scored: Vec<(f32, usize)> = Vec::with_capacity(self.len());
+            let mut dists = vec![0.0f32; if sp.is_some() { len } else { 0 }];
             for (r, slot) in block.iter_mut().enumerate() {
                 let qi = first + r;
                 let q = &queries.data()[qi * d..(qi + 1) * d];
                 scored.clear();
-                for si in 0..self.len() {
-                    let s = &self.embeddings.data()[si * d..(si + 1) * d];
-                    scored.push((self.dist(q, s), si));
+                if let Some(sp) = sp {
+                    dists.fill(0.0);
+                    l2_blocked(q, sp, len, d, &mut dists);
+                    scored.extend(dists.iter().enumerate().map(|(si, &dv)| (dv, si)));
+                } else {
+                    for si in 0..self.len() {
+                        let s = &self.embeddings.data()[si * d..(si + 1) * d];
+                        scored.push((self.dist(q, s), si));
+                    }
                 }
                 scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
                 // Majority vote over the k nearest; ties → nearest tied class.
@@ -223,6 +343,27 @@ mod tests {
         for _ in 0..5 {
             assert_eq!(knn.predict(&q, 2).unwrap(), vec![7]);
         }
+    }
+
+    #[test]
+    fn blocked_l2_matches_legacy_bitwise() {
+        // Ragged support count and dimension (not multiples of NR/KC):
+        // the packed path must reproduce the legacy predictions exactly.
+        // Toggling the global gates mid-test-run is safe because both
+        // paths are bitwise identical by construction.
+        let mut rng = init::rng(9);
+        let n = 137;
+        let support = init::uniform(&[n, 19], -1.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|i| i % 5).collect();
+        let queries = init::uniform(&[23, 19], -1.0, 1.0, &mut rng);
+        let knn = KnnClassifier::fit(support, labels, Distance::L2).unwrap();
+        microkernel::set_pack_min_flops(0);
+        let packed = knn.predict(&queries, 5).unwrap();
+        microkernel::set_packing_enabled(false);
+        let legacy = knn.predict(&queries, 5).unwrap();
+        microkernel::set_packing_enabled(true);
+        microkernel::set_pack_min_flops(1 << 15);
+        assert_eq!(packed, legacy);
     }
 
     #[test]

@@ -69,6 +69,12 @@ static DISPATCH_SERIAL: AtomicU64 = AtomicU64::new(0);
 static TENSOR_BYTES_ALIVE: AtomicI64 = AtomicI64::new(0);
 static PEAK_TENSOR_BYTES: AtomicI64 = AtomicI64::new(0);
 
+static WS_HITS: AtomicU64 = AtomicU64::new(0);
+static WS_MISSES: AtomicU64 = AtomicU64::new(0);
+static WS_BYTES_REUSED: AtomicU64 = AtomicU64::new(0);
+static WS_POOLED_BYTES: AtomicI64 = AtomicI64::new(0);
+static PEAK_WS_POOLED_BYTES: AtomicI64 = AtomicI64::new(0);
+
 /// Records one invocation of `kernel` with its estimated flop count and
 /// the bytes it moved (inputs + outputs).
 #[inline]
@@ -92,6 +98,41 @@ pub fn record_dispatch(parallel: bool) {
         DISPATCH_PARALLEL.fetch_add(1, Relaxed);
     } else {
         DISPATCH_SERIAL.fetch_add(1, Relaxed);
+    }
+}
+
+/// Records one workspace-arena checkout: `hit` when a pooled buffer was
+/// reused (its `bytes` count toward the reuse total), `!hit` when the
+/// arena had to allocate fresh.
+#[inline]
+pub fn record_workspace_checkout(hit: bool, bytes: usize) {
+    if !crate::enabled() {
+        return;
+    }
+    if hit {
+        WS_HITS.fetch_add(1, Relaxed);
+        WS_BYTES_REUSED.fetch_add(bytes as u64, Relaxed);
+    } else {
+        WS_MISSES.fetch_add(1, Relaxed);
+    }
+}
+
+/// Adjusts the bytes idling in the workspace pool (positive when a buffer
+/// is parked, negative when one is checked out or evicted), ratcheting the
+/// peak-resident mark. Subject to the same toggled-mid-run caveat as
+/// [`track_alloc`]/[`track_free`]; the snapshot clamps at zero.
+#[inline]
+pub fn record_workspace_pooled(delta_bytes: i64) {
+    if !crate::enabled() {
+        return;
+    }
+    let now = WS_POOLED_BYTES.fetch_add(delta_bytes, Relaxed) + delta_bytes;
+    let mut peak = PEAK_WS_POOLED_BYTES.load(Relaxed);
+    while now > peak {
+        match PEAK_WS_POOLED_BYTES.compare_exchange_weak(peak, now, Relaxed, Relaxed) {
+            Ok(_) => break,
+            Err(p) => peak = p,
+        }
     }
 }
 
@@ -147,6 +188,16 @@ pub struct CounterSnapshot {
     pub tensor_bytes_alive: u64,
     /// High-water mark of tensor bytes alive.
     pub peak_tensor_bytes: u64,
+    /// Workspace-arena checkouts satisfied from the pool.
+    pub workspace_hits: u64,
+    /// Workspace-arena checkouts that had to allocate fresh.
+    pub workspace_misses: u64,
+    /// Bytes handed out from recycled workspace buffers.
+    pub workspace_bytes_reused: u64,
+    /// Bytes currently idling in the workspace pool (clamped at zero).
+    pub workspace_pooled_bytes: u64,
+    /// High-water mark of bytes idling in the workspace pool.
+    pub peak_workspace_pooled_bytes: u64,
 }
 
 /// Snapshots every counter.
@@ -169,6 +220,11 @@ pub fn snapshot() -> CounterSnapshot {
         dispatch_serial: DISPATCH_SERIAL.load(Relaxed),
         tensor_bytes_alive: TENSOR_BYTES_ALIVE.load(Relaxed).max(0) as u64,
         peak_tensor_bytes: PEAK_TENSOR_BYTES.load(Relaxed).max(0) as u64,
+        workspace_hits: WS_HITS.load(Relaxed),
+        workspace_misses: WS_MISSES.load(Relaxed),
+        workspace_bytes_reused: WS_BYTES_REUSED.load(Relaxed),
+        workspace_pooled_bytes: WS_POOLED_BYTES.load(Relaxed).max(0) as u64,
+        peak_workspace_pooled_bytes: PEAK_WS_POOLED_BYTES.load(Relaxed).max(0) as u64,
     }
 }
 
@@ -183,6 +239,11 @@ pub fn reset() {
     DISPATCH_SERIAL.store(0, Relaxed);
     TENSOR_BYTES_ALIVE.store(0, Relaxed);
     PEAK_TENSOR_BYTES.store(0, Relaxed);
+    WS_HITS.store(0, Relaxed);
+    WS_MISSES.store(0, Relaxed);
+    WS_BYTES_REUSED.store(0, Relaxed);
+    WS_POOLED_BYTES.store(0, Relaxed);
+    PEAK_WS_POOLED_BYTES.store(0, Relaxed);
 }
 
 #[cfg(test)]
@@ -229,6 +290,26 @@ mod tests {
         track_free(1_000_000);
         assert_eq!(snapshot().tensor_bytes_alive, 0);
         assert_eq!(snapshot().peak_tensor_bytes, 150);
+    }
+
+    #[test]
+    fn workspace_counters_accumulate_and_clamp() {
+        let _g = lock();
+        record_workspace_checkout(false, 256);
+        record_workspace_checkout(true, 128);
+        record_workspace_checkout(true, 64);
+        record_workspace_pooled(512);
+        record_workspace_pooled(-128);
+        let snap = snapshot();
+        assert_eq!(snap.workspace_hits, 2);
+        assert_eq!(snap.workspace_misses, 1);
+        assert_eq!(snap.workspace_bytes_reused, 192);
+        assert_eq!(snap.workspace_pooled_bytes, 384);
+        assert_eq!(snap.peak_workspace_pooled_bytes, 512);
+        // Evictions past zero clamp, and the peak only ratchets.
+        record_workspace_pooled(-1_000_000);
+        assert_eq!(snapshot().workspace_pooled_bytes, 0);
+        assert_eq!(snapshot().peak_workspace_pooled_bytes, 512);
     }
 
     #[test]

@@ -5,16 +5,18 @@
 //! [`RunReport::write`]) or rendered for humans
 //! ([`RunReport::summary_table`]).
 //!
-//! ## Schema (`schema_version` 1)
+//! ## Schema (`schema_version` 2)
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "name": "table1",
 //!   "spans":   [ {"path": "pretrain", "count": 2, "total_ms": 813.4} ],
 //!   "kernels": [ {"kernel": "matmul", "calls": 10, "flops": 123, "bytes_moved": 456} ],
 //!   "dispatch": {"parallel": 3, "serial": 7},
 //!   "memory":  {"peak_tensor_bytes": 8192, "tensor_bytes_alive": 0},
+//!   "workspace": {"hits": 12, "misses": 3, "bytes_reused": 4096,
+//!                 "pooled_bytes": 1024, "peak_pooled_bytes": 2048},
 //!   "epochs":  [ {"phase": "pretrain", "epoch": 0, "loss": 2.1,
 //!                 "accuracy": 0.14, "grad_norm": 0.9, "wall_s": 0.4} ]
 //! }
@@ -26,8 +28,9 @@ use crate::metrics::{self, EpochRecord};
 use crate::span::{self, SpanStat};
 use std::path::{Path, PathBuf};
 
-/// Version stamp written into every run log.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Version stamp written into every run log (2 added the `workspace`
+/// arena counters).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A captured snapshot of everything the instrumentation recorded.
 #[derive(Debug, Clone)]
@@ -92,6 +95,15 @@ impl RunReport {
         s.push_str(&format!(
             "  \"memory\": {{\"peak_tensor_bytes\": {}, \"tensor_bytes_alive\": {}}},\n",
             self.counters.peak_tensor_bytes, self.counters.tensor_bytes_alive
+        ));
+        s.push_str(&format!(
+            "  \"workspace\": {{\"hits\": {}, \"misses\": {}, \"bytes_reused\": {}, \
+             \"pooled_bytes\": {}, \"peak_pooled_bytes\": {}}},\n",
+            self.counters.workspace_hits,
+            self.counters.workspace_misses,
+            self.counters.workspace_bytes_reused,
+            self.counters.workspace_pooled_bytes,
+            self.counters.peak_workspace_pooled_bytes
         ));
 
         s.push_str("  \"epochs\": [\n");
@@ -191,6 +203,18 @@ impl RunReport {
             self.counters.peak_tensor_bytes
         ));
 
+        let ws_checkouts = self.counters.workspace_hits + self.counters.workspace_misses;
+        if ws_checkouts > 0 {
+            out.push_str(&format!(
+                "workspace: {} hits / {} misses ({:.1}% hit rate)   bytes reused: {}   peak pooled: {}\n",
+                self.counters.workspace_hits,
+                self.counters.workspace_misses,
+                100.0 * self.counters.workspace_hits as f64 / ws_checkouts as f64,
+                self.counters.workspace_bytes_reused,
+                self.counters.peak_workspace_pooled_bytes
+            ));
+        }
+
         if !self.epochs.is_empty() {
             let rows: Vec<Vec<String>> = self
                 .epochs
@@ -284,7 +308,8 @@ mod tests {
         let report = RunReport::capture("unit test");
         assert_eq!(report.file_name(), "RUNLOG_unit_test.json");
         let js = report.to_json();
-        assert!(js.contains("\"schema_version\": 1"));
+        assert!(js.contains("\"schema_version\": 2"));
+        assert!(js.contains("\"workspace\": {\"hits\": "));
         assert!(js.contains("\"path\": \"pretrain/epoch0\""));
         assert!(js.contains("\"kernel\": \"matmul\", \"calls\": 1, \"flops\": 2000"));
         assert!(js.contains("\"dispatch\": {\"parallel\": 0, \"serial\": 1}"));

@@ -18,7 +18,7 @@
 
 use crate::contract::contract;
 use crate::par::par_row_blocks;
-use crate::{Result, Tensor, TensorError};
+use crate::{workspace, Result, Tensor, TensorError};
 
 /// Spatial geometry of a convolution along one axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,8 +141,16 @@ pub fn pad_hw(x: &Tensor, ph: usize, pw: usize) -> Result<Tensor> {
     let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
     let (hp, wp) = (h + 2 * ph, w + 2 * pw);
     let mut out = Tensor::zeros(&[n, c, hp, wp]);
+    pad_hw_into(x, ph, pw, out.data_mut());
+    Ok(out)
+}
+
+/// Copies `x:[N,C,H,W]` into the interior of the pre-zeroed padded buffer
+/// `dst:[N,C,H+2ph,W+2pw]`.
+fn pad_hw_into(x: &Tensor, ph: usize, pw: usize, dst: &mut [f32]) {
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let (hp, wp) = (h + 2 * ph, w + 2 * pw);
     let src = x.data();
-    let dst = out.data_mut();
     for ni in 0..n {
         for ci in 0..c {
             for hi in 0..h {
@@ -152,7 +160,6 @@ pub fn pad_hw(x: &Tensor, ph: usize, pw: usize) -> Result<Tensor> {
             }
         }
     }
-    Ok(out)
 }
 
 /// im2col: lowers `[N, C, H, W]` to patch matrix
@@ -167,14 +174,27 @@ pub fn im2col(x: &Tensor, h_spec: ConvSpec, w_spec: ConvSpec) -> Result<Tensor> 
     let oh = h_spec.out_size(h)?;
     let ow = w_spec.out_size(w)?;
     let (kh, kw) = (h_spec.kernel, w_spec.kernel);
-    let padded = pad_hw(x, h_spec.pad, w_spec.pad)?;
     let (hp, wp) = (h + 2 * h_spec.pad, w + 2 * w_spec.pad);
-    let src = padded.data();
+    // With no padding the input image already has the gather layout; only
+    // a real pad needs the enlarged copy, and that scratch comes from (and
+    // returns to) the workspace arena.
+    let padded: Option<workspace::WorkspaceGuard> =
+        if h_spec.pad == 0 && w_spec.pad == 0 {
+            None
+        } else {
+            let mut g = workspace::take_zeroed(n * c * hp * wp);
+            pad_hw_into(x, h_spec.pad, w_spec.pad, &mut g);
+            Some(g)
+        };
+    let src: &[f32] = match &padded {
+        Some(g) => g,
+        None => x.data(),
+    };
     let cols_w = c * kh * kw;
-    let mut cols = vec![0.0f32; n * oh * ow * cols_w];
+    let mut cols = workspace::zeroed_tensor(&[n * oh * ow, cols_w]);
     // One patch row per (ni, ohi, owi); rows are pure gathers from the
     // shared padded image, so the split is trivially deterministic.
-    par_row_blocks(&mut cols, cols_w.max(1), cols_w, |first, block| {
+    par_row_blocks(cols.data_mut(), cols_w.max(1), cols_w, |first, block| {
         for (r, row) in block.chunks_mut(cols_w.max(1)).enumerate() {
             let ri = first + r;
             let (ni, rem) = (ri / (oh * ow), ri % (oh * ow));
@@ -190,7 +210,7 @@ pub fn im2col(x: &Tensor, h_spec: ConvSpec, w_spec: ConvSpec) -> Result<Tensor> 
             }
         }
     });
-    Tensor::from_vec(cols, &[n * oh * ow, cols_w])
+    Ok(cols)
 }
 
 /// col2im: scatters the patch matrix back onto a zero image, summing
@@ -216,13 +236,12 @@ pub fn col2im(
         });
     }
     let (hp, wp) = (h + 2 * h_spec.pad, w + 2 * w_spec.pad);
-    let mut padded = vec![0.0f32; n * c * hp * wp];
     let src = cols.data();
     // Overlapping patches only ever collide *within* one batch image, so the
     // scatter parallelises over `ni` with the per-element accumulation order
     // (ohi, owi, ci, khi, kwi) unchanged from the serial loop.
     let img = c * hp * wp;
-    par_row_blocks(&mut padded, img.max(1), oh * ow * cols_w, |first, block| {
+    let scatter = |first: usize, block: &mut [f32]| {
         for (r, image) in block.chunks_mut(img.max(1)).enumerate() {
             let ni = first + r;
             for ohi in 0..oh {
@@ -242,7 +261,16 @@ pub fn col2im(
                 }
             }
         }
-    });
+    };
+    // No padding → the padded image *is* the output: scatter straight into
+    // the output tensor and skip the crop copy.
+    if h_spec.pad == 0 && w_spec.pad == 0 {
+        let mut out = workspace::zeroed_tensor(&[n, c, h, w]);
+        par_row_blocks(out.data_mut(), img.max(1), oh * ow * cols_w, scatter);
+        return Ok(out);
+    }
+    let mut padded = workspace::take_zeroed(n * c * hp * wp);
+    par_row_blocks(&mut padded, img.max(1), oh * ow * cols_w, scatter);
     // Crop the padding back off.
     let mut out = Tensor::zeros(&[n, c, h, w]);
     let dst = out.data_mut();
@@ -301,6 +329,9 @@ pub fn conv2d(x: &Tensor, w: &Tensor, h_spec: ConvSpec, w_spec: ConvSpec) -> Res
     let cols = im2col(x, h_spec, w_spec)?; // [N·OH·OW, C·KH·KW]
     let wm = weight_to_matrix(w)?; // [C·KH·KW, O]
     let out = crate::ops::matmul(&cols, &wm)?; // [N·OH·OW, O]
+    // The patch matrix came from the arena; hand it straight back so the
+    // next im2col (typically the same shape, next batch) reuses it.
+    workspace::recycle(cols);
     // Counted at this entry point *and* inside the matmul above — see the
     // layering note in `metalora_obs::counters`.
     metalora_obs::counters::record_kernel(

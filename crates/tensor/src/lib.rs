@@ -35,6 +35,7 @@ pub mod ops;
 pub mod par;
 pub mod shape;
 pub mod tensor;
+pub mod workspace;
 
 pub use error::TensorError;
 pub use shape::Shape;

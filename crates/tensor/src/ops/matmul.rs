@@ -1,21 +1,28 @@
 //! Dense matrix multiplication kernels.
 //!
-//! A cache-blocked `ikj` loop ordering with the inner product vectorising
-//! over the contiguous last axis, tiled over the `k` dimension (`KC`) so the
-//! active panel of `B` stays in L2. Every kernel computes each output row
-//! self-containedly and hands the output to [`crate::par::par_row_blocks`],
-//! which splits the rows over a scoped thread team; per-element accumulation
-//! runs in increasing `k` order on every path, so parallel results are
-//! bitwise identical to serial ones. At the model sizes of the MetaLoRA
-//! experiments this is within a small factor of BLAS and keeps the crate
-//! dependency-free.
+//! Two interchangeable paths compute every variant:
+//!
+//! * the **packed register-tiled microkernel**
+//!   ([`super::microkernel`]) — packs both operands and runs an `MR×NR`
+//!   SIMD register tile; taken for products above a small flop threshold;
+//! * the **legacy scalar kernels** below — a cache-blocked `ikj` loop
+//!   ordering (k-tiled by `KC` so the active panel of `B` stays in L2);
+//!   retained for tiny products, as the reference the packed path is
+//!   tested bitwise-equal against, and as a bisection fallback
+//!   ([`super::microkernel::set_packing_enabled`]).
+//!
+//! Both paths hand the output to [`crate::par::par_row_blocks`], which
+//! splits the rows over a scoped thread team; per-element accumulation
+//! runs in increasing `k` order everywhere, so parallel, packed and legacy
+//! results are all bitwise identical.
 
+use super::microkernel::{self, use_packed};
 use crate::par::par_row_blocks;
 use crate::{Result, Tensor, TensorError};
 
 /// k-dimension tile: the `KC×n` panel of `B` revisited per row block stays
-/// L2-resident.
-const KC: usize = 128;
+/// L2-resident. Shared with the packed path.
+const KC: usize = microkernel::KC;
 
 /// Reports one matmul-family invocation to the observability layer:
 /// `flops` multiply-adds counted as 2 ops each, bytes = all three
@@ -42,9 +49,13 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
-    par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
-        matmul_rows(ad, bd, k, n, first, block);
-    });
+    if use_packed(2 * m * k * n) {
+        microkernel::gemm_packed(ad, 0, k, 1, bd, 0, n, 1, 1, m, n, k, &mut out);
+    } else {
+        par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
+            matmul_rows(ad, bd, k, n, first, block);
+        });
+    }
     record_mm(a.len() + b.len(), out.len(), 2 * m * k * n);
     Tensor::from_vec(out, &[m, n])
 }
@@ -84,25 +95,31 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
-    par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
-        let rows = block.len() / n.max(1);
-        for kb in (0..k).step_by(KC) {
-            let kend = (kb + KC).min(k);
-            for r in 0..rows {
-                let i = first + r;
-                let out_row = &mut block[r * n..(r + 1) * n];
-                // A is walked down a column (stride m); B panel reuse from
-                // the k-tile is what pays here.
-                for kk in kb..kend {
-                    let aki = ad[kk * m + i];
-                    let b_row = &bd[kk * n..(kk + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += aki * bv;
+    if use_packed(2 * m * k * n) {
+        // Packing absorbs the transpose: A element (i, kk) sits at stride
+        // (1, m).
+        microkernel::gemm_packed(ad, 0, 1, m, bd, 0, n, 1, 1, m, n, k, &mut out);
+    } else {
+        par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
+            let rows = block.len() / n.max(1);
+            for kb in (0..k).step_by(KC) {
+                let kend = (kb + KC).min(k);
+                for r in 0..rows {
+                    let i = first + r;
+                    let out_row = &mut block[r * n..(r + 1) * n];
+                    // A is walked down a column (stride m); B panel reuse
+                    // from the k-tile is what pays here.
+                    for kk in kb..kend {
+                        let aki = ad[kk * m + i];
+                        let b_row = &bd[kk * n..(kk + 1) * n];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                            *o += aki * bv;
+                        }
                     }
                 }
             }
-        }
-    });
+        });
+    }
     record_mm(a.len() + b.len(), out.len(), 2 * m * k * n);
     Tensor::from_vec(out, &[m, n])
 }
@@ -120,21 +137,28 @@ pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
-    // Dot products of contiguous rows — ideal memory order for this layout.
-    par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
-        for (r, out_row) in block.chunks_mut(n.max(1)).enumerate() {
-            let i = first + r;
-            let a_row = &ad[i * k..(i + 1) * k];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &bd[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&x, &y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
+    if use_packed(2 * m * k * n) {
+        // B element (kk, j) sits at stride (1, k); the legacy dot loop's
+        // fresh `acc = 0.0` matches the packed path's zeroed output bitwise.
+        microkernel::gemm_packed(ad, 0, k, 1, bd, 0, 1, k, 1, m, n, k, &mut out);
+    } else {
+        // Dot products of contiguous rows — ideal memory order for this
+        // layout.
+        par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
+            for (r, out_row) in block.chunks_mut(n.max(1)).enumerate() {
+                let i = first + r;
+                let a_row = &ad[i * k..(i + 1) * k];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &bd[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&x, &y) in a_row.iter().zip(b_row) {
+                        acc += x * y;
+                    }
+                    *o = acc;
                 }
-                *o = acc;
             }
-        }
-    });
+        });
+    }
     record_mm(a.len() + b.len(), out.len(), 2 * m * k * n);
     Tensor::from_vec(out, &[m, n])
 }
@@ -151,13 +175,20 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     }
     let (ad, xd) = (a.data(), x.data());
     let mut out = vec![0.0f32; m];
-    par_row_blocks(&mut out, 1, 2 * k, |first, block| {
-        for (r, o) in block.iter_mut().enumerate() {
-            let i = first + r;
-            let row = &ad[i * k..(i + 1) * k];
-            *o = row.iter().zip(xd).map(|(&a, &b)| a * b).sum();
-        }
-    });
+    if use_packed(2 * m * k) {
+        // A matmul with n = 1: every column tile is the ragged edge, whose
+        // kernel runs MR independent accumulation chains per k step —
+        // bitwise the same sequence as the legacy `sum()` fold from 0.0.
+        microkernel::gemm_packed(ad, 0, k, 1, xd, 0, 1, 1, 1, m, 1, k, &mut out);
+    } else {
+        par_row_blocks(&mut out, 1, 2 * k, |first, block| {
+            for (r, o) in block.iter_mut().enumerate() {
+                let i = first + r;
+                let row = &ad[i * k..(i + 1) * k];
+                *o = row.iter().zip(xd).map(|(&a, &b)| a * b).sum();
+            }
+        });
+    }
     record_mm(a.len() + x.len(), out.len(), 2 * m * k);
     Tensor::from_vec(out, &[m])
 }
@@ -178,19 +209,23 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = vec![0.0f32; bs * m * n];
     let (ad, bd) = (a.data(), b.data());
-    par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
-        for (r, out_row) in block.chunks_mut(n.max(1)).enumerate() {
-            let (bi, i) = ((first + r) / m.max(1), (first + r) % m.max(1));
-            let a_row = &ad[bi * m * k + i * k..bi * m * k + (i + 1) * k];
-            let b_base = bi * k * n;
-            for (kk, &aik) in a_row.iter().enumerate() {
-                let b_row = &bd[b_base + kk * n..b_base + (kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * bv;
+    if use_packed(2 * bs * m * k * n) {
+        microkernel::gemm_packed(ad, m * k, k, 1, bd, k * n, n, 1, bs, m, n, k, &mut out);
+    } else {
+        par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
+            for (r, out_row) in block.chunks_mut(n.max(1)).enumerate() {
+                let (bi, i) = ((first + r) / m.max(1), (first + r) % m.max(1));
+                let a_row = &ad[bi * m * k + i * k..bi * m * k + (i + 1) * k];
+                let b_base = bi * k * n;
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    let b_row = &bd[b_base + kk * n..b_base + (kk + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += aik * bv;
+                    }
                 }
             }
-        }
-    });
+        });
+    }
     record_mm(a.len() + b.len(), out.len(), 2 * bs * m * k * n);
     Tensor::from_vec(out, &[bs, m, n])
 }
@@ -208,20 +243,24 @@ pub fn bmm_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = vec![0.0f32; bs * m * n];
     let (ad, bd) = (a.data(), b.data());
-    par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
-        for (r, out_row) in block.chunks_mut(n.max(1)).enumerate() {
-            let (bi, i) = ((first + r) / m.max(1), (first + r) % m.max(1));
-            let a_base = bi * k * m;
-            let b_base = bi * k * n;
-            for kk in 0..k {
-                let aki = ad[a_base + kk * m + i];
-                let b_row = &bd[b_base + kk * n..b_base + (kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += aki * bv;
+    if use_packed(2 * bs * m * k * n) {
+        microkernel::gemm_packed(ad, k * m, 1, m, bd, k * n, n, 1, bs, m, n, k, &mut out);
+    } else {
+        par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
+            for (r, out_row) in block.chunks_mut(n.max(1)).enumerate() {
+                let (bi, i) = ((first + r) / m.max(1), (first + r) % m.max(1));
+                let a_base = bi * k * m;
+                let b_base = bi * k * n;
+                for kk in 0..k {
+                    let aki = ad[a_base + kk * m + i];
+                    let b_row = &bd[b_base + kk * n..b_base + (kk + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += aki * bv;
+                    }
                 }
             }
-        }
-    });
+        });
+    }
     record_mm(a.len() + b.len(), out.len(), 2 * bs * m * k * n);
     Tensor::from_vec(out, &[bs, m, n])
 }
@@ -239,21 +278,25 @@ pub fn bmm_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = vec![0.0f32; bs * m * n];
     let (ad, bd) = (a.data(), b.data());
-    par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
-        for (r, out_row) in block.chunks_mut(n.max(1)).enumerate() {
-            let (bi, i) = ((first + r) / m.max(1), (first + r) % m.max(1));
-            let a_row = &ad[bi * m * k + i * k..bi * m * k + (i + 1) * k];
-            let b_base = bi * n * k;
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &bd[b_base + j * k..b_base + (j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&x, &y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
+    if use_packed(2 * bs * m * k * n) {
+        microkernel::gemm_packed(ad, m * k, k, 1, bd, n * k, 1, k, bs, m, n, k, &mut out);
+    } else {
+        par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
+            for (r, out_row) in block.chunks_mut(n.max(1)).enumerate() {
+                let (bi, i) = ((first + r) / m.max(1), (first + r) % m.max(1));
+                let a_row = &ad[bi * m * k + i * k..bi * m * k + (i + 1) * k];
+                let b_base = bi * n * k;
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &bd[b_base + j * k..b_base + (j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&x, &y) in a_row.iter().zip(b_row) {
+                        acc += x * y;
+                    }
+                    *o = acc;
                 }
-                *o = acc;
             }
-        }
-    });
+        });
+    }
     record_mm(a.len() + b.len(), out.len(), 2 * bs * m * k * n);
     Tensor::from_vec(out, &[bs, m, n])
 }

@@ -1,0 +1,559 @@
+//! Packed, register-tiled GEMM microkernel.
+//!
+//! All seven matmul-family entry points (plain / transposed / batched /
+//! matvec) reduce to the same computation — `C[i,j] += Σ_k A[i,k]·B[k,j]`
+//! over strided operands — so they all funnel into one driver here:
+//!
+//! 1. **Pack** `B` once per call into KC-tall panels of [`NR`]-wide column
+//!    tiles (`[kc×NR]`, k-major), and each thread's block of `A` rows into
+//!    [`MR`]-tall row tiles (`[kc×MR]`, k-major). Packing linearises the
+//!    strided loads of the transposed variants, so the inner kernel always
+//!    streams two contiguous panels.
+//! 2. Run an `MR×NR` **register-tiled kernel** per tile pair: the 4×16
+//!    accumulator block lives in SIMD registers, `C` is loaded into it at
+//!    the start of each KC tile and stored back after, and `k` advances one
+//!    step at a time.
+//! 3. Ragged edges (`m % MR`, `n % NR`) fall to a bounds-checked edge
+//!    kernel with the identical accumulation order.
+//!
+//! # Bitwise equivalence to the legacy scalar kernels
+//!
+//! Every output element still receives exactly one `f32` multiply and one
+//! add per `k` step, in strictly increasing `k` order, starting from the
+//! zero-initialised output — the same abstract sequence the legacy `ikj`
+//! axpy loop, the dot-product loops and `matvec`'s `sum()` perform.
+//! Spilling the accumulator to `C` between KC tiles is exact (an `f32`
+//! store/load round-trip loses nothing), and rustc never contracts
+//! `mul`+`add` into an FMA, so vector width cannot change any element
+//! either. Hence packed results are **bitwise identical** to the legacy
+//! path — which is why the two can be toggled freely (see
+//! [`set_packing_enabled`]) and why `par_row_blocks` row splits, which may
+//! cut through an `MR` tile, are harmless.
+//!
+//! # SIMD dispatch
+//!
+//! The kernel body is a plain Rust loop nest the autovectorizer unrolls;
+//! `#[target_feature]` wrappers re-instantiate it for AVX2 and AVX-512F
+//! (detected once at runtime). The `fma` feature is deliberately **not**
+//! enabled: contraction would fuse the rounding step away and break
+//! bitwise equality.
+
+use crate::par::par_row_blocks;
+use crate::workspace;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering::Relaxed};
+
+/// Rows of the register tile (accumulator rows per kernel invocation).
+pub const MR: usize = 4;
+/// Columns of the register tile (one or two SIMD vectors wide).
+pub const NR: usize = 16;
+/// k-dimension tile, shared with the legacy kernels: the packed `KC×NR`
+/// panel of `B` stays cache-resident while a row block streams past it.
+pub const KC: usize = 128;
+
+// ---------------------------------------------------------------------------
+// Gating: packed vs legacy
+// ---------------------------------------------------------------------------
+
+static PACKING_ENABLED: AtomicBool = AtomicBool::new(true);
+/// Matmuls below this flop count stay on the legacy scalar path — packing
+/// two operands cannot pay for itself on tiny products.
+static PACK_MIN_FLOPS: AtomicUsize = AtomicUsize::new(1 << 15);
+
+/// Globally enables/disables the packed path (both paths are bitwise
+/// identical; the toggle exists for benchmarking and bisection).
+pub fn set_packing_enabled(on: bool) {
+    PACKING_ENABLED.store(on, Relaxed);
+}
+
+/// Whether the packed path is globally enabled.
+pub fn packing_enabled() -> bool {
+    PACKING_ENABLED.load(Relaxed)
+}
+
+/// Sets the minimum flop count for taking the packed path (`0` forces it
+/// for every size — used by the equivalence tests).
+pub fn set_pack_min_flops(flops: usize) {
+    PACK_MIN_FLOPS.store(flops, Relaxed);
+}
+
+/// `true` when a product of `flops` multiply-adds should take the packed
+/// path under the current gates.
+pub fn use_packed(flops: usize) -> bool {
+    packing_enabled() && flops >= PACK_MIN_FLOPS.load(Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// SIMD level detection
+// ---------------------------------------------------------------------------
+
+/// Instruction-set level the kernel wrappers were dispatched to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimdLevel {
+    /// Baseline autovectorization (SSE2 on x86_64).
+    Scalar = 0,
+    /// 256-bit vectors.
+    Avx2 = 1,
+    /// 512-bit vectors.
+    Avx512 = 2,
+}
+
+impl SimdLevel {
+    /// Stable lowercase name for logs and bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+}
+
+static SIMD_LEVEL: AtomicU8 = AtomicU8::new(u8::MAX);
+
+/// Best SIMD level the host supports (detected once, then cached).
+pub fn simd_level() -> SimdLevel {
+    match SIMD_LEVEL.load(Relaxed) {
+        0 => SimdLevel::Scalar,
+        1 => SimdLevel::Avx2,
+        2 => SimdLevel::Avx512,
+        _ => {
+            let l = detect();
+            SIMD_LEVEL.store(l as u8, Relaxed);
+            l
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect() -> SimdLevel {
+    if std::arch::is_x86_feature_detected!("avx512f") {
+        SimdLevel::Avx512
+    } else if std::arch::is_x86_feature_detected!("avx2") {
+        SimdLevel::Avx2
+    } else {
+        SimdLevel::Scalar
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect() -> SimdLevel {
+    SimdLevel::Scalar
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+/// Packs all `k×n` of `B` (element `(kk, j)` at `bd[base + kk*ks + j*cs]`)
+/// into KC-tile-major panels: the tile for `kk ∈ [kb, kb+kc)` starts at
+/// `kb*n` and holds the full-width column tiles `[kc×NR]` (element
+/// `(kk-kb, jj)` at `jt*NR*kc + (kk-kb)*NR + jj`) followed by one ragged
+/// tile `[kc×ne]`, `ne = n % NR`.
+pub fn pack_b(bd: &[f32], base: usize, k: usize, n: usize, ks: usize, cs: usize, packed: &mut [f32]) {
+    debug_assert!(packed.len() >= k * n);
+    let n_full = n - n % NR;
+    for kb in (0..k).step_by(KC) {
+        let kc = (kb + KC).min(k) - kb;
+        let tile = &mut packed[kb * n..kb * n + kc * n];
+        for j0 in (0..n_full).step_by(NR) {
+            let dst = &mut tile[j0 * kc..j0 * kc + kc * NR];
+            for dk in 0..kc {
+                let src = base + (kb + dk) * ks + j0 * cs;
+                for jj in 0..NR {
+                    dst[dk * NR + jj] = bd[src + jj * cs];
+                }
+            }
+        }
+        let ne = n - n_full;
+        if ne > 0 {
+            let dst = &mut tile[n_full * kc..];
+            for dk in 0..kc {
+                let src = base + (kb + dk) * ks + n_full * cs;
+                for jj in 0..ne {
+                    dst[dk * ne + jj] = bd[src + jj * cs];
+                }
+            }
+        }
+    }
+}
+
+/// Packs `rows` rows of `A` starting at row `first` (element `(i, kk)` at
+/// `ad[base + i*rs + kk*ks]`) into KC-tile-major panels: the tile for
+/// `kk ∈ [kb, kb+kc)` starts at `kb*rows` and holds MR-tall row tiles
+/// `[kc×MR]` (element `(kk-kb, r)` at `it*MR*kc + (kk-kb)*MR + r`) followed
+/// by one ragged tile `[kc×me]`, `me = rows % MR`.
+pub fn pack_a(
+    ad: &[f32],
+    base: usize,
+    first: usize,
+    rows: usize,
+    k: usize,
+    rs: usize,
+    ks: usize,
+    packed: &mut [f32],
+) {
+    debug_assert!(packed.len() >= rows * k);
+    let rows_full = rows - rows % MR;
+    for kb in (0..k).step_by(KC) {
+        let kc = (kb + KC).min(k) - kb;
+        let tile = &mut packed[kb * rows..kb * rows + kc * rows];
+        for i0 in (0..rows_full).step_by(MR) {
+            let dst = &mut tile[i0 * kc..i0 * kc + kc * MR];
+            for dk in 0..kc {
+                let src = base + (first + i0) * rs + (kb + dk) * ks;
+                for r in 0..MR {
+                    dst[dk * MR + r] = ad[src + r * rs];
+                }
+            }
+        }
+        let me = rows - rows_full;
+        if me > 0 {
+            let dst = &mut tile[rows_full * kc..];
+            for dk in 0..kc {
+                let src = base + (first + rows_full) * rs + (kb + dk) * ks;
+                for r in 0..me {
+                    dst[dk * me + r] = ad[src + r * rs];
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Register-tiled kernels
+// ---------------------------------------------------------------------------
+
+/// Full `MR×NR` tile: `ap` is a `[kc×MR]` packed A tile, `bp` a `[kc×NR]`
+/// packed B tile, `c` the top-left of the destination tile with row stride
+/// `ldc`. The accumulator block is loaded from `C`, updated in increasing
+/// `k` order, and stored back — never zero-initialised, so KC tiling keeps
+/// the per-element accumulation sequence intact.
+///
+/// # Safety
+/// `ap`/`bp` must be valid for `kc*MR` / `kc*NR` reads and `c` for an
+/// `MR×NR` block at row stride `ldc`.
+#[inline(always)]
+unsafe fn kernel_full_body(ap: *const f32, bp: *const f32, kc: usize, c: *mut f32, ldc: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for r in 0..MR {
+        for j in 0..NR {
+            acc[r][j] = *c.add(r * ldc + j);
+        }
+    }
+    for kk in 0..kc {
+        let mut b = [0.0f32; NR];
+        for j in 0..NR {
+            b[j] = *bp.add(kk * NR + j);
+        }
+        for r in 0..MR {
+            let a = *ap.add(kk * MR + r);
+            for j in 0..NR {
+                acc[r][j] += a * b[j];
+            }
+        }
+    }
+    for r in 0..MR {
+        for j in 0..NR {
+            *c.add(r * ldc + j) = acc[r][j];
+        }
+    }
+}
+
+/// Ragged-edge tile: like [`kernel_full_body`] but for `me ≤ MR` rows of a
+/// `[kc×me]` A tile and `ne ≤ NR` columns of a `[kc×ne]` B tile. The
+/// fixed-size accumulator keeps `me` independent chains per `k` step, which
+/// also makes this the matvec kernel (`ne = 1`).
+///
+/// # Safety
+/// `ap`/`bp` must be valid for `kc*me` / `kc*ne` reads and `c` for an
+/// `me×ne` block at row stride `ldc`; `me ≤ MR`, `ne ≤ NR`.
+#[inline(always)]
+unsafe fn kernel_edge_body(
+    ap: *const f32,
+    me: usize,
+    bp: *const f32,
+    ne: usize,
+    kc: usize,
+    c: *mut f32,
+    ldc: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for r in 0..me {
+        for j in 0..ne {
+            acc[r][j] = *c.add(r * ldc + j);
+        }
+    }
+    for kk in 0..kc {
+        for r in 0..me {
+            let a = *ap.add(kk * me + r);
+            for j in 0..ne {
+                acc[r][j] += a * *bp.add(kk * ne + j);
+            }
+        }
+    }
+    for r in 0..me {
+        for j in 0..ne {
+            *c.add(r * ldc + j) = acc[r][j];
+        }
+    }
+}
+
+// Per-level instantiations. The bodies are identical; the target_feature
+// attribute is what lets LLVM widen the inner loops to 256/512-bit ops.
+
+unsafe fn kernel_full_scalar(ap: *const f32, bp: *const f32, kc: usize, c: *mut f32, ldc: usize) {
+    kernel_full_body(ap, bp, kc, c, ldc)
+}
+
+unsafe fn kernel_edge_scalar(
+    ap: *const f32,
+    me: usize,
+    bp: *const f32,
+    ne: usize,
+    kc: usize,
+    c: *mut f32,
+    ldc: usize,
+) {
+    kernel_edge_body(ap, me, bp, ne, kc, c, ldc)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn kernel_full_avx2(ap: *const f32, bp: *const f32, kc: usize, c: *mut f32, ldc: usize) {
+    kernel_full_body(ap, bp, kc, c, ldc)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn kernel_edge_avx2(
+    ap: *const f32,
+    me: usize,
+    bp: *const f32,
+    ne: usize,
+    kc: usize,
+    c: *mut f32,
+    ldc: usize,
+) {
+    kernel_edge_body(ap, me, bp, ne, kc, c, ldc)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn kernel_full_avx512(ap: *const f32, bp: *const f32, kc: usize, c: *mut f32, ldc: usize) {
+    kernel_full_body(ap, bp, kc, c, ldc)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn kernel_edge_avx512(
+    ap: *const f32,
+    me: usize,
+    bp: *const f32,
+    ne: usize,
+    kc: usize,
+    c: *mut f32,
+    ldc: usize,
+) {
+    kernel_edge_body(ap, me, bp, ne, kc, c, ldc)
+}
+
+#[inline]
+unsafe fn run_full(lvl: SimdLevel, ap: *const f32, bp: *const f32, kc: usize, c: *mut f32, ldc: usize) {
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => kernel_full_avx512(ap, bp, kc, c, ldc),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => kernel_full_avx2(ap, bp, kc, c, ldc),
+        _ => kernel_full_scalar(ap, bp, kc, c, ldc),
+    }
+}
+
+#[inline]
+#[allow(clippy::too_many_arguments)]
+unsafe fn run_edge(
+    lvl: SimdLevel,
+    ap: *const f32,
+    me: usize,
+    bp: *const f32,
+    ne: usize,
+    kc: usize,
+    c: *mut f32,
+    ldc: usize,
+) {
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => kernel_edge_avx512(ap, me, bp, ne, kc, c, ldc),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => kernel_edge_avx2(ap, me, bp, ne, kc, c, ldc),
+        _ => kernel_edge_scalar(ap, me, bp, ne, kc, c, ldc),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block driver
+// ---------------------------------------------------------------------------
+
+/// Multiplies one packed A row block (`rows×k`, [`pack_a`] layout) by the
+/// packed `B` (`k×n`, [`pack_b`] layout) into `block` (`rows×n`,
+/// row-major, zero-initialised by the caller).
+fn gemm_block(apack: &[f32], bpack: &[f32], rows: usize, n: usize, k: usize, block: &mut [f32]) {
+    let lvl = simd_level();
+    let rows_full = rows - rows % MR;
+    let n_full = n - n % NR;
+    let (me, ne) = (rows - rows_full, n - n_full);
+    let cptr = block.as_mut_ptr();
+    for kb in (0..k).step_by(KC) {
+        let kc = (kb + KC).min(k) - kb;
+        let a_tiles = &apack[kb * rows..];
+        let b_tiles = &bpack[kb * n..];
+        for i0 in (0..rows_full).step_by(MR) {
+            let ap = a_tiles[i0 * kc..].as_ptr();
+            for j0 in (0..n_full).step_by(NR) {
+                // Safety: each (i0, j0) pair addresses a disjoint MR×NR
+                // region of `block`; packed tiles were sized by pack_a/b.
+                unsafe {
+                    run_full(lvl, ap, b_tiles[j0 * kc..].as_ptr(), kc, cptr.add(i0 * n + j0), n);
+                }
+            }
+            if ne > 0 {
+                unsafe {
+                    run_edge(
+                        lvl,
+                        ap,
+                        MR,
+                        b_tiles[n_full * kc..].as_ptr(),
+                        ne,
+                        kc,
+                        cptr.add(i0 * n + n_full),
+                        n,
+                    );
+                }
+            }
+        }
+        if me > 0 {
+            let ap = a_tiles[rows_full * kc..].as_ptr();
+            for j0 in (0..n_full).step_by(NR) {
+                unsafe {
+                    run_edge(lvl, ap, me, b_tiles[j0 * kc..].as_ptr(), NR, kc, cptr.add(rows_full * n + j0), n);
+                }
+            }
+            if ne > 0 {
+                unsafe {
+                    run_edge(
+                        lvl,
+                        ap,
+                        me,
+                        b_tiles[n_full * kc..].as_ptr(),
+                        ne,
+                        kc,
+                        cptr.add(rows_full * n + n_full),
+                        n,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Packed GEMM over strided operands, batched:
+/// `out[bi, i, j] = Σ_k ad[a_base(bi) + i·a_rs + kk·a_ks] · bd[b_base(bi) + kk·b_ks + j·b_cs]`
+/// with `x_base(bi) = bi * x_batch`. `out` must be zero-initialised
+/// (`bs*m*n`, row-major). Covers every matmul-family variant: strides
+/// express the transposes, `bs = 1` the unbatched calls, `n = 1` matvec.
+///
+/// `B` is packed once up front (shared read-only across the thread team);
+/// each row block packs its own slice of `A` from the workspace arena
+/// inside the `par_row_blocks` closure.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_packed(
+    ad: &[f32],
+    a_batch: usize,
+    a_rs: usize,
+    a_ks: usize,
+    bd: &[f32],
+    b_batch: usize,
+    b_ks: usize,
+    b_cs: usize,
+    bs: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), bs * m * n);
+    if bs * m * n == 0 {
+        return;
+    }
+    let mut bpack = workspace::take(bs * k * n);
+    for bi in 0..bs {
+        pack_b(bd, bi * b_batch, k, n, b_ks, b_cs, &mut bpack[bi * k * n..(bi + 1) * k * n]);
+    }
+    let bp: &[f32] = &bpack;
+    par_row_blocks(out, n, 2 * k * n, |first, block| {
+        let rows = block.len() / n;
+        let mut apack = workspace::take(rows * k);
+        // A row block may straddle batch boundaries; process it one batch
+        // segment at a time (each segment is self-contained, so this stays
+        // independent of how par_row_blocks cut the rows).
+        let mut r0 = 0;
+        while r0 < rows {
+            let abs = first + r0;
+            let (bi, i0) = (abs / m, abs % m);
+            let seg = (m - i0).min(rows - r0);
+            pack_a(ad, bi * a_batch, i0, seg, k, a_rs, a_ks, &mut apack[..seg * k]);
+            gemm_block(&apack[..seg * k], &bp[bi * k * n..(bi + 1) * k * n], seg, n, k, &mut block[r0 * n..(r0 + seg) * n]);
+            r0 += seg;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simd_level_is_cached_and_consistent() {
+        let a = simd_level();
+        let b = simd_level();
+        assert_eq!(a, b);
+        assert!(!a.name().is_empty());
+    }
+
+    #[test]
+    fn pack_b_roundtrip_identity_layout() {
+        // 2 KC tiles, ragged n: every element must land exactly once.
+        let k = KC + 3;
+        let n = NR + 5;
+        let bd: Vec<f32> = (0..k * n).map(|x| x as f32).collect();
+        let mut packed = vec![f32::NAN; k * n];
+        pack_b(&bd, 0, k, n, n, 1, &mut packed);
+        assert!(packed.iter().all(|x| !x.is_nan()));
+        // Spot-check the documented layout: tile kb=KC, full tile 0,
+        // dk=1, jj=2 holds B[KC+1, 2].
+        let off = KC * n + NR + 2;
+        assert_eq!(packed[off], bd[(KC + 1) * n + 2]);
+    }
+
+    #[test]
+    fn pack_a_covers_ragged_rows() {
+        let (rows, k) = (MR + 2, KC + 1);
+        let ad: Vec<f32> = (0..rows * k).map(|x| x as f32).collect();
+        let mut packed = vec![f32::NAN; rows * k];
+        pack_a(&ad, 0, 0, rows, k, k, 1, &mut packed);
+        assert!(packed.iter().all(|x| !x.is_nan()));
+        // Full tile 0, dk=0, r=3 holds A[3, 0].
+        assert_eq!(packed[3], ad[3 * k]);
+        // Edge tile (rows 4..6), tile kb=0 starts after the full tiles.
+        assert_eq!(packed[MR * KC], ad[MR * k]);
+    }
+
+    #[test]
+    fn gating_toggles() {
+        assert!(packing_enabled());
+        set_packing_enabled(false);
+        assert!(!use_packed(usize::MAX));
+        set_packing_enabled(true);
+        assert!(use_packed(1 << 20));
+        assert!(!use_packed(8));
+    }
+}

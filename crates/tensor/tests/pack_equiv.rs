@@ -1,0 +1,215 @@
+//! Property tests asserting the packed register-tiled microkernel is
+//! **bitwise identical** to the legacy scalar kernels for every
+//! matmul-family variant, across ragged shapes (m, n, k not multiples of
+//! MR/NR/KC, including 1×n and m×1), and that the workspace arena actually
+//! reuses buffers without ever aliasing concurrent checkouts.
+//!
+//! The pack-gate is forced to 0 so even tiny shapes take the packed path;
+//! a process-wide lock serialises the tests because the gates are global.
+
+use metalora_tensor::ops::{
+    bmm, bmm_transpose_a, bmm_transpose_b, matmul, matmul_transpose_a, matmul_transpose_b,
+    matvec, set_pack_min_flops, set_packing_enabled,
+};
+use metalora_tensor::{init, par, workspace, Tensor};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+struct PackGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+/// Locks the suite and forces every product through the packed path.
+fn force_packed() -> PackGuard {
+    let g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_pack_min_flops(0);
+    PackGuard(g)
+}
+
+impl Drop for PackGuard {
+    fn drop(&mut self) {
+        set_packing_enabled(true);
+        set_pack_min_flops(1 << 15);
+        par::set_num_threads(0);
+        par::set_par_threshold(usize::MAX);
+    }
+}
+
+/// Runs `f` on the legacy path, then on the packed path, and asserts the
+/// outputs agree to the bit.
+fn assert_pack_equiv(f: impl Fn() -> Tensor) {
+    set_packing_enabled(false);
+    let legacy = f();
+    set_packing_enabled(true);
+    let packed = f();
+    assert_eq!(legacy.dims(), packed.dims(), "packed path changed the shape");
+    let same = legacy
+        .data()
+        .iter()
+        .zip(packed.data())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(same, "packed result diverged from legacy kernel");
+}
+
+fn rand_t(dims: &[usize], seed: u64) -> Tensor {
+    let mut r = init::rng(seed);
+    init::uniform(dims, -1.0, 1.0, &mut r)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_family_packed_bitwise(
+        m in 1usize..48,
+        k in 0usize..48,
+        n in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let _g = force_packed();
+        let a = rand_t(&[m, k], seed);
+        let b = rand_t(&[k, n], seed + 1);
+        assert_pack_equiv(|| matmul(&a, &b).unwrap());
+
+        let at = rand_t(&[k, m], seed + 2);
+        assert_pack_equiv(|| matmul_transpose_a(&at, &b).unwrap());
+
+        let bt = rand_t(&[n, k], seed + 3);
+        assert_pack_equiv(|| matmul_transpose_b(&a, &bt).unwrap());
+
+        let x = rand_t(&[k], seed + 4);
+        assert_pack_equiv(|| matvec(&a, &x).unwrap());
+    }
+
+    #[test]
+    fn matmul_packed_spans_multiple_kc_tiles(
+        m in 1usize..10,
+        k in 100usize..300,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        // k crosses the KC=128 tile boundary (often several times): the
+        // accumulator spill/reload between tiles must not move a bit.
+        let _g = force_packed();
+        let a = rand_t(&[m, k], seed);
+        let b = rand_t(&[k, n], seed + 1);
+        assert_pack_equiv(|| matmul(&a, &b).unwrap());
+        let bt = rand_t(&[n, k], seed + 2);
+        assert_pack_equiv(|| matmul_transpose_b(&a, &bt).unwrap());
+    }
+
+    #[test]
+    fn matmul_packed_degenerate_shapes(n in 1usize..64, seed in 0u64..1000) {
+        let _g = force_packed();
+        // 1×n: a single output row, thinner than the MR tile.
+        let a = rand_t(&[1, n], seed);
+        let b = rand_t(&[n, n], seed + 1);
+        assert_pack_equiv(|| matmul(&a, &b).unwrap());
+        // m×1: a single output column — every column tile is the ragged
+        // edge, same shape matvec takes.
+        let c = rand_t(&[n, n], seed + 2);
+        let d = rand_t(&[n, 1], seed + 3);
+        assert_pack_equiv(|| matmul(&c, &d).unwrap());
+        // Empty inner dimension: all-zero output from both paths.
+        let e = Tensor::zeros(&[n, 0]);
+        let f = Tensor::zeros(&[0, n]);
+        assert_pack_equiv(|| matmul(&e, &f).unwrap());
+    }
+
+    #[test]
+    fn bmm_family_packed_bitwise(
+        bs in 1usize..5,
+        m in 1usize..14,
+        k in 1usize..14,
+        n in 1usize..14,
+        seed in 0u64..1000,
+    ) {
+        let _g = force_packed();
+        let a = rand_t(&[bs, m, k], seed);
+        let b = rand_t(&[bs, k, n], seed + 1);
+        assert_pack_equiv(|| bmm(&a, &b).unwrap());
+
+        let at = rand_t(&[bs, k, m], seed + 2);
+        assert_pack_equiv(|| bmm_transpose_a(&at, &b).unwrap());
+
+        let bt = rand_t(&[bs, n, k], seed + 3);
+        assert_pack_equiv(|| bmm_transpose_b(&a, &bt).unwrap());
+    }
+
+    #[test]
+    fn packed_composes_with_row_block_parallelism(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        // Thread splits can cut through an MR row tile; per-element k-order
+        // is independent of the row partition, so packed ∥ must equal
+        // legacy serial bit-for-bit.
+        let _g = force_packed();
+        let a = rand_t(&[m, k], seed);
+        let b = rand_t(&[k, n], seed + 1);
+        set_packing_enabled(false);
+        par::set_num_threads(1);
+        let reference = matmul(&a, &b).unwrap();
+        set_packing_enabled(true);
+        par::set_par_threshold(0);
+        for threads in [2, 7, 64] {
+            par::set_num_threads(threads);
+            let out = matmul(&a, &b).unwrap();
+            let same = reference
+                .data()
+                .iter()
+                .zip(out.data())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            prop_assert!(same, "packed parallel ({threads} threads) diverged");
+        }
+    }
+}
+
+/// The arena really recycles: after a warm-up call populates the pool,
+/// identical matmuls must check their packing buffers back out as hits.
+#[test]
+fn workspace_reuse_shows_up_in_obs_counters() {
+    let _g = force_packed();
+    metalora_obs::set_enabled(true);
+    metalora_obs::reset();
+    workspace::clear();
+    let a = rand_t(&[64, 48], 7);
+    let b = rand_t(&[48, 56], 8);
+    for _ in 0..4 {
+        let _ = matmul(&a, &b).unwrap();
+    }
+    let snap = metalora_obs::counters::snapshot();
+    metalora_obs::set_enabled(false);
+    metalora_obs::reset();
+    assert!(
+        snap.workspace_hits > 0,
+        "no pool hits across repeated identical matmuls: {snap:?}"
+    );
+    assert!(snap.workspace_bytes_reused > 0);
+}
+
+/// Concurrent checkouts must hand out disjoint buffers: each thread stamps
+/// its guard with a unique pattern and must read it back intact while
+/// other threads are stamping theirs.
+#[test]
+fn concurrent_checkouts_are_never_aliased() {
+    let _g = force_packed();
+    std::thread::scope(|s| {
+        for tid in 0..6 {
+            s.spawn(move || {
+                for round in 0..300usize {
+                    let len = 32 + (tid * 53 + round * 17) % 900;
+                    let mut buf = workspace::take(len);
+                    let stamp = (tid * 10_000 + round) as f32;
+                    buf.fill(stamp);
+                    assert!(
+                        buf.iter().all(|&x| x == stamp),
+                        "buffer aliased across threads"
+                    );
+                }
+            });
+        }
+    });
+}

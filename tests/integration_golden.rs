@@ -141,7 +141,16 @@ fn runlog_captures_full_table1_grid() {
     // Valid JSON with the full schema.
     let json = report.to_json();
     let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-    for key in ["schema_version", "name", "spans", "kernels", "dispatch", "memory", "epochs"] {
+    for key in [
+        "schema_version",
+        "name",
+        "spans",
+        "kernels",
+        "dispatch",
+        "memory",
+        "workspace",
+        "epochs",
+    ] {
         assert!(v.field(key).is_ok(), "missing key {key:?}");
     }
 
