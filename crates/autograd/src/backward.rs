@@ -74,6 +74,10 @@ impl Graph {
                 self.nodes[root.0].value.dims()
             )));
         }
+        // One span per reverse sweep: backward dominates training time, so
+        // its duration histogram (and timeline block, when tracing) is the
+        // first thing to look at in a slow run.
+        let _sweep = metalora_obs::span!("backward");
         let root_dims = self.nodes[root.0].value.dims().to_vec();
         self.nodes[root.0].grad = Some(Tensor::ones(&root_dims));
 

@@ -6,260 +6,17 @@
 //! and the workspace-arena hit rate is reported both for the sweep and for
 //! a quick pretrain+adapt pipeline. Raw numbers go to `BENCH_kernels.json`.
 //!
+//! The sweep itself lives in `metalora_bench::kernels` so the `regress`
+//! binary can rerun the identical workload against the committed baseline.
+//!
 //! Run with: `cargo run --release -p metalora-bench --bin kernels`
 //! (`--scale quick` shrinks sizes/reps for CI smoke runs).
-
-use metalora::config::{Arch, ExperimentConfig};
-use metalora::methods::Method;
-use metalora::pipeline::{adapt, pretrain};
-use metalora::report::render_table;
-use metalora_data::knn::{Distance, KnnClassifier};
-use metalora_tensor::conv::{conv2d, ConvSpec};
-use metalora_tensor::{init, ops, par, workspace, Tensor};
-use serde::Serialize;
-use std::time::Instant;
-
-#[derive(Serialize)]
-struct KernelPoint {
-    kernel: String,
-    path: String,
-    threads: usize,
-    best_ms: f64,
-    gflops: f64,
-    speedup_vs_1: f64,
-    bitwise_equal_to_serial: bool,
-}
-
-#[derive(Serialize)]
-struct ArenaStats {
-    hits: u64,
-    misses: u64,
-    hit_rate: f64,
-    bytes_reused: u64,
-    peak_pooled_bytes: u64,
-}
-
-impl ArenaStats {
-    fn capture() -> Self {
-        let snap = metalora_obs::counters::snapshot();
-        let total = snap.workspace_hits + snap.workspace_misses;
-        ArenaStats {
-            hits: snap.workspace_hits,
-            misses: snap.workspace_misses,
-            hit_rate: if total == 0 {
-                0.0
-            } else {
-                snap.workspace_hits as f64 / total as f64
-            },
-            bytes_reused: snap.workspace_bytes_reused,
-            peak_pooled_bytes: snap.peak_workspace_pooled_bytes,
-        }
-    }
-}
-
-#[derive(Serialize)]
-struct KernelReport {
-    host_cpus: usize,
-    scale: String,
-    simd_level: String,
-    points: Vec<KernelPoint>,
-    sweep_arena: ArenaStats,
-    train_arena: ArenaStats,
-}
-
-/// Best-of-`reps` wall time in milliseconds.
-fn time_ms(reps: usize, mut f: impl FnMut() -> Tensor) -> (f64, Tensor) {
-    let mut best = f64::INFINITY;
-    let mut last = f();
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        last = f();
-        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
-    }
-    (best, last)
-}
-
-fn bitwise_eq(a: &Tensor, b: &Tensor) -> bool {
-    a.dims() == b.dims()
-        && a.data()
-            .iter()
-            .zip(b.data())
-            .all(|(x, y)| x.to_bits() == y.to_bits())
-}
-
-/// Sweeps one kernel over thread counts for both the legacy and the packed
-/// path. Each path's `speedup_vs_1` divides by its own single-thread point
-/// from the same run (the earlier design timed a separate warm-up baseline,
-/// which made the t=1 row read ~0.99x), and every point is compared
-/// bitwise against the legacy serial output.
-fn sweep(
-    name: &str,
-    flops: f64,
-    threads: &[usize],
-    reps: usize,
-    points: &mut Vec<KernelPoint>,
-    f: impl Fn() -> Tensor,
-) {
-    ops::set_packing_enabled(false);
-    par::set_num_threads(1);
-    let (_, reference) = time_ms(1, &f);
-    for (path, packed) in [("legacy", false), ("packed", true)] {
-        ops::set_packing_enabled(packed);
-        let mut base_ms = f64::NAN;
-        for &t in threads {
-            par::set_num_threads(t);
-            let (ms, out) = time_ms(reps, &f);
-            if t == 1 {
-                base_ms = ms;
-            }
-            points.push(KernelPoint {
-                kernel: name.to_string(),
-                path: path.to_string(),
-                threads: t,
-                best_ms: ms,
-                gflops: flops / (ms * 1e6),
-                speedup_vs_1: base_ms / ms,
-                bitwise_equal_to_serial: bitwise_eq(&reference, &out),
-            });
-        }
-    }
-    ops::set_packing_enabled(true);
-    par::set_num_threads(0);
-}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--scale")
         && std::env::args().any(|a| a == "quick");
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let simd = ops::simd_level().name().to_string();
-    // Sweep past the host count on purpose: oversubscription must not
-    // change results, only throughput.
-    let threads: Vec<usize> = [1usize, 2, 4, 8]
-        .into_iter()
-        .filter(|&t| t <= 8.max(host_cpus))
-        .collect();
-    let (mm_dim, reps) = if quick { (128, 2) } else { (384, 5) };
-    println!(
-        "=== K1 — kernel throughput (host_cpus={host_cpus}, simd={simd}, sizes {}) ===\n",
-        if quick { "quick" } else { "standard" }
-    );
-    // Force the parallel path even at quick sizes so the sweep actually
-    // exercises the thread team, and count arena traffic from a cold pool.
-    par::set_par_threshold(0);
-    metalora_obs::set_enabled(true);
-    // Drain the pool BEFORE resetting counters: clear() debits the pooled
-    // byte gauge, so the other order would start the gauge negative.
-    workspace::clear();
-    metalora_obs::reset();
+    let report = metalora_bench::kernels::run(quick);
 
-    let mut rng = init::rng(0);
-    let mut points = Vec::new();
-
-    // Dense matmul, m = k = n.
-    let a = init::uniform(&[mm_dim, mm_dim], -1.0, 1.0, &mut rng);
-    let b = init::uniform(&[mm_dim, mm_dim], -1.0, 1.0, &mut rng);
-    let mm_flops = 2.0 * (mm_dim as f64).powi(3);
-    sweep(
-        &format!("matmul {mm_dim}x{mm_dim}x{mm_dim}"),
-        mm_flops,
-        &threads,
-        reps,
-        &mut points,
-        || ops::matmul(&a, &b).unwrap(),
-    );
-
-    // conv2d on the acceptance shape [8, 16, 32, 32], 3x3 kernel, 32 out.
-    let (n, c, hw, k, o) = if quick { (2, 8, 16, 3, 16) } else { (8, 16, 32, 3, 32) };
-    let x = init::uniform(&[n, c, hw, hw], -1.0, 1.0, &mut rng);
-    let w = init::uniform(&[k, k, c, o], -1.0, 1.0, &mut rng);
-    let spec = ConvSpec::new(k, 1, 1).unwrap();
-    let oh = spec.out_size(hw).unwrap();
-    let conv_flops = 2.0 * (n * oh * oh * c * k * k * o) as f64;
-    sweep(
-        &format!("conv2d [{n},{c},{hw},{hw}] k{k} o{o}"),
-        conv_flops,
-        &threads,
-        reps,
-        &mut points,
-        || conv2d(&x, &w, spec, spec).unwrap(),
-    );
-
-    // KNN distance matrix + vote (predictions re-encoded as a tensor so
-    // the sweep helper can compare bitwise).
-    let (ns, nq, d) = if quick { (200, 100, 16) } else { (1000, 500, 32) };
-    let support = init::uniform(&[ns, d], -1.0, 1.0, &mut rng);
-    let labels: Vec<usize> = (0..ns).map(|i| i % 5).collect();
-    let queries = init::uniform(&[nq, d], -1.0, 1.0, &mut rng);
-    let knn = KnnClassifier::fit(support, labels, Distance::L2).unwrap();
-    let knn_flops = 3.0 * (ns * nq * d) as f64;
-    sweep(
-        &format!("knn predict {ns}x{nq} d{d}"),
-        knn_flops,
-        &threads,
-        reps,
-        &mut points,
-        || {
-            let pred = knn.predict(&queries, 5).unwrap();
-            let data: Vec<f32> = pred.iter().map(|&p| p as f32).collect();
-            Tensor::from_vec(data, &[nq]).unwrap()
-        },
-    );
-
-    par::set_par_threshold(usize::MAX);
-    let sweep_arena = ArenaStats::capture();
-
-    // Arena hit rate on the real training hot path: a quick pretrain +
-    // MetaLoRA adapt, counted from a cold pool.
-    println!("measuring arena hit rate on the quick train pipeline...");
-    workspace::clear();
-    metalora_obs::reset();
-    let cfg = ExperimentConfig::quick();
-    let backbone = pretrain(&cfg, Arch::ResNet, 0).expect("pretrain");
-    let _adapted = adapt(backbone, Method::MetaLoraCp, &cfg, 0).expect("adapt");
-    let train_arena = ArenaStats::capture();
-
-    let headers: Vec<String> = ["kernel", "path", "threads", "best ms", "GFLOP/s", "speedup", "bitwise"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| {
-            vec![
-                p.kernel.clone(),
-                p.path.clone(),
-                p.threads.to_string(),
-                format!("{:.3}", p.best_ms),
-                format!("{:.2}", p.gflops),
-                format!("{:.2}x", p.speedup_vs_1),
-                p.bitwise_equal_to_serial.to_string(),
-            ]
-        })
-        .collect();
-    println!("{}", render_table(&headers, &rows));
-    println!(
-        "arena hit rate: sweep {:.1}% ({}/{} checkouts), train {:.1}% ({}/{} checkouts)",
-        100.0 * sweep_arena.hit_rate,
-        sweep_arena.hits,
-        sweep_arena.hits + sweep_arena.misses,
-        100.0 * train_arena.hit_rate,
-        train_arena.hits,
-        train_arena.hits + train_arena.misses,
-    );
-
-    assert!(
-        points.iter().all(|p| p.bitwise_equal_to_serial),
-        "kernel output diverged from the legacy serial run"
-    );
-
-    let report = KernelReport {
-        host_cpus,
-        scale: if quick { "quick" } else { "standard" }.to_string(),
-        simd_level: simd,
-        points,
-        sweep_arena,
-        train_arena,
-    };
     let json = serde_json::to_string_pretty(&report).expect("serialise");
     let path = "BENCH_kernels.json";
     std::fs::write(path, json).expect("write BENCH_kernels.json");
@@ -270,5 +27,11 @@ fn main() {
     match report.write() {
         Ok(p) => println!("run log written to {}", p.display()),
         Err(e) => eprintln!("could not write run log: {e}"),
+    }
+    if metalora_obs::trace::enabled() {
+        match metalora_obs::trace::write_chrome("kernels") {
+            Ok(p) => println!("trace written to {}", p.display()),
+            Err(e) => eprintln!("could not write trace: {e}"),
+        }
     }
 }

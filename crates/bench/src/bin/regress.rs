@@ -1,0 +1,84 @@
+//! **Regression gate**: rerun the K1 kernel sweep and diff it against the
+//! committed `BENCH_kernels.json`. Exits nonzero on any violation —
+//! bitwise divergence, a missing measurement point, a `threads = 1`
+//! slowdown beyond tolerance, or drift in the deterministic counter and
+//! dispatch totals. See `metalora_bench::regress` for the exact policy.
+//!
+//! Run with: `cargo run --release -p metalora-bench --bin regress`
+//! (`--baseline PATH` overrides the baseline file; the sweep scale is
+//! taken from the baseline itself so the workloads always match).
+
+use metalora_bench::kernels::KernelReport;
+use metalora_bench::regress::{compare, Tolerances};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = "BENCH_kernels.json".to_string();
+    let mut tol = Tolerances::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                baseline_path = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| usage("--baseline needs a value"))
+                    .clone();
+                i += 2;
+            }
+            "--ms-tolerance" => {
+                tol.ms_frac = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| usage("--ms-tolerance needs a value"))
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("--ms-tolerance: {e}")));
+                i += 2;
+            }
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let baseline: KernelReport = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("error: cannot parse baseline {baseline_path}: {e:?}");
+        std::process::exit(2);
+    });
+
+    println!(
+        "=== regression gate — baseline {baseline_path} (scale {}, simd {}, {} points) ===\n",
+        baseline.scale,
+        baseline.simd_level,
+        baseline.points.len()
+    );
+    let fresh = metalora_bench::kernels::run(baseline.scale == "quick");
+
+    println!();
+    let cmp = compare(&baseline, &fresh, &tol);
+    for w in &cmp.warnings {
+        println!("warning: {w}");
+    }
+    for v in &cmp.violations {
+        println!("VIOLATION: {v}");
+    }
+    if cmp.passed() {
+        println!(
+            "regression gate PASSED against {baseline_path} ({} warnings)",
+            cmp.warnings.len()
+        );
+    } else {
+        println!(
+            "regression gate FAILED against {baseline_path}: {} violations, {} warnings",
+            cmp.violations.len(),
+            cmp.warnings.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: regress [--baseline PATH] [--ms-tolerance FRAC]");
+    std::process::exit(2);
+}

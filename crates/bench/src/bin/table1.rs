@@ -40,5 +40,11 @@ fn main() {
             Ok(p) => println!("run log written to {}", p.display()),
             Err(e) => eprintln!("could not write run log: {e}"),
         }
+        if metalora_obs::trace::enabled() {
+            match metalora_obs::trace::write_chrome("table1") {
+                Ok(p) => println!("trace written to {}", p.display()),
+                Err(e) => eprintln!("could not write trace: {e}"),
+            }
+        }
     }
 }

@@ -9,6 +9,9 @@
 
 use metalora::config::ExperimentConfig;
 
+pub mod kernels;
+pub mod regress;
+
 /// Parsed command-line options shared by the bench binaries.
 #[derive(Debug, Clone)]
 pub struct BenchOpts {

@@ -1,0 +1,315 @@
+//! Bench regression gate: diff a fresh [`KernelReport`] against the
+//! committed `BENCH_kernels.json` baseline.
+//!
+//! The gate separates *violations* (fail the build) from *warnings*
+//! (printed, ignored). What goes where follows from what is actually
+//! deterministic:
+//!
+//! * Bitwise correctness and the presence of every baseline point are
+//!   always violations.
+//! * Wall-clock is gated only at `threads = 1` — multi-thread timings on
+//!   shared CI runners are too noisy to fail a build on — and only with a
+//!   loose fractional tolerance. When the fresh host's SIMD level differs
+//!   from the baseline's, perf diffs are downgraded to warnings: the
+//!   numbers are not comparable.
+//! * Counter and dispatch totals (calls, flops, packed/legacy, the
+//!   serial/parallel split) are deterministic for a fixed scale, so they
+//!   are compared near-exactly: drift means the benchmark is no longer
+//!   measuring the same work.
+//! * Arena hit rates only warn — pooling behaviour may legitimately shift
+//!   with allocation-pattern changes.
+
+use crate::kernels::KernelReport;
+
+/// Per-metric tolerances for [`compare`].
+#[derive(Debug, Clone)]
+pub struct Tolerances {
+    /// Allowed fractional slowdown on `threads = 1` `best_ms`
+    /// (`0.6` = fail only when >60% slower than baseline).
+    pub ms_frac: f64,
+    /// Allowed fractional drift on counter/dispatch totals. These are
+    /// deterministic, so the default is tight.
+    pub counter_frac: f64,
+    /// Allowed absolute drift on arena hit rates before warning.
+    pub hit_rate_abs: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances { ms_frac: 0.6, counter_frac: 0.01, hit_rate_abs: 0.05 }
+    }
+}
+
+/// Outcome of one baseline-vs-fresh diff.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Failures: the gate should exit nonzero.
+    pub violations: Vec<String>,
+    /// Informational drift: printed, never fails the build.
+    pub warnings: Vec<String>,
+}
+
+impl Comparison {
+    /// True when no violation was recorded.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn rel_diff(fresh: f64, base: f64) -> f64 {
+    (fresh - base).abs() / base.abs().max(1.0)
+}
+
+/// Diffs `fresh` against `baseline` under `tol`. Pure function of its
+/// inputs so the doctored-baseline behaviour is unit-testable without
+/// running a sweep.
+pub fn compare(baseline: &KernelReport, fresh: &KernelReport, tol: &Tolerances) -> Comparison {
+    let mut cmp = Comparison::default();
+
+    if baseline.scale != fresh.scale {
+        cmp.violations.push(format!(
+            "scale mismatch: baseline ran '{}', fresh ran '{}' — reports are not comparable",
+            baseline.scale, fresh.scale
+        ));
+        return cmp;
+    }
+
+    // Perf numbers from a different SIMD level (or a very different core
+    // count) describe a different machine; keep the correctness and
+    // counter gates but stop failing on wall-clock.
+    let perf_gate = baseline.simd_level == fresh.simd_level;
+    if !perf_gate {
+        cmp.warnings.push(format!(
+            "simd level differs (baseline {}, fresh {}): perf regressions downgraded to warnings",
+            baseline.simd_level, fresh.simd_level
+        ));
+    }
+    if baseline.host_cpus != fresh.host_cpus {
+        cmp.warnings.push(format!(
+            "host_cpus differs (baseline {}, fresh {}): multi-thread speedups will not match",
+            baseline.host_cpus, fresh.host_cpus
+        ));
+    }
+
+    for base_pt in &baseline.points {
+        let Some(fresh_pt) = fresh.points.iter().find(|p| {
+            p.kernel == base_pt.kernel && p.path == base_pt.path && p.threads == base_pt.threads
+        }) else {
+            cmp.violations.push(format!(
+                "missing point: {} / {} / t={} is in the baseline but not in the fresh run",
+                base_pt.kernel, base_pt.path, base_pt.threads
+            ));
+            continue;
+        };
+        if !fresh_pt.bitwise_equal_to_serial {
+            cmp.violations.push(format!(
+                "correctness: {} / {} / t={} no longer bitwise-equal to the legacy serial run",
+                fresh_pt.kernel, fresh_pt.path, fresh_pt.threads
+            ));
+        }
+        let limit = base_pt.best_ms * (1.0 + tol.ms_frac);
+        if fresh_pt.best_ms > limit {
+            let msg = format!(
+                "perf: {} / {} / t={} took {:.3} ms, baseline {:.3} ms (limit {:.3} ms at +{:.0}%)",
+                fresh_pt.kernel,
+                fresh_pt.path,
+                fresh_pt.threads,
+                fresh_pt.best_ms,
+                base_pt.best_ms,
+                limit,
+                100.0 * tol.ms_frac,
+            );
+            if perf_gate && base_pt.threads == 1 {
+                cmp.violations.push(msg);
+            } else {
+                cmp.warnings.push(msg);
+            }
+        }
+    }
+    for fresh_pt in &fresh.points {
+        let known = baseline.points.iter().any(|p| {
+            p.kernel == fresh_pt.kernel && p.path == fresh_pt.path && p.threads == fresh_pt.threads
+        });
+        if !known {
+            cmp.warnings.push(format!(
+                "new point not in baseline: {} / {} / t={} (refresh BENCH_kernels.json)",
+                fresh_pt.kernel, fresh_pt.path, fresh_pt.threads
+            ));
+        }
+    }
+
+    for base_ct in &baseline.sweep_counters {
+        let Some(fresh_ct) =
+            fresh.sweep_counters.iter().find(|c| c.kernel == base_ct.kernel)
+        else {
+            cmp.violations.push(format!(
+                "counter row '{}' is in the baseline but not in the fresh run",
+                base_ct.kernel
+            ));
+            continue;
+        };
+        if rel_diff(fresh_ct.calls as f64, base_ct.calls as f64) > tol.counter_frac {
+            cmp.violations.push(format!(
+                "counter drift: {} calls {} vs baseline {} — the sweep is measuring different work",
+                base_ct.kernel, fresh_ct.calls, base_ct.calls
+            ));
+        }
+        if rel_diff(fresh_ct.flops as f64, base_ct.flops as f64) > tol.counter_frac {
+            cmp.violations.push(format!(
+                "counter drift: {} flops {} vs baseline {} — the sweep is measuring different work",
+                base_ct.kernel, fresh_ct.flops, base_ct.flops
+            ));
+        }
+    }
+
+    let disp = [
+        ("dispatch parallel", baseline.sweep_dispatch.parallel, fresh.sweep_dispatch.parallel),
+        ("dispatch serial", baseline.sweep_dispatch.serial, fresh.sweep_dispatch.serial),
+        ("matmul packed", baseline.sweep_dispatch.matmul_packed, fresh.sweep_dispatch.matmul_packed),
+        ("matmul legacy", baseline.sweep_dispatch.matmul_legacy, fresh.sweep_dispatch.matmul_legacy),
+    ];
+    for (name, base_n, fresh_n) in disp {
+        if rel_diff(fresh_n as f64, base_n as f64) > tol.counter_frac {
+            cmp.violations.push(format!(
+                "dispatch drift: {name} {fresh_n} vs baseline {base_n}"
+            ));
+        }
+    }
+
+    for (phase, base_a, fresh_a) in [
+        ("sweep", &baseline.sweep_arena, &fresh.sweep_arena),
+        ("train", &baseline.train_arena, &fresh.train_arena),
+    ] {
+        if (fresh_a.hit_rate - base_a.hit_rate).abs() > tol.hit_rate_abs {
+            cmp.warnings.push(format!(
+                "{phase} arena hit rate {:.1}% vs baseline {:.1}%",
+                100.0 * fresh_a.hit_rate,
+                100.0 * base_a.hit_rate
+            ));
+        }
+    }
+
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{ArenaStats, CounterTotals, DispatchTotals, KernelPoint};
+
+    fn arena() -> ArenaStats {
+        ArenaStats { hits: 10, misses: 2, hit_rate: 10.0 / 12.0, bytes_reused: 1024, peak_pooled_bytes: 2048 }
+    }
+
+    fn point(path: &str, threads: usize, best_ms: f64) -> KernelPoint {
+        KernelPoint {
+            kernel: "matmul 128x128x128".into(),
+            path: path.into(),
+            threads,
+            best_ms,
+            gflops: 1.0,
+            speedup_vs_1: 1.0,
+            bitwise_equal_to_serial: true,
+        }
+    }
+
+    fn report() -> KernelReport {
+        KernelReport {
+            host_cpus: 4,
+            scale: "quick".into(),
+            simd_level: "avx2".into(),
+            points: vec![point("legacy", 1, 2.0), point("packed", 1, 1.0), point("packed", 4, 0.4)],
+            sweep_counters: vec![
+                CounterTotals { kernel: "matmul".into(), calls: 24, flops: 100_000 },
+                CounterTotals { kernel: "knn".into(), calls: 9, flops: 5_000 },
+            ],
+            sweep_dispatch: DispatchTotals { parallel: 18, serial: 6, matmul_packed: 12, matmul_legacy: 12 },
+            sweep_arena: arena(),
+            train_arena: arena(),
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass_clean() {
+        let base = report();
+        let cmp = compare(&base, &base.clone(), &Tolerances::default());
+        assert!(cmp.passed(), "violations: {:?}", cmp.violations);
+        assert!(cmp.warnings.is_empty(), "warnings: {:?}", cmp.warnings);
+    }
+
+    #[test]
+    fn doctored_baseline_timing_fails_the_gate() {
+        // Doctor the baseline to claim the t=1 packed point used to run
+        // 10x faster: the fresh run must read as a perf regression.
+        let mut base = report();
+        base.points[1].best_ms = 0.1;
+        let cmp = compare(&base, &report(), &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(cmp.violations.iter().any(|v| v.starts_with("perf:")), "{:?}", cmp.violations);
+    }
+
+    #[test]
+    fn multi_thread_timing_only_warns() {
+        let mut base = report();
+        base.points[2].best_ms = 0.01; // t=4 point doctored 40x faster
+        let cmp = compare(&base, &report(), &Tolerances::default());
+        assert!(cmp.passed(), "violations: {:?}", cmp.violations);
+        assert!(cmp.warnings.iter().any(|w| w.starts_with("perf:")));
+    }
+
+    #[test]
+    fn simd_mismatch_downgrades_perf_to_warning() {
+        let mut base = report();
+        base.simd_level = "avx512".into();
+        base.points[1].best_ms = 0.1;
+        let cmp = compare(&base, &report(), &Tolerances::default());
+        assert!(cmp.passed(), "violations: {:?}", cmp.violations);
+        assert!(cmp.warnings.iter().any(|w| w.starts_with("perf:")));
+        assert!(cmp.warnings.iter().any(|w| w.contains("simd level differs")));
+    }
+
+    #[test]
+    fn counter_and_dispatch_drift_fail_the_gate() {
+        let mut base = report();
+        base.sweep_counters[0].calls = 48;
+        base.sweep_dispatch.matmul_packed = 99;
+        let cmp = compare(&base, &report(), &Tolerances::default());
+        assert_eq!(
+            cmp.violations.iter().filter(|v| v.contains("drift")).count(),
+            2,
+            "{:?}",
+            cmp.violations
+        );
+    }
+
+    #[test]
+    fn bitwise_failure_is_always_a_violation() {
+        let mut fresh = report();
+        fresh.points[2].bitwise_equal_to_serial = false; // even at t>1
+        fresh.simd_level = "scalar".into(); // even with the perf gate off
+        let cmp = compare(&report(), &fresh, &Tolerances::default());
+        assert!(cmp.violations.iter().any(|v| v.starts_with("correctness:")), "{:?}", cmp.violations);
+    }
+
+    #[test]
+    fn missing_point_and_scale_mismatch_fail() {
+        let mut fresh = report();
+        fresh.points.remove(0);
+        let cmp = compare(&report(), &fresh, &Tolerances::default());
+        assert!(cmp.violations.iter().any(|v| v.starts_with("missing point:")));
+
+        let mut fresh = report();
+        fresh.scale = "standard".into();
+        let cmp = compare(&report(), &fresh, &Tolerances::default());
+        assert!(cmp.violations.iter().any(|v| v.contains("scale mismatch")));
+    }
+
+    #[test]
+    fn arena_drift_only_warns() {
+        let mut fresh = report();
+        fresh.train_arena.hit_rate = 0.2;
+        let cmp = compare(&report(), &fresh, &Tolerances::default());
+        assert!(cmp.passed());
+        assert!(cmp.warnings.iter().any(|w| w.contains("arena hit rate")));
+    }
+}

@@ -81,6 +81,9 @@ pub fn pretrain(cfg: &ExperimentConfig, arch: Arch, seed: u64) -> Result<AnyBack
     };
     let mut opt = Sgd::with_momentum(net.params(), cfg.pretrain_lr, 0.9, 1e-4);
     for _epoch in 0..cfg.pretrain_epochs {
+        // Constant span name: all epochs aggregate under "pretrain/epoch",
+        // whose count/quantiles give the per-epoch duration distribution.
+        let _epoch_span = metalora_obs::span!("epoch");
         let data = generate(
             metalora_data::Shift::Identity,
             cfg.pretrain_per_class,
@@ -233,6 +236,9 @@ fn adapt_train(
     let (mut loss_sum, mut acc_sum, mut grad_sum) = (0.0f64, 0.0f64, 0.0f64);
     let mut opt = Adam::new(params.clone(), cfg.adapt_lr);
     for _ in 0..cfg.adapt_steps {
+        // Constant span name: steps aggregate under "adapt/<Method>/step"
+        // with per-step duration quantiles.
+        let _step_span = metalora_obs::span!("step");
         let (batch, tid) = sample_mixture_batch(family, cfg.adapt_per_class, cfg.image_size, rng)?;
         let mut g = Graph::new();
         let x = g.input(batch.images);

@@ -3,7 +3,65 @@
 
 use metalora_autograd::ParamRef;
 use metalora_tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+
+/// Side accumulators for one parameter group during a sampled step. All
+/// sums run in `f64` next to the `f32` update and never feed back into
+/// it, so probing leaves the optimizer numerics bit-identical.
+#[derive(Default)]
+struct GroupHealth {
+    grad_sq: f64,
+    upd_sq: f64,
+    w_sq: f64,
+    nan: u64,
+    inf: u64,
+}
+
+/// Health group of a parameter: its name up to the last `.` segment
+/// (`"mapping.w1"` → `"mapping"`), i.e. one group per layer.
+fn health_group(name: &str) -> String {
+    match name.rfind('.') {
+        Some(i) => name[..i].to_string(),
+        None => name.to_string(),
+    }
+}
+
+/// Folds one gradient into the group's NaN/Inf sentinels and grad-norm
+/// accumulator.
+fn scan_grad(h: &mut GroupHealth, g: &Tensor) {
+    for &gi in g.data() {
+        if gi.is_nan() {
+            h.nan += 1;
+        } else if gi.is_infinite() {
+            h.inf += 1;
+        } else {
+            let gi = gi as f64;
+            h.grad_sq += gi * gi;
+        }
+    }
+}
+
+/// Emits one [`metalora_obs::health::HealthRecord`] per group (sorted —
+/// `BTreeMap` — so record order is deterministic).
+fn flush_health(step: u64, groups: BTreeMap<String, GroupHealth>) {
+    for (group, h) in groups {
+        let weight_norm = h.w_sq.sqrt();
+        let update_ratio = if weight_norm > 0.0 {
+            h.upd_sq.sqrt() / weight_norm
+        } else {
+            f64::NAN
+        };
+        metalora_obs::health::record(
+            &group,
+            step,
+            h.grad_sq.sqrt(),
+            update_ratio,
+            weight_norm,
+            h.nan,
+            h.inf,
+        );
+    }
+}
 
 /// Common optimiser interface over a fixed parameter set.
 pub trait Optimizer {
@@ -52,11 +110,16 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self) {
+        let probe = metalora_obs::health::begin_step();
+        let mut groups: BTreeMap<String, GroupHealth> = BTreeMap::new();
         for p in &self.params {
             if !p.trainable() {
                 continue;
             }
             let g = p.grad();
+            if probe.is_some() {
+                scan_grad(groups.entry(health_group(&p.name())).or_default(), &g);
+            }
             let update = if self.momentum > 0.0 {
                 let v = self
                     .velocity
@@ -70,12 +133,27 @@ impl Optimizer for Sgd {
                 g
             };
             let (lr, wd) = (self.lr, self.weight_decay);
+            let probing = probe.is_some();
+            let (mut upd_sq, mut w_sq) = (0.0f64, 0.0f64);
             p.update_value(|w| {
                 for (wi, &ui) in w.data_mut().iter_mut().zip(update.data()) {
-                    *wi -= lr * (ui + wd * *wi);
+                    let d = lr * (ui + wd * *wi);
+                    if probing {
+                        upd_sq += d as f64 * d as f64;
+                        w_sq += *wi as f64 * *wi as f64;
+                    }
+                    *wi -= d;
                 }
             });
+            if probing {
+                let h = groups.entry(health_group(&p.name())).or_default();
+                h.upd_sq += upd_sq;
+                h.w_sq += w_sq;
+            }
             p.zero_grad();
+        }
+        if let Some(step) = probe {
+            flush_health(step, groups);
         }
     }
 
@@ -142,11 +220,16 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let probe = metalora_obs::health::begin_step();
+        let mut groups: BTreeMap<String, GroupHealth> = BTreeMap::new();
         for p in &self.params {
             if !p.trainable() {
                 continue;
             }
             let g = p.grad();
+            if probe.is_some() {
+                scan_grad(groups.entry(health_group(&p.name())).or_default(), &g);
+            }
             let m = self
                 .m
                 .entry(p.cell_id())
@@ -161,14 +244,29 @@ impl Optimizer for Adam {
             }
             let (lr, eps, wd) = (self.lr, self.eps, self.weight_decay);
             let (m, v) = (m.clone(), v.clone());
+            let probing = probe.is_some();
+            let (mut upd_sq, mut w_sq) = (0.0f64, 0.0f64);
             p.update_value(|w| {
                 for ((wi, &mi), &vi) in w.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
                     let mhat = mi / bc1;
                     let vhat = vi / bc2;
-                    *wi -= lr * (mhat / (vhat.sqrt() + eps) + wd * *wi);
+                    let d = lr * (mhat / (vhat.sqrt() + eps) + wd * *wi);
+                    if probing {
+                        upd_sq += d as f64 * d as f64;
+                        w_sq += *wi as f64 * *wi as f64;
+                    }
+                    *wi -= d;
                 }
             });
+            if probing {
+                let h = groups.entry(health_group(&p.name())).or_default();
+                h.upd_sq += upd_sq;
+                h.w_sq += w_sq;
+            }
             p.zero_grad();
+        }
+        if let Some(step) = probe {
+            flush_health(step, groups);
         }
     }
 
@@ -295,6 +393,86 @@ mod tests {
         // of gradient magnitude, and momentum can overshoot by a few ×lr).
         assert!(p.value().data()[0].abs() < 2.0, "{:?}", p.value().data());
         assert!(p.value().data()[1].abs() < 2.0, "{:?}", p.value().data());
+    }
+
+    /// Serialises the tests that toggle the global obs switch.
+    fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn health_probes_are_bitwise_passive_and_record_groups() {
+        let _g = obs_lock();
+        let make = || {
+            vec![
+                ParamRef::new(
+                    "layer1.w",
+                    Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap(),
+                ),
+                ParamRef::new("layer1.b", Tensor::from_vec(vec![0.5], &[1]).unwrap()),
+                ParamRef::new("head.w", Tensor::from_vec(vec![2.0, 2.0], &[2]).unwrap()),
+            ]
+        };
+        let run = |params: &[ParamRef]| -> Vec<u32> {
+            let mut opt = Adam::with_config(params.to_vec(), 0.1, 0.9, 0.999, 1e-8, 0.01);
+            for _ in 0..5 {
+                for p in params {
+                    p.accumulate_grad(&p.value());
+                }
+                opt.step();
+            }
+            params
+                .iter()
+                .flat_map(|p| p.value().data().iter().map(|f| f.to_bits()).collect::<Vec<_>>())
+                .collect()
+        };
+
+        let plain = run(&make());
+
+        metalora_obs::set_enabled(true);
+        metalora_obs::reset();
+        metalora_obs::health::set_sample_stride(1);
+        let observed = run(&make());
+        let records = metalora_obs::health::snapshot();
+        metalora_obs::health::set_sample_stride(0);
+        metalora_obs::reset();
+        metalora_obs::set_enabled(false);
+
+        assert_eq!(plain, observed, "health probing must not change numerics");
+        // 5 steps × 2 groups (layer1 merges .w and .b), deterministic order.
+        assert_eq!(records.len(), 10);
+        assert!(records.iter().any(|r| r.group == "layer1"));
+        assert!(records.iter().any(|r| r.group == "head"));
+        for r in &records {
+            assert!(r.grad_norm > 0.0, "{r:?}");
+            assert!(r.update_ratio > 0.0, "{r:?}");
+            assert!(r.weight_norm > 0.0, "{r:?}");
+            assert_eq!((r.nan_count, r.inf_count), (0, 0), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn health_probe_flags_nonfinite_gradients() {
+        let _g = obs_lock();
+        metalora_obs::set_enabled(true);
+        metalora_obs::reset();
+        metalora_obs::health::set_sample_stride(1);
+        let p = ParamRef::new(
+            "bad.w",
+            Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]).unwrap(),
+        );
+        p.accumulate_grad(
+            &Tensor::from_vec(vec![f32::NAN, f32::INFINITY, 1.0], &[3]).unwrap(),
+        );
+        Sgd::new(vec![p.clone()], 0.1).step();
+        let records = metalora_obs::health::snapshot();
+        metalora_obs::health::set_sample_stride(0);
+        metalora_obs::reset();
+        metalora_obs::set_enabled(false);
+        let r = records.iter().find(|r| r.group == "bad").expect("record");
+        assert_eq!(r.nan_count, 1);
+        assert_eq!(r.inf_count, 1);
     }
 
     #[test]

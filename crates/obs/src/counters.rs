@@ -66,6 +66,9 @@ static BYTES: [AtomicU64; N_KERNELS] = [ZERO_U64; N_KERNELS];
 static DISPATCH_PARALLEL: AtomicU64 = AtomicU64::new(0);
 static DISPATCH_SERIAL: AtomicU64 = AtomicU64::new(0);
 
+static MATMUL_PACKED: AtomicU64 = AtomicU64::new(0);
+static MATMUL_LEGACY: AtomicU64 = AtomicU64::new(0);
+
 static TENSOR_BYTES_ALIVE: AtomicI64 = AtomicI64::new(0);
 static PEAK_TENSOR_BYTES: AtomicI64 = AtomicI64::new(0);
 
@@ -98,6 +101,20 @@ pub fn record_dispatch(parallel: bool) {
         DISPATCH_PARALLEL.fetch_add(1, Relaxed);
     } else {
         DISPATCH_SERIAL.fetch_add(1, Relaxed);
+    }
+}
+
+/// Records which matmul microkernel ran: the packed register-tiled path
+/// (`packed == true`) or the legacy row-block path.
+#[inline]
+pub fn record_matmul_path(packed: bool) {
+    if !crate::enabled() {
+        return;
+    }
+    if packed {
+        MATMUL_PACKED.fetch_add(1, Relaxed);
+    } else {
+        MATMUL_LEGACY.fetch_add(1, Relaxed);
     }
 }
 
@@ -184,6 +201,10 @@ pub struct CounterSnapshot {
     pub dispatch_parallel: u64,
     /// `par_row_blocks` calls that stayed on the calling thread.
     pub dispatch_serial: u64,
+    /// Matmuls that ran the packed register-tiled microkernel.
+    pub matmul_packed: u64,
+    /// Matmuls that ran the legacy row-block kernel.
+    pub matmul_legacy: u64,
     /// Tensor bytes currently alive (clamped at zero).
     pub tensor_bytes_alive: u64,
     /// High-water mark of tensor bytes alive.
@@ -218,6 +239,8 @@ pub fn snapshot() -> CounterSnapshot {
         kernels,
         dispatch_parallel: DISPATCH_PARALLEL.load(Relaxed),
         dispatch_serial: DISPATCH_SERIAL.load(Relaxed),
+        matmul_packed: MATMUL_PACKED.load(Relaxed),
+        matmul_legacy: MATMUL_LEGACY.load(Relaxed),
         tensor_bytes_alive: TENSOR_BYTES_ALIVE.load(Relaxed).max(0) as u64,
         peak_tensor_bytes: PEAK_TENSOR_BYTES.load(Relaxed).max(0) as u64,
         workspace_hits: WS_HITS.load(Relaxed),
@@ -237,6 +260,8 @@ pub fn reset() {
     }
     DISPATCH_PARALLEL.store(0, Relaxed);
     DISPATCH_SERIAL.store(0, Relaxed);
+    MATMUL_PACKED.store(0, Relaxed);
+    MATMUL_LEGACY.store(0, Relaxed);
     TENSOR_BYTES_ALIVE.store(0, Relaxed);
     PEAK_TENSOR_BYTES.store(0, Relaxed);
     WS_HITS.store(0, Relaxed);
@@ -274,6 +299,21 @@ mod tests {
         let snap = snapshot();
         assert_eq!(snap.dispatch_parallel, 1);
         assert_eq!(snap.dispatch_serial, 2);
+    }
+
+    #[test]
+    fn matmul_path_tally() {
+        let _g = lock();
+        record_matmul_path(true);
+        record_matmul_path(true);
+        record_matmul_path(false);
+        let snap = snapshot();
+        assert_eq!(snap.matmul_packed, 2);
+        assert_eq!(snap.matmul_legacy, 1);
+        crate::set_enabled(false);
+        record_matmul_path(true);
+        crate::set_enabled(true);
+        assert_eq!(snapshot().matmul_packed, 2);
     }
 
     #[test]

@@ -2,17 +2,28 @@
 //!
 //! Dependency-free instrumentation for the MetaLoRA stack.
 //!
-//! Four facilities, all funnelled through one global on/off switch:
+//! Seven facilities, all funnelled through one global on/off switch:
 //!
 //! * [`span`] — hierarchical wall-clock spans (`pretrain/epoch0`) with
-//!   thread-safe aggregation, via the [`span!`] macro or [`span::span`];
+//!   thread-safe aggregation and per-path duration quantiles, via the
+//!   [`span!`] macro or [`span::span`];
+//! * [`trace`] — a bounded event timeline (begin/end records with
+//!   monotonic timestamps and thread ids) exported as Chrome trace-event
+//!   JSON, gated additionally by `METALORA_OBS_TRACE`;
 //! * [`counters`] — per-kernel flop/byte/call counters, the
-//!   parallel-vs-serial dispatch tally of the `par` layer, and peak
-//!   tensor bytes alive;
+//!   parallel-vs-serial dispatch tally of the `par` layer, the
+//!   packed-vs-legacy matmul microkernel tally, and peak tensor bytes
+//!   alive;
+//! * [`health`] — per-parameter-group training-health records (grad norm,
+//!   update-to-weight ratio, NaN/Inf sentinels), sampled every
+//!   `METALORA_OBS_SAMPLE`-th step;
+//! * [`hist`] — the fixed-memory log-linear histogram backing span
+//!   quantiles;
 //! * [`metrics`] — the training-loop sink (loss / accuracy / grad-norm /
 //!   wall time per epoch, grouped by phase);
 //! * [`report`] — [`report::RunReport`] captures everything above into a
-//!   structured `RUNLOG_<name>.json` plus a human-readable summary table.
+//!   structured `RUNLOG_<name>.json` plus a human-readable summary table,
+//!   written under [`out_dir`] (`METALORA_OBS_DIR`).
 //!
 //! ## Zero overhead when disabled
 //!
@@ -24,12 +35,17 @@
 //! is purely passive.
 
 pub mod counters;
+pub mod health;
+pub mod hist;
 mod json;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod trace;
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
 
 const OFF: u8 = 0;
 const ON: u8 = 1;
@@ -68,12 +84,50 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(if on { ON } else { OFF }, Ordering::Relaxed);
 }
 
-/// Clears all recorded spans, counters and metrics (the enabled flag is
-/// left as is). Call at the start of a run to scope a report to it.
+/// Clears all recorded spans, counters, metrics, trace events and health
+/// records (the enabled flag is left as is). Call at the start of a run
+/// to scope a report to it.
 pub fn reset() {
     counters::reset();
     span::reset();
     metrics::reset();
+    trace::reset();
+    health::reset();
+}
+
+static OUT_DIR_OVERRIDE: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Directory where run logs and traces are written: the
+/// [`set_out_dir`] override if set, else `METALORA_OBS_DIR`, else the
+/// current directory.
+pub fn out_dir() -> PathBuf {
+    if let Some(dir) = &*OUT_DIR_OVERRIDE.lock().unwrap_or_else(|e| e.into_inner()) {
+        return dir.clone();
+    }
+    match std::env::var_os("METALORA_OBS_DIR") {
+        Some(d) if !d.is_empty() => PathBuf::from(d),
+        _ => PathBuf::from("."),
+    }
+}
+
+/// Overrides the output directory for run logs and traces; `None` reverts
+/// to `METALORA_OBS_DIR` / the current directory.
+pub fn set_out_dir(dir: Option<PathBuf>) {
+    *OUT_DIR_OVERRIDE.lock().unwrap_or_else(|e| e.into_inner()) = dir;
+}
+
+/// Maps a report name onto a filesystem-safe stem: every char outside
+/// `[A-Za-z0-9._-]` becomes `_`.
+pub fn sanitise_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 /// Opens a hierarchical timing span; the returned guard records the
@@ -141,8 +195,11 @@ mod tests {
         set_enabled(false);
         counters::record_kernel(counters::Kernel::Matmul, 100, 10);
         counters::record_dispatch(true);
+        counters::record_matmul_path(true);
         counters::track_alloc(1 << 20);
         metrics::record_epoch("p", 1.0, 0.5, 0.1, 0.2);
+        health::record("g", 0, 1.0, 0.1, 2.0, 0, 0);
+        trace::begin("never");
         {
             let _s = span!("never");
         }
@@ -150,8 +207,30 @@ mod tests {
         let snap = counters::snapshot();
         assert!(snap.kernels.iter().all(|k| k.calls == 0));
         assert_eq!(snap.dispatch_parallel + snap.dispatch_serial, 0);
+        assert_eq!(snap.matmul_packed + snap.matmul_legacy, 0);
         assert_eq!(snap.peak_tensor_bytes, 0);
         assert!(metrics::snapshot().is_empty());
         assert!(span::snapshot().is_empty());
+        assert!(health::snapshot().is_empty());
+        assert!(trace::snapshot().0.is_empty());
+    }
+
+    #[test]
+    fn out_dir_override_beats_env_and_reverts() {
+        let _g = lock();
+        set_out_dir(Some(PathBuf::from("/tmp/obs_override")));
+        assert_eq!(out_dir(), PathBuf::from("/tmp/obs_override"));
+        set_out_dir(None);
+        // Without an override the env var (unset in tests) falls back to ".".
+        if std::env::var_os("METALORA_OBS_DIR").is_none() {
+            assert_eq!(out_dir(), PathBuf::from("."));
+        }
+    }
+
+    #[test]
+    fn sanitise_name_keeps_safe_chars() {
+        assert_eq!(sanitise_name("table1"), "table1");
+        assert_eq!(sanitise_name("a b/c:d"), "a_b_c_d");
+        assert_eq!(sanitise_name("v1.2_x-y"), "v1.2_x-y");
     }
 }

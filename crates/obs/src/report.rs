@@ -1,46 +1,64 @@
 //! Structured run reports: `RUNLOG_<name>.json` plus a summary table.
 //!
-//! [`RunReport::capture`] snapshots the three collectors (spans, counters,
-//! metrics) into one value that can be serialised ([`RunReport::to_json`],
-//! [`RunReport::write`]) or rendered for humans
+//! [`RunReport::capture`] snapshots the five collectors (spans, counters,
+//! metrics, health, trace) into one value that can be serialised
+//! ([`RunReport::to_json`], [`RunReport::write`]) or rendered for humans
 //! ([`RunReport::summary_table`]).
 //!
-//! ## Schema (`schema_version` 2)
+//! ## Schema (`schema_version` 3)
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "name": "table1",
-//!   "spans":   [ {"path": "pretrain", "count": 2, "total_ms": 813.4} ],
+//!   "spans":   [ {"path": "pretrain", "count": 2, "total_ms": 813.4,
+//!                 "p50_ms": 400.1, "p95_ms": 413.0, "p99_ms": 413.0} ],
 //!   "kernels": [ {"kernel": "matmul", "calls": 10, "flops": 123, "bytes_moved": 456} ],
-//!   "dispatch": {"parallel": 3, "serial": 7},
+//!   "dispatch": {"parallel": 3, "serial": 7,
+//!                "matmul_packed": 5, "matmul_legacy": 5},
 //!   "memory":  {"peak_tensor_bytes": 8192, "tensor_bytes_alive": 0},
 //!   "workspace": {"hits": 12, "misses": 3, "bytes_reused": 4096,
 //!                 "pooled_bytes": 1024, "peak_pooled_bytes": 2048},
+//!   "health":  [ {"phase": "adapt/MetaLoraCp", "group": "mapping", "step": 0,
+//!                 "grad_norm": 0.42, "update_ratio": 0.001,
+//!                 "weight_norm": 3.1, "nan_count": 0, "inf_count": 0} ],
+//!   "trace":   {"events": 128, "dropped": 0},
 //!   "epochs":  [ {"phase": "pretrain", "epoch": 0, "loss": 2.1,
 //!                 "accuracy": 0.14, "grad_norm": 0.9, "wall_s": 0.4} ]
 //! }
 //! ```
+//!
+//! Version history: 2 added the `workspace` arena counters; 3 added span
+//! duration quantiles, the packed-vs-legacy matmul tally, the `health`
+//! record array and the `trace` buffer stats.
 
 use crate::counters::{self, CounterSnapshot};
+use crate::health::{self, HealthRecord};
 use crate::json;
 use crate::metrics::{self, EpochRecord};
-use crate::span::{self, SpanStat};
+use crate::span::{self, SpanSummary};
+use crate::trace;
 use std::path::{Path, PathBuf};
 
-/// Version stamp written into every run log (2 added the `workspace`
-/// arena counters).
-pub const SCHEMA_VERSION: u32 = 2;
+/// Version stamp written into every run log (see the module docs for the
+/// version history).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// A captured snapshot of everything the instrumentation recorded.
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// Report name; also names the output file (`RUNLOG_<name>.json`).
     pub name: String,
-    /// Aggregated spans, sorted by path.
-    pub spans: Vec<(String, SpanStat)>,
+    /// Aggregated spans with duration quantiles, sorted by path.
+    pub spans: Vec<SpanSummary>,
     /// Kernel / dispatch / memory counters.
     pub counters: CounterSnapshot,
+    /// Training-health records in insertion order.
+    pub health: Vec<HealthRecord>,
+    /// Trace events currently buffered.
+    pub trace_events: u64,
+    /// Trace events overwritten by the ring buffer.
+    pub trace_dropped: u64,
     /// Training epoch records in insertion order.
     pub epochs: Vec<EpochRecord>,
 }
@@ -48,10 +66,17 @@ pub struct RunReport {
 impl RunReport {
     /// Snapshots the current global instrumentation state under `name`.
     pub fn capture(name: &str) -> RunReport {
+        let (trace_events, trace_dropped) = {
+            let (events, dropped) = trace::snapshot();
+            (events.len() as u64, dropped)
+        };
         RunReport {
             name: name.to_string(),
-            spans: span::snapshot(),
+            spans: span::snapshot_summary(),
             counters: counters::snapshot(),
+            health: health::snapshot(),
+            trace_events,
+            trace_dropped,
             epochs: metrics::snapshot(),
         }
     }
@@ -64,12 +89,16 @@ impl RunReport {
         s.push_str(&format!("  \"name\": {},\n", json::string(&self.name)));
 
         s.push_str("  \"spans\": [\n");
-        for (i, (path, stat)) in self.spans.iter().enumerate() {
+        for (i, sp) in self.spans.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"path\": {}, \"count\": {}, \"total_ms\": {}}}{}\n",
-                json::string(path),
-                stat.count,
-                json::num(stat.total_ns as f64 / 1e6),
+                "    {{\"path\": {}, \"count\": {}, \"total_ms\": {}, \
+                 \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}}}{}\n",
+                json::string(&sp.path),
+                sp.stat.count,
+                json::num(sp.stat.total_ns as f64 / 1e6),
+                json::num(sp.p50_ns as f64 / 1e6),
+                json::num(sp.p95_ns as f64 / 1e6),
+                json::num(sp.p99_ns as f64 / 1e6),
                 comma(i, self.spans.len())
             ));
         }
@@ -89,8 +118,12 @@ impl RunReport {
         s.push_str("  ],\n");
 
         s.push_str(&format!(
-            "  \"dispatch\": {{\"parallel\": {}, \"serial\": {}}},\n",
-            self.counters.dispatch_parallel, self.counters.dispatch_serial
+            "  \"dispatch\": {{\"parallel\": {}, \"serial\": {}, \
+             \"matmul_packed\": {}, \"matmul_legacy\": {}}},\n",
+            self.counters.dispatch_parallel,
+            self.counters.dispatch_serial,
+            self.counters.matmul_packed,
+            self.counters.matmul_legacy
         ));
         s.push_str(&format!(
             "  \"memory\": {{\"peak_tensor_bytes\": {}, \"tensor_bytes_alive\": {}}},\n",
@@ -104,6 +137,30 @@ impl RunReport {
             self.counters.workspace_bytes_reused,
             self.counters.workspace_pooled_bytes,
             self.counters.peak_workspace_pooled_bytes
+        ));
+
+        s.push_str("  \"health\": [\n");
+        for (i, h) in self.health.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"phase\": {}, \"group\": {}, \"step\": {}, \"grad_norm\": {}, \
+                 \"update_ratio\": {}, \"weight_norm\": {}, \"nan_count\": {}, \
+                 \"inf_count\": {}}}{}\n",
+                json::string(&h.phase),
+                json::string(&h.group),
+                h.step,
+                json::num(h.grad_norm),
+                json::num(h.update_ratio),
+                json::num(h.weight_norm),
+                h.nan_count,
+                h.inf_count,
+                comma(i, self.health.len())
+            ));
+        }
+        s.push_str("  ],\n");
+
+        s.push_str(&format!(
+            "  \"trace\": {{\"events\": {}, \"dropped\": {}}},\n",
+            self.trace_events, self.trace_dropped
         ));
 
         s.push_str("  \"epochs\": [\n");
@@ -127,34 +184,26 @@ impl RunReport {
     /// The output file name: `RUNLOG_<name>.json` with the name sanitised
     /// to `[A-Za-z0-9._-]`.
     pub fn file_name(&self) -> String {
-        let safe: String = self
-            .name
-            .chars()
-            .map(|c| {
-                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
-                    c
-                } else {
-                    '_'
-                }
-            })
-            .collect();
-        format!("RUNLOG_{safe}.json")
+        format!("RUNLOG_{}.json", crate::sanitise_name(&self.name))
     }
 
-    /// Writes the JSON report into `dir` and returns the full path.
+    /// Writes the JSON report into `dir` (created if absent) and returns
+    /// the full path.
     pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
         let path = dir.join(self.file_name());
         std::fs::write(&path, self.to_json())?;
         Ok(path)
     }
 
-    /// Writes the JSON report into the current directory.
+    /// Writes the JSON report into [`crate::out_dir`] (the
+    /// `METALORA_OBS_DIR` override, else the current directory).
     pub fn write(&self) -> std::io::Result<PathBuf> {
-        self.write_to(Path::new("."))
+        self.write_to(&crate::out_dir())
     }
 
     /// Renders the human-readable summary: spans, kernel counters,
-    /// dispatch/memory lines and the epoch metrics.
+    /// dispatch/memory lines, health capsule and the epoch metrics.
     pub fn summary_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("=== run report: {} ===\n", self.name));
@@ -163,16 +212,21 @@ impl RunReport {
             let rows: Vec<Vec<String>> = self
                 .spans
                 .iter()
-                .map(|(path, stat)| {
+                .map(|sp| {
                     vec![
-                        path.clone(),
-                        stat.count.to_string(),
-                        format!("{:.2}", stat.total_ns as f64 / 1e6),
-                        format!("{:.2}", stat.total_ns as f64 / 1e6 / stat.count.max(1) as f64),
+                        sp.path.clone(),
+                        sp.stat.count.to_string(),
+                        format!("{:.2}", sp.stat.total_ns as f64 / 1e6),
+                        format!("{:.2}", sp.p50_ns as f64 / 1e6),
+                        format!("{:.2}", sp.p95_ns as f64 / 1e6),
+                        format!("{:.2}", sp.p99_ns as f64 / 1e6),
                     ]
                 })
                 .collect();
-            out.push_str(&table(&["span", "count", "total ms", "mean ms"], &rows));
+            out.push_str(&table(
+                &["span", "count", "total ms", "p50 ms", "p95 ms", "p99 ms"],
+                &rows,
+            ));
         }
 
         let active: Vec<_> = self
@@ -203,6 +257,16 @@ impl RunReport {
             self.counters.peak_tensor_bytes
         ));
 
+        let mm_total = self.counters.matmul_packed + self.counters.matmul_legacy;
+        if mm_total > 0 {
+            out.push_str(&format!(
+                "matmul path: {} packed / {} legacy ({:.1}% packed)\n",
+                self.counters.matmul_packed,
+                self.counters.matmul_legacy,
+                100.0 * self.counters.matmul_packed as f64 / mm_total as f64
+            ));
+        }
+
         let ws_checkouts = self.counters.workspace_hits + self.counters.workspace_misses;
         if ws_checkouts > 0 {
             out.push_str(&format!(
@@ -212,6 +276,27 @@ impl RunReport {
                 100.0 * self.counters.workspace_hits as f64 / ws_checkouts as f64,
                 self.counters.workspace_bytes_reused,
                 self.counters.peak_workspace_pooled_bytes
+            ));
+        }
+
+        if !self.health.is_empty() {
+            let nan: u64 = self.health.iter().map(|h| h.nan_count).sum();
+            let inf: u64 = self.health.iter().map(|h| h.inf_count).sum();
+            let groups: std::collections::BTreeSet<&str> =
+                self.health.iter().map(|h| h.group.as_str()).collect();
+            out.push_str(&format!(
+                "health: {} records over {} groups   NaN: {}   Inf: {}\n",
+                self.health.len(),
+                groups.len(),
+                nan,
+                inf
+            ));
+        }
+
+        if self.trace_events > 0 || self.trace_dropped > 0 {
+            out.push_str(&format!(
+                "trace: {} events buffered ({} dropped)\n",
+                self.trace_events, self.trace_dropped
             ));
         }
 
@@ -297,7 +382,9 @@ mod tests {
         }
         counters::record_kernel(Kernel::Matmul, 2000, 96);
         counters::record_dispatch(false);
+        counters::record_matmul_path(true);
         counters::track_alloc(4096);
+        health::record("mapping", 0, 0.42, 0.001, 3.1, 0, 0);
         metrics::record_epoch("pretrain", 1.25, 0.5, 0.75, 0.01);
     }
 
@@ -308,12 +395,19 @@ mod tests {
         let report = RunReport::capture("unit test");
         assert_eq!(report.file_name(), "RUNLOG_unit_test.json");
         let js = report.to_json();
-        assert!(js.contains("\"schema_version\": 2"));
+        assert!(js.contains("\"schema_version\": 3"));
         assert!(js.contains("\"workspace\": {\"hits\": "));
         assert!(js.contains("\"path\": \"pretrain/epoch0\""));
+        assert!(js.contains("\"p50_ms\": "));
+        assert!(js.contains("\"p99_ms\": "));
         assert!(js.contains("\"kernel\": \"matmul\", \"calls\": 1, \"flops\": 2000"));
-        assert!(js.contains("\"dispatch\": {\"parallel\": 0, \"serial\": 1}"));
+        assert!(js.contains(
+            "\"dispatch\": {\"parallel\": 0, \"serial\": 1, \
+             \"matmul_packed\": 1, \"matmul_legacy\": 0}"
+        ));
         assert!(js.contains("\"peak_tensor_bytes\": 4096"));
+        assert!(js.contains("\"group\": \"mapping\", \"step\": 0, \"grad_norm\": 0.42"));
+        assert!(js.contains("\"trace\": {\"events\": 0, \"dropped\": 0}"));
         assert!(js.contains("\"phase\": \"pretrain\", \"epoch\": 0, \"loss\": 1.25"));
         // Braces/brackets balance — cheap structural sanity without a parser.
         for (open, close) in [('{', '}'), ('[', ']')] {
@@ -329,8 +423,10 @@ mod tests {
     fn nan_grad_norm_serialises_as_null() {
         let _g = lock();
         metrics::record_epoch("p", 1.0, 0.5, f64::NAN, 0.1);
+        health::record("mapping/seed", 0, f64::NAN, f64::NAN, 2.5, 0, 0);
         let js = RunReport::capture("n").to_json();
         assert!(js.contains("\"grad_norm\": null"));
+        assert!(js.contains("\"update_ratio\": null"));
     }
 
     #[test]
@@ -345,15 +441,31 @@ mod tests {
     }
 
     #[test]
+    fn write_honours_out_dir_override() {
+        let _g = lock();
+        populate();
+        let dir = std::env::temp_dir().join("metalora_report_test");
+        crate::set_out_dir(Some(dir.clone()));
+        let path = RunReport::capture("dir-test").write().unwrap();
+        crate::set_out_dir(None);
+        assert_eq!(path.parent().unwrap(), dir);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
     fn summary_table_lists_sections() {
         let _g = lock();
         populate();
         let text = RunReport::capture("summary").summary_table();
         assert!(text.contains("span"));
+        assert!(text.contains("p95 ms"));
         assert!(text.contains("pretrain/epoch0"));
         assert!(text.contains("matmul"));
         assert!(text.contains("dispatch: 0 parallel / 1 serial"));
+        assert!(text.contains("matmul path: 1 packed / 0 legacy"));
         assert!(text.contains("peak tensor bytes: 4096"));
+        assert!(text.contains("health: 1 records over 1 groups   NaN: 0   Inf: 0"));
         assert!(text.contains("0.5000")); // accuracy column
     }
 
@@ -362,6 +474,7 @@ mod tests {
         let _g = lock();
         let report = RunReport::capture("empty");
         assert!(report.to_json().contains("\"spans\": [\n  ]"));
+        assert!(report.to_json().contains("\"health\": [\n  ]"));
         assert!(report.summary_table().contains("dispatch: 0 parallel / 0 serial"));
     }
 }

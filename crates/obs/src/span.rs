@@ -10,6 +10,8 @@
 //! opened it for the path nesting to make sense (guards created inside a
 //! parallel kernel would aggregate under that worker's own stack).
 
+use crate::hist::LogHistogram;
+use crate::trace;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -24,7 +26,28 @@ pub struct SpanStat {
     pub total_ns: u64,
 }
 
-static AGG: Mutex<BTreeMap<String, SpanStat>> = Mutex::new(BTreeMap::new());
+/// Per-path aggregate plus duration quantiles, as reported in run logs.
+#[derive(Debug, Clone)]
+pub struct SpanSummary {
+    /// The `/`-joined span path.
+    pub path: String,
+    /// Count / total time (as in [`SpanStat`]).
+    pub stat: SpanStat,
+    /// Median duration estimate in nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile duration estimate in nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile duration estimate in nanoseconds.
+    pub p99_ns: u64,
+}
+
+#[derive(Default)]
+struct PathAgg {
+    stat: SpanStat,
+    hist: LogHistogram,
+}
+
+static AGG: Mutex<BTreeMap<String, PathAgg>> = Mutex::new(BTreeMap::new());
 
 thread_local! {
     static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
@@ -56,6 +79,7 @@ pub fn span(name: &str) -> SpanGuard {
 /// Opens a span from an owned name; used by the [`crate::span!`] macro
 /// after it has already checked [`crate::enabled`].
 pub fn span_owned(name: String) -> SpanGuard {
+    trace::begin(&name);
     STACK.with(|s| s.borrow_mut().push(name));
     SpanGuard {
         start: Some(Instant::now()),
@@ -66,19 +90,22 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let elapsed = start.elapsed().as_nanos() as u64;
-        let path = STACK.with(|s| {
+        let (path, name) = STACK.with(|s| {
             let mut st = s.borrow_mut();
             let path = st.join("/");
-            st.pop();
-            path
+            (path, st.pop())
         });
+        if let Some(name) = &name {
+            trace::end(name);
+        }
         if path.is_empty() {
             return; // guard outlived a reset that cleared the stack owner
         }
         let mut agg = AGG.lock().unwrap_or_else(|e| e.into_inner());
-        let stat = agg.entry(path).or_default();
-        stat.count += 1;
-        stat.total_ns += elapsed;
+        let entry = agg.entry(path).or_default();
+        entry.stat.count += 1;
+        entry.stat.total_ns += elapsed;
+        entry.hist.record(elapsed);
     }
 }
 
@@ -94,7 +121,24 @@ pub fn current_path() -> String {
 /// All aggregated spans, sorted by path.
 pub fn snapshot() -> Vec<(String, SpanStat)> {
     let agg = AGG.lock().unwrap_or_else(|e| e.into_inner());
-    agg.iter().map(|(k, &v)| (k.clone(), v)).collect()
+    agg.iter().map(|(k, v)| (k.clone(), v.stat)).collect()
+}
+
+/// All aggregated spans with duration quantiles, sorted by path.
+pub fn snapshot_summary() -> Vec<SpanSummary> {
+    let agg = AGG.lock().unwrap_or_else(|e| e.into_inner());
+    agg.iter()
+        .map(|(k, v)| {
+            let (p50_ns, p95_ns, p99_ns) = v.hist.percentiles();
+            SpanSummary {
+                path: k.clone(),
+                stat: v.stat,
+                p50_ns,
+                p95_ns,
+                p99_ns,
+            }
+        })
+        .collect()
 }
 
 /// Clears the aggregate (open guards on other threads will still record
@@ -149,6 +193,23 @@ mod tests {
             });
         });
         assert_eq!(current_path(), "main");
+    }
+
+    #[test]
+    fn summary_quantiles_are_ordered_and_bounded() {
+        let _g = lock();
+        for ms in [1u64, 1, 1, 2, 5] {
+            let _s = span("work");
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        let summary = snapshot_summary();
+        assert_eq!(summary.len(), 1);
+        let s = &summary[0];
+        assert_eq!(s.path, "work");
+        assert_eq!(s.stat.count, 5);
+        assert!(s.p50_ns >= 1_000_000, "{s:?}");
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns, "{s:?}");
+        assert!(s.p99_ns <= s.stat.total_ns, "{s:?}");
     }
 
     #[test]

@@ -162,6 +162,49 @@ impl Module for MappingNet {
     }
 }
 
+/// Records the health of one generated seed batch under group
+/// `mapping/seed`: mean per-sample L2 norm (in `weight_norm`) plus
+/// NaN/Inf sentinel counts. Purely passive — reads the seed value into
+/// `f64` side sums and never touches the graph — and strided by the same
+/// `METALORA_OBS_SAMPLE` clock as optimizer probes (on its own counter),
+/// so CP and TR seed generation are directly comparable in run logs.
+fn probe_seed_health(g: &Graph, seed: Var) {
+    if !metalora_obs::enabled() {
+        return;
+    }
+    let Some(step) = metalora_obs::health::begin_seed_probe() else {
+        return;
+    };
+    let value = g.value(seed);
+    let dims = g.dims(seed);
+    let n = dims.first().copied().unwrap_or(0);
+    let (mut sum_norm, mut nan, mut inf) = (0.0f64, 0u64, 0u64);
+    let row_len = (value.len() / n.max(1)).max(1);
+    for row in value.data().chunks(row_len) {
+        let mut sq = 0.0f64;
+        for &v in row {
+            if v.is_nan() {
+                nan += 1;
+            } else if v.is_infinite() {
+                inf += 1;
+            } else {
+                sq += v as f64 * v as f64;
+            }
+        }
+        sum_norm += sq.sqrt();
+    }
+    let mean_norm = if n > 0 { sum_norm / n as f64 } else { 0.0 };
+    metalora_obs::health::record(
+        "mapping/seed",
+        step,
+        f64::NAN, // no gradient at generation time
+        f64::NAN, // not an update
+        mean_norm,
+        nan,
+        inf,
+    );
+}
+
 /// The full MetaLoRA model (Fig. 4): a backbone whose layers have been
 /// injected with MetaLoRA adapters, plus the mapping net that generates
 /// their seeds from the frozen backbone's own features.
@@ -189,7 +232,9 @@ impl MetaLora {
         // Extraction pass: no seed in scope ⇒ MetaLoRA layers contribute
         // no delta ⇒ this is the frozen pretrained function.
         let feats = self.backbone.features(g, x, &Ctx::none())?;
-        self.mapping.generate(g, feats)
+        let seed = self.mapping.generate(g, feats)?;
+        probe_seed_health(g, seed);
+        Ok(seed)
     }
 
     /// Access to the mapping net (e.g. for parameter accounting).
@@ -312,6 +357,41 @@ mod tests {
         assert_eq!(g.dims(y), vec![2, 4]);
         let f = ml.features(&mut g, x, &Ctx::none()).unwrap();
         assert_eq!(g.dims(f), vec![2, 10]);
+    }
+
+    #[test]
+    fn seed_generation_records_health_probe() {
+        let mut rng = init::rng(5);
+        let backbone = Mlp::new(
+            "b",
+            &MlpConfig {
+                in_dim: 6,
+                hidden: vec![10],
+                out_dim: 4,
+            },
+            &mut rng,
+        );
+        let mapping = MappingNet::new("mapping", 10, 8, 3, &mut rng);
+        let ml = MetaLora::new(Box::new(backbone), mapping).unwrap();
+
+        metalora_obs::set_enabled(true);
+        metalora_obs::reset();
+        metalora_obs::health::set_sample_stride(1);
+        let mut g = Graph::new();
+        let x = g.input(init::uniform(&[2, 6], -1.0, 1.0, &mut rng));
+        ml.generate_seed(&mut g, x).unwrap();
+        let records = metalora_obs::health::snapshot();
+        metalora_obs::health::set_sample_stride(0);
+        metalora_obs::reset();
+        metalora_obs::set_enabled(false);
+
+        let r = records
+            .iter()
+            .find(|r| r.group == "mapping/seed")
+            .expect("seed probe record");
+        assert!(r.weight_norm >= 0.0 && r.weight_norm <= 3.0f64.sqrt() + 1e-6);
+        assert!(r.grad_norm.is_nan() && r.update_ratio.is_nan());
+        assert_eq!((r.nan_count, r.inf_count), (0, 0));
     }
 
     #[test]

@@ -26,14 +26,15 @@ const KC: usize = microkernel::KC;
 
 /// Reports one matmul-family invocation to the observability layer:
 /// `flops` multiply-adds counted as 2 ops each, bytes = all three
-/// operands at 4 bytes per element.
+/// operands at 4 bytes per element, plus which microkernel path ran.
 #[inline]
-fn record_mm(in_elems: usize, out_elems: usize, flops: usize) {
+fn record_mm(packed: bool, in_elems: usize, out_elems: usize, flops: usize) {
     metalora_obs::counters::record_kernel(
         metalora_obs::counters::Kernel::Matmul,
         flops as u64,
         (4 * (in_elems + out_elems)) as u64,
     );
+    metalora_obs::counters::record_matmul_path(packed);
 }
 
 /// `C = A·B` for `A:[m,k]`, `B:[k,n]`.
@@ -49,14 +50,15 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
-    if use_packed(2 * m * k * n) {
+    let packed = use_packed(2 * m * k * n);
+    if packed {
         microkernel::gemm_packed(ad, 0, k, 1, bd, 0, n, 1, 1, m, n, k, &mut out);
     } else {
         par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
             matmul_rows(ad, bd, k, n, first, block);
         });
     }
-    record_mm(a.len() + b.len(), out.len(), 2 * m * k * n);
+    record_mm(packed, a.len() + b.len(), out.len(), 2 * m * k * n);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -95,7 +97,8 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
-    if use_packed(2 * m * k * n) {
+    let packed = use_packed(2 * m * k * n);
+    if packed {
         // Packing absorbs the transpose: A element (i, kk) sits at stride
         // (1, m).
         microkernel::gemm_packed(ad, 0, 1, m, bd, 0, n, 1, 1, m, n, k, &mut out);
@@ -120,7 +123,7 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         });
     }
-    record_mm(a.len() + b.len(), out.len(), 2 * m * k * n);
+    record_mm(packed, a.len() + b.len(), out.len(), 2 * m * k * n);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -137,7 +140,8 @@ pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
-    if use_packed(2 * m * k * n) {
+    let packed = use_packed(2 * m * k * n);
+    if packed {
         // B element (kk, j) sits at stride (1, k); the legacy dot loop's
         // fresh `acc = 0.0` matches the packed path's zeroed output bitwise.
         microkernel::gemm_packed(ad, 0, k, 1, bd, 0, 1, k, 1, m, n, k, &mut out);
@@ -159,7 +163,7 @@ pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         });
     }
-    record_mm(a.len() + b.len(), out.len(), 2 * m * k * n);
+    record_mm(packed, a.len() + b.len(), out.len(), 2 * m * k * n);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -175,7 +179,8 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     }
     let (ad, xd) = (a.data(), x.data());
     let mut out = vec![0.0f32; m];
-    if use_packed(2 * m * k) {
+    let packed = use_packed(2 * m * k);
+    if packed {
         // A matmul with n = 1: every column tile is the ragged edge, whose
         // kernel runs MR independent accumulation chains per k step —
         // bitwise the same sequence as the legacy `sum()` fold from 0.0.
@@ -189,7 +194,7 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
             }
         });
     }
-    record_mm(a.len() + x.len(), out.len(), 2 * m * k);
+    record_mm(packed, a.len() + x.len(), out.len(), 2 * m * k);
     Tensor::from_vec(out, &[m])
 }
 
@@ -209,7 +214,8 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = vec![0.0f32; bs * m * n];
     let (ad, bd) = (a.data(), b.data());
-    if use_packed(2 * bs * m * k * n) {
+    let packed = use_packed(2 * bs * m * k * n);
+    if packed {
         microkernel::gemm_packed(ad, m * k, k, 1, bd, k * n, n, 1, bs, m, n, k, &mut out);
     } else {
         par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
@@ -226,7 +232,7 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         });
     }
-    record_mm(a.len() + b.len(), out.len(), 2 * bs * m * k * n);
+    record_mm(packed, a.len() + b.len(), out.len(), 2 * bs * m * k * n);
     Tensor::from_vec(out, &[bs, m, n])
 }
 
@@ -243,7 +249,8 @@ pub fn bmm_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = vec![0.0f32; bs * m * n];
     let (ad, bd) = (a.data(), b.data());
-    if use_packed(2 * bs * m * k * n) {
+    let packed = use_packed(2 * bs * m * k * n);
+    if packed {
         microkernel::gemm_packed(ad, k * m, 1, m, bd, k * n, n, 1, bs, m, n, k, &mut out);
     } else {
         par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
@@ -261,7 +268,7 @@ pub fn bmm_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         });
     }
-    record_mm(a.len() + b.len(), out.len(), 2 * bs * m * k * n);
+    record_mm(packed, a.len() + b.len(), out.len(), 2 * bs * m * k * n);
     Tensor::from_vec(out, &[bs, m, n])
 }
 
@@ -278,7 +285,8 @@ pub fn bmm_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = vec![0.0f32; bs * m * n];
     let (ad, bd) = (a.data(), b.data());
-    if use_packed(2 * bs * m * k * n) {
+    let packed = use_packed(2 * bs * m * k * n);
+    if packed {
         microkernel::gemm_packed(ad, m * k, k, 1, bd, n * k, 1, k, bs, m, n, k, &mut out);
     } else {
         par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
@@ -297,7 +305,7 @@ pub fn bmm_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         });
     }
-    record_mm(a.len() + b.len(), out.len(), 2 * bs * m * k * n);
+    record_mm(packed, a.len() + b.len(), out.len(), 2 * bs * m * k * n);
     Tensor::from_vec(out, &[bs, m, n])
 }
 

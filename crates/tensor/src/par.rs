@@ -132,6 +132,10 @@ where
         return;
     }
     metalora_obs::counters::record_dispatch(true);
+    // Timeline hook on the calling thread only: one begin/end pair around
+    // the whole team, so traces show when parallel sections ran without a
+    // per-block event flood from the workers.
+    metalora_obs::trace::begin("par_row_blocks");
     // Fixed-size blocks, dynamically scheduled: workers pull the next
     // (index, slice) pair from a shared iterator. Scheduling order cannot
     // affect results because blocks are disjoint and rows independent.
@@ -147,6 +151,7 @@ where
             });
         }
     });
+    metalora_obs::trace::end("par_row_blocks");
 }
 
 #[cfg(test)]

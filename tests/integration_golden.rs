@@ -43,19 +43,29 @@ fn run_pipeline() -> [f32; 2] {
 
 #[test]
 fn golden_quick_pipeline() {
-    // Reference run with instrumentation off.
+    // Reference run with every collector off.
     metalora_obs::set_enabled(false);
+    metalora_obs::trace::set_enabled(false);
     metalora_obs::reset();
     let accs_off = run_pipeline();
 
-    // Observed run: numerics must not move by a single bit.
+    // Observed run with every collector on — spans, counters, the event
+    // timeline and per-group health probes at stride 1. Numerics must not
+    // move by a single bit.
     metalora_obs::set_enabled(true);
+    metalora_obs::trace::set_enabled(true);
+    metalora_obs::health::set_sample_stride(1);
     metalora_obs::reset();
     let accs_on = run_pipeline();
     let epochs = metalora_obs::metrics::snapshot();
     let spans = metalora_obs::span::snapshot();
     let counters = metalora_obs::counters::snapshot();
+    let health = metalora_obs::health::snapshot();
+    let (trace_events, trace_dropped) = metalora_obs::trace::snapshot();
+    let chrome = metalora_obs::trace::to_chrome_json(&trace_events);
     metalora_obs::set_enabled(false);
+    metalora_obs::trace::set_enabled(false);
+    metalora_obs::health::set_sample_stride(0);
     metalora_obs::reset();
 
     for (k, (on, off)) in [5usize, 10].into_iter().zip(accs_on.iter().zip(&accs_off)) {
@@ -70,7 +80,7 @@ fn golden_quick_pipeline() {
     let losses: Vec<f64> = epochs.iter().map(|e| e.loss).collect();
     assert_eq!(
         epochs.iter().map(|e| e.phase.as_str()).collect::<Vec<_>>(),
-        ["pretrain", "pretrain", "adapt/MetaLoraTr"],
+        ["pretrain/epoch", "pretrain/epoch", "adapt/MetaLoraTr"],
     );
     for e in &epochs {
         assert!(e.loss.is_finite() && e.loss > 0.0, "{e:?}");
@@ -88,6 +98,47 @@ fn golden_quick_pipeline() {
     assert!(calls_of(metalora_obs::counters::Kernel::Conv) > 0);
     assert!(calls_of(metalora_obs::counters::Kernel::Knn) > 0);
     assert!(counters.peak_tensor_bytes > 0);
+
+    // Health probes fired for both the optimizer and seed generation,
+    // phase-stamped from the span stack, with finite norms and no
+    // non-finite sentinels anywhere in the run.
+    assert!(!health.is_empty(), "no health records at stride 1");
+    assert!(
+        health.iter().any(|h| h.phase.starts_with("pretrain")),
+        "no pretrain health records: {:?}",
+        health.iter().map(|h| h.phase.as_str()).collect::<Vec<_>>()
+    );
+    assert!(
+        health.iter().any(|h| h.phase.starts_with("adapt/MetaLoraTr")),
+        "no adapt health records"
+    );
+    assert!(health.iter().any(|h| h.group == "mapping/seed"), "no seed-generation probes");
+    for h in &health {
+        assert_eq!((h.nan_count, h.inf_count), (0, 0), "non-finite values in {h:?}");
+        assert!(h.weight_norm.is_finite() && h.weight_norm >= 0.0, "{h:?}");
+        if h.group != "mapping/seed" {
+            assert!(h.grad_norm.is_finite() && h.grad_norm >= 0.0, "{h:?}");
+        }
+    }
+
+    // The timeline recorded begin/end pairs and exports as valid Chrome
+    // trace JSON (what `TRACE_table1.json` carries).
+    assert!(!trace_events.is_empty(), "tracing enabled but no events");
+    assert_eq!(trace_dropped, 0, "quick run must fit the default ring");
+    let v: serde_json::Value = serde_json::from_str(&chrome).unwrap();
+    let serde_json::Value::Seq(events) = v.field("traceEvents").unwrap() else {
+        panic!("traceEvents is not an array");
+    };
+    assert_eq!(events.len(), trace_events.len());
+    for e in events {
+        match e.field("ph").unwrap() {
+            serde_json::Value::Str(ph) => assert!(ph == "B" || ph == "E", "bad phase {ph:?}"),
+            other => panic!("ph is not a string: {other:?}"),
+        }
+        assert!(matches!(e.field("name").unwrap(), serde_json::Value::Str(_)));
+        assert!(matches!(e.field("ts").unwrap(), serde_json::Value::Num(_)));
+        assert!(matches!(e.field("tid").unwrap(), serde_json::Value::Num(_)));
+    }
 
     // Regeneration aid: printed only under --nocapture.
     println!("const GOLDEN_LOSSES: [u64; {}] = [", losses.len());
@@ -149,13 +200,26 @@ fn runlog_captures_full_table1_grid() {
         "dispatch",
         "memory",
         "workspace",
+        "health",
+        "trace",
         "epochs",
     ] {
         assert!(v.field(key).is_ok(), "missing key {key:?}");
     }
 
-    // Every phase of every method shows up in the span tree…
-    let span_paths: Vec<String> = report.spans.iter().map(|(p, _)| p.clone()).collect();
+    // Every phase of every method shows up in the span tree, with ordered
+    // duration quantiles…
+    let span_paths: Vec<String> = report.spans.iter().map(|s| s.path.clone()).collect();
+    for s in &report.spans {
+        assert!(
+            s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns,
+            "quantiles out of order for {}: {} {} {}",
+            s.path,
+            s.p50_ns,
+            s.p95_ns,
+            s.p99_ns
+        );
+    }
     for m in ["Original", "Lora", "MultiLora", "MetaLoraCp", "MetaLoraTr"] {
         assert!(
             span_paths.iter().any(|p| p == &format!("adapt/{m}")),
@@ -165,7 +229,7 @@ fn runlog_captures_full_table1_grid() {
     }
     // …and the epochs sink saw both pretraining and adaptation.
     let phases: Vec<&str> = report.epochs.iter().map(|e| e.phase.as_str()).collect();
-    assert!(phases.contains(&"pretrain"));
+    assert!(phases.contains(&"pretrain/epoch"));
     assert!(phases.contains(&"adapt/MetaLoraTr"));
 
     // Kernel counters moved, and wall time was accounted per phase.
