@@ -73,19 +73,35 @@ pub struct CounterTotals {
 }
 
 /// Packed-vs-legacy and serial-vs-parallel dispatch tallies over the
-/// sweep (same determinism argument as [`CounterTotals`]).
+/// sweep (same determinism argument as [`CounterTotals`]). The tile-grid
+/// tallies are deterministic too — claims and B packs are fixed functions
+/// of the swept shapes and thread list — but the *steal* count is
+/// scheduling noise, so it is deliberately not recorded here.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DispatchTotals {
     pub parallel: u64,
     pub serial: u64,
     pub matmul_packed: u64,
     pub matmul_legacy: u64,
+    pub tile_claims: u64,
+    pub tile_bpacks: u64,
 }
 
 /// Everything one K1 run produces; serialised to `BENCH_kernels.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KernelReport {
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// what the machine can actually run, as opposed to what the sweep
+    /// asked for (see [`KernelReport::sweep_threads`]).
     pub host_cpus: usize,
+    /// The worker counts every kernel/path pair was swept over. The list
+    /// deliberately exceeds `host_cpus` on small hosts: oversubscription
+    /// must not change results, only throughput.
+    pub sweep_threads: Vec<usize>,
+    /// Regress-gate floor for `speedup_vs_1` of packed matmul points at
+    /// `threads ≥ 2` — only enforced when the comparing host has that
+    /// many real CPUs (`host_cpus ≥ threads`).
+    pub multithread_floor: f64,
     pub scale: String,
     pub simd_level: String,
     pub points: Vec<KernelPoint>,
@@ -250,6 +266,8 @@ pub fn run(quick: bool) -> KernelReport {
         serial: snap.dispatch_serial,
         matmul_packed: snap.matmul_packed,
         matmul_legacy: snap.matmul_legacy,
+        tile_claims: snap.tile_claims,
+        tile_bpacks: snap.tile_bpacks,
     };
     let sweep_arena = ArenaStats::capture();
 
@@ -299,6 +317,8 @@ pub fn run(quick: bool) -> KernelReport {
 
     KernelReport {
         host_cpus,
+        sweep_threads: threads,
+        multithread_floor: 1.2,
         scale: if quick { "quick" } else { "standard" }.to_string(),
         simd_level: simd,
         points,
@@ -317,6 +337,8 @@ mod tests {
     fn report_json_round_trips() {
         let report = KernelReport {
             host_cpus: 4,
+            sweep_threads: vec![1, 2, 4, 8],
+            multithread_floor: 1.2,
             scale: "quick".into(),
             simd_level: "avx2".into(),
             points: vec![KernelPoint {
@@ -338,6 +360,8 @@ mod tests {
                 serial: 4,
                 matmul_packed: 6,
                 matmul_legacy: 6,
+                tile_claims: 96,
+                tile_bpacks: 6,
             },
             sweep_arena: ArenaStats {
                 hits: 10,
@@ -362,6 +386,10 @@ mod tests {
         assert!(back.points[0].bitwise_equal_to_serial);
         assert_eq!(back.sweep_counters[0].calls, 12);
         assert_eq!(back.sweep_dispatch.matmul_packed, 6);
+        assert_eq!(back.sweep_dispatch.tile_claims, 96);
+        assert_eq!(back.sweep_dispatch.tile_bpacks, 6);
+        assert_eq!(back.sweep_threads, vec![1, 2, 4, 8]);
+        assert!((back.multithread_floor - 1.2).abs() < 1e-12);
         assert!((back.sweep_arena.hit_rate - 10.0 / 12.0).abs() < 1e-12);
     }
 }

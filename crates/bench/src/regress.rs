@@ -12,6 +12,13 @@
 //!   loose fractional tolerance. When the fresh host's SIMD level differs
 //!   from the baseline's, perf diffs are downgraded to warnings: the
 //!   numbers are not comparable.
+//! * Multi-thread *scaling* is gated through the within-run speedup
+//!   ratio instead of absolute wall-clock: a packed matmul point at
+//!   `threads ≥ 2` must reach the baseline's `multithread_floor`
+//!   (default 1.2x vs its own t=1 row). The ratio is immune to host
+//!   speed and SIMD level, so this is a violation — but only when the
+//!   fresh host really has that many CPUs; a 1-core host physically
+//!   cannot speed up and only warns.
 //! * Counter and dispatch totals (calls, flops, packed/legacy, the
 //!   serial/parallel split) are deterministic for a fixed scale, so they
 //!   are compared near-exactly: drift means the benchmark is no longer
@@ -126,6 +133,34 @@ pub fn compare(baseline: &KernelReport, fresh: &KernelReport, tol: &Tolerances) 
             }
         }
     }
+    // Scaling floor: packed matmul with a real core per worker must beat
+    // its own single-thread row by the baseline-configured factor.
+    let mut floor_skipped = 0usize;
+    for fresh_pt in &fresh.points {
+        if fresh_pt.path != "packed"
+            || !fresh_pt.kernel.starts_with("matmul")
+            || fresh_pt.threads < 2
+        {
+            continue;
+        }
+        if fresh.host_cpus < fresh_pt.threads {
+            floor_skipped += 1;
+            continue;
+        }
+        if fresh_pt.speedup_vs_1 < baseline.multithread_floor {
+            cmp.violations.push(format!(
+                "scaling: {} / packed / t={} ran at {:.2}x vs its own t=1 row, floor is {:.2}x",
+                fresh_pt.kernel, fresh_pt.threads, fresh_pt.speedup_vs_1, baseline.multithread_floor
+            ));
+        }
+    }
+    if floor_skipped > 0 {
+        cmp.warnings.push(format!(
+            "scaling floor not enforceable for {} packed matmul point(s): host has only {} CPU(s)",
+            floor_skipped, fresh.host_cpus
+        ));
+    }
+
     for fresh_pt in &fresh.points {
         let known = baseline.points.iter().any(|p| {
             p.kernel == fresh_pt.kernel && p.path == fresh_pt.path && p.threads == fresh_pt.threads
@@ -167,6 +202,8 @@ pub fn compare(baseline: &KernelReport, fresh: &KernelReport, tol: &Tolerances) 
         ("dispatch serial", baseline.sweep_dispatch.serial, fresh.sweep_dispatch.serial),
         ("matmul packed", baseline.sweep_dispatch.matmul_packed, fresh.sweep_dispatch.matmul_packed),
         ("matmul legacy", baseline.sweep_dispatch.matmul_legacy, fresh.sweep_dispatch.matmul_legacy),
+        ("tile claims", baseline.sweep_dispatch.tile_claims, fresh.sweep_dispatch.tile_claims),
+        ("tile bpacks", baseline.sweep_dispatch.tile_bpacks, fresh.sweep_dispatch.tile_bpacks),
     ];
     for (name, base_n, fresh_n) in disp {
         if rel_diff(fresh_n as f64, base_n as f64) > tol.counter_frac {
@@ -208,7 +245,7 @@ mod tests {
             threads,
             best_ms,
             gflops: 1.0,
-            speedup_vs_1: 1.0,
+            speedup_vs_1: if threads > 1 { 2.5 } else { 1.0 },
             bitwise_equal_to_serial: true,
         }
     }
@@ -216,6 +253,8 @@ mod tests {
     fn report() -> KernelReport {
         KernelReport {
             host_cpus: 4,
+            sweep_threads: vec![1, 4],
+            multithread_floor: 1.2,
             scale: "quick".into(),
             simd_level: "avx2".into(),
             points: vec![point("legacy", 1, 2.0), point("packed", 1, 1.0), point("packed", 4, 0.4)],
@@ -223,7 +262,14 @@ mod tests {
                 CounterTotals { kernel: "matmul".into(), calls: 24, flops: 100_000 },
                 CounterTotals { kernel: "knn".into(), calls: 9, flops: 5_000 },
             ],
-            sweep_dispatch: DispatchTotals { parallel: 18, serial: 6, matmul_packed: 12, matmul_legacy: 12 },
+            sweep_dispatch: DispatchTotals {
+                parallel: 18,
+                serial: 6,
+                matmul_packed: 12,
+                matmul_legacy: 12,
+                tile_claims: 96,
+                tile_bpacks: 12,
+            },
             sweep_arena: arena(),
             train_arena: arena(),
         }
@@ -266,6 +312,47 @@ mod tests {
         assert!(cmp.passed(), "violations: {:?}", cmp.violations);
         assert!(cmp.warnings.iter().any(|w| w.starts_with("perf:")));
         assert!(cmp.warnings.iter().any(|w| w.contains("simd level differs")));
+    }
+
+    #[test]
+    fn scaling_floor_fails_on_a_capable_host() {
+        // 4 CPUs, packed matmul at t=4 barely above 1.0x: violation.
+        let mut fresh = report();
+        fresh.points[2].speedup_vs_1 = 1.05;
+        let cmp = compare(&report(), &fresh, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(cmp.violations.iter().any(|v| v.starts_with("scaling:")), "{:?}", cmp.violations);
+    }
+
+    #[test]
+    fn scaling_floor_only_warns_when_the_host_lacks_cores() {
+        // A 1-CPU host cannot go faster with more workers; same sub-floor
+        // ratio must not fail, but the gap is surfaced as a warning.
+        let mut fresh = report();
+        fresh.host_cpus = 1;
+        fresh.points[2].speedup_vs_1 = 0.95;
+        let cmp = compare(&report(), &fresh, &Tolerances::default());
+        assert!(cmp.passed(), "violations: {:?}", cmp.violations);
+        assert!(cmp.warnings.iter().any(|w| w.contains("scaling floor not enforceable")));
+    }
+
+    #[test]
+    fn scaling_floor_is_baseline_configurable() {
+        let mut base = report();
+        base.multithread_floor = 0.9;
+        let mut fresh = report();
+        fresh.points[2].speedup_vs_1 = 1.05; // below 1.2, above 0.9
+        let cmp = compare(&base, &fresh, &Tolerances::default());
+        assert!(cmp.passed(), "violations: {:?}", cmp.violations);
+    }
+
+    #[test]
+    fn scaling_floor_ignores_legacy_and_single_thread_points() {
+        let mut fresh = report();
+        fresh.points[0].speedup_vs_1 = 0.1; // legacy
+        fresh.points[1].speedup_vs_1 = 0.1; // packed t=1
+        let cmp = compare(&report(), &fresh, &Tolerances::default());
+        assert!(!cmp.violations.iter().any(|v| v.starts_with("scaling:")), "{:?}", cmp.violations);
     }
 
     #[test]

@@ -69,6 +69,15 @@ static DISPATCH_SERIAL: AtomicU64 = AtomicU64::new(0);
 static MATMUL_PACKED: AtomicU64 = AtomicU64::new(0);
 static MATMUL_LEGACY: AtomicU64 = AtomicU64::new(0);
 
+/// Team slots individually tracked by the tile-grid per-thread claim
+/// tally; slots past this fold into the last bucket.
+pub const MAX_TRACKED_SLOTS: usize = 32;
+
+static TILE_CLAIMS: AtomicU64 = AtomicU64::new(0);
+static TILE_BPACKS: AtomicU64 = AtomicU64::new(0);
+static TILE_STEALS: AtomicU64 = AtomicU64::new(0);
+static TILE_CLAIMS_PER_SLOT: [AtomicU64; MAX_TRACKED_SLOTS] = [ZERO_U64; MAX_TRACKED_SLOTS];
+
 static TENSOR_BYTES_ALIVE: AtomicI64 = AtomicI64::new(0);
 static PEAK_TENSOR_BYTES: AtomicI64 = AtomicI64::new(0);
 
@@ -116,6 +125,35 @@ pub fn record_matmul_path(packed: bool) {
     } else {
         MATMUL_LEGACY.fetch_add(1, Relaxed);
     }
+}
+
+/// Records one worker's tallies from a tile-grid GEMM team: how many
+/// C-tile blocks the worker at `slot` claimed, and how many of those
+/// claims were "steals" — claims whose queue index was not adjacent to
+/// the worker's previous claim, i.e. another worker grabbed the
+/// intervening block (a direct measure of cross-thread interleaving on
+/// the shared queue).
+#[inline]
+pub fn record_tile_grid_worker(slot: usize, claimed: u64, steals: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    TILE_CLAIMS.fetch_add(claimed, Relaxed);
+    TILE_STEALS.fetch_add(steals, Relaxed);
+    TILE_CLAIMS_PER_SLOT[slot.min(MAX_TRACKED_SLOTS - 1)].fetch_add(claimed, Relaxed);
+}
+
+/// Records one shared B-panel packing pass of the tile-grid GEMM. The
+/// scheduler packs `B` exactly once per GEMM invocation (shared
+/// read-only across the team), so this total must equal the number of
+/// packed GEMM calls — redundant per-thread re-packing would show up as
+/// a higher count.
+#[inline]
+pub fn record_tile_grid_bpack() {
+    if !crate::enabled() {
+        return;
+    }
+    TILE_BPACKS.fetch_add(1, Relaxed);
 }
 
 /// Records one workspace-arena checkout: `hit` when a pooled buffer was
@@ -205,6 +243,16 @@ pub struct CounterSnapshot {
     pub matmul_packed: u64,
     /// Matmuls that ran the legacy row-block kernel.
     pub matmul_legacy: u64,
+    /// C-tile blocks claimed from tile-grid GEMM queues, all workers.
+    pub tile_claims: u64,
+    /// Shared B-panel packing passes (exactly one per packed GEMM).
+    pub tile_bpacks: u64,
+    /// Tile claims that interleaved with another worker (see
+    /// [`record_tile_grid_worker`]).
+    pub tile_steals: u64,
+    /// Per-team-slot claim totals, trailing zero slots trimmed (empty
+    /// when no tile-grid GEMM ran).
+    pub tile_claims_per_slot: Vec<u64>,
     /// Tensor bytes currently alive (clamped at zero).
     pub tensor_bytes_alive: u64,
     /// High-water mark of tensor bytes alive.
@@ -235,12 +283,21 @@ pub fn snapshot() -> CounterSnapshot {
             }
         })
         .collect();
+    let mut tile_claims_per_slot: Vec<u64> =
+        TILE_CLAIMS_PER_SLOT.iter().map(|c| c.load(Relaxed)).collect();
+    while tile_claims_per_slot.last() == Some(&0) {
+        tile_claims_per_slot.pop();
+    }
     CounterSnapshot {
         kernels,
         dispatch_parallel: DISPATCH_PARALLEL.load(Relaxed),
         dispatch_serial: DISPATCH_SERIAL.load(Relaxed),
         matmul_packed: MATMUL_PACKED.load(Relaxed),
         matmul_legacy: MATMUL_LEGACY.load(Relaxed),
+        tile_claims: TILE_CLAIMS.load(Relaxed),
+        tile_bpacks: TILE_BPACKS.load(Relaxed),
+        tile_steals: TILE_STEALS.load(Relaxed),
+        tile_claims_per_slot,
         tensor_bytes_alive: TENSOR_BYTES_ALIVE.load(Relaxed).max(0) as u64,
         peak_tensor_bytes: PEAK_TENSOR_BYTES.load(Relaxed).max(0) as u64,
         workspace_hits: WS_HITS.load(Relaxed),
@@ -262,6 +319,12 @@ pub fn reset() {
     DISPATCH_SERIAL.store(0, Relaxed);
     MATMUL_PACKED.store(0, Relaxed);
     MATMUL_LEGACY.store(0, Relaxed);
+    TILE_CLAIMS.store(0, Relaxed);
+    TILE_BPACKS.store(0, Relaxed);
+    TILE_STEALS.store(0, Relaxed);
+    for c in &TILE_CLAIMS_PER_SLOT {
+        c.store(0, Relaxed);
+    }
     TENSOR_BYTES_ALIVE.store(0, Relaxed);
     PEAK_TENSOR_BYTES.store(0, Relaxed);
     WS_HITS.store(0, Relaxed);
@@ -314,6 +377,32 @@ mod tests {
         record_matmul_path(true);
         crate::set_enabled(true);
         assert_eq!(snapshot().matmul_packed, 2);
+    }
+
+    #[test]
+    fn tile_grid_tallies_accumulate_per_slot() {
+        let _g = lock();
+        record_tile_grid_worker(0, 10, 0);
+        record_tile_grid_worker(1, 6, 2);
+        record_tile_grid_worker(1, 4, 1);
+        record_tile_grid_bpack();
+        let snap = snapshot();
+        assert_eq!(snap.tile_claims, 20);
+        assert_eq!(snap.tile_steals, 3);
+        assert_eq!(snap.tile_bpacks, 1);
+        assert_eq!(snap.tile_claims_per_slot, vec![10, 10]);
+        // Out-of-range slots fold into the last tracked bucket instead of
+        // panicking.
+        record_tile_grid_worker(MAX_TRACKED_SLOTS + 5, 1, 0);
+        let snap = snapshot();
+        assert_eq!(snap.tile_claims_per_slot.len(), MAX_TRACKED_SLOTS);
+        assert_eq!(*snap.tile_claims_per_slot.last().unwrap(), 1);
+        crate::set_enabled(false);
+        record_tile_grid_worker(0, 99, 99);
+        record_tile_grid_bpack();
+        crate::set_enabled(true);
+        assert_eq!(snapshot().tile_claims, 21);
+        assert_eq!(snapshot().tile_bpacks, 1);
     }
 
     #[test]

@@ -5,17 +5,19 @@
 //! ([`RunReport::to_json`], [`RunReport::write`]) or rendered for humans
 //! ([`RunReport::summary_table`]).
 //!
-//! ## Schema (`schema_version` 3)
+//! ## Schema (`schema_version` 4)
 //!
 //! ```json
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "name": "table1",
 //!   "spans":   [ {"path": "pretrain", "count": 2, "total_ms": 813.4,
 //!                 "p50_ms": 400.1, "p95_ms": 413.0, "p99_ms": 413.0} ],
 //!   "kernels": [ {"kernel": "matmul", "calls": 10, "flops": 123, "bytes_moved": 456} ],
 //!   "dispatch": {"parallel": 3, "serial": 7,
 //!                "matmul_packed": 5, "matmul_legacy": 5},
+//!   "tile_grid": {"claims": 40, "bpacks": 5, "steals": 2,
+//!                 "claims_per_slot": [30, 10]},
 //!   "memory":  {"peak_tensor_bytes": 8192, "tensor_bytes_alive": 0},
 //!   "workspace": {"hits": 12, "misses": 3, "bytes_reused": 4096,
 //!                 "pooled_bytes": 1024, "peak_pooled_bytes": 2048},
@@ -30,7 +32,9 @@
 //!
 //! Version history: 2 added the `workspace` arena counters; 3 added span
 //! duration quantiles, the packed-vs-legacy matmul tally, the `health`
-//! record array and the `trace` buffer stats.
+//! record array and the `trace` buffer stats; 4 added the `tile_grid`
+//! scheduler tallies (C-tile claims overall and per worker slot, B-panel
+//! pack passes, out-of-sequence "steal" claims).
 
 use crate::counters::{self, CounterSnapshot};
 use crate::health::{self, HealthRecord};
@@ -42,7 +46,7 @@ use std::path::{Path, PathBuf};
 
 /// Version stamp written into every run log (see the module docs for the
 /// version history).
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// A captured snapshot of everything the instrumentation recorded.
 #[derive(Debug, Clone)]
@@ -124,6 +128,20 @@ impl RunReport {
             self.counters.dispatch_serial,
             self.counters.matmul_packed,
             self.counters.matmul_legacy
+        ));
+        let slots: Vec<String> = self
+            .counters
+            .tile_claims_per_slot
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        s.push_str(&format!(
+            "  \"tile_grid\": {{\"claims\": {}, \"bpacks\": {}, \"steals\": {}, \
+             \"claims_per_slot\": [{}]}},\n",
+            self.counters.tile_claims,
+            self.counters.tile_bpacks,
+            self.counters.tile_steals,
+            slots.join(", ")
         ));
         s.push_str(&format!(
             "  \"memory\": {{\"peak_tensor_bytes\": {}, \"tensor_bytes_alive\": {}}},\n",
@@ -267,6 +285,22 @@ impl RunReport {
             ));
         }
 
+        if self.counters.tile_claims > 0 {
+            let slots: Vec<String> = self
+                .counters
+                .tile_claims_per_slot
+                .iter()
+                .map(|c| c.to_string())
+                .collect();
+            out.push_str(&format!(
+                "tile grid: {} claims / {} B packs / {} steals   per slot: [{}]\n",
+                self.counters.tile_claims,
+                self.counters.tile_bpacks,
+                self.counters.tile_steals,
+                slots.join(", ")
+            ));
+        }
+
         let ws_checkouts = self.counters.workspace_hits + self.counters.workspace_misses;
         if ws_checkouts > 0 {
             out.push_str(&format!(
@@ -383,6 +417,9 @@ mod tests {
         counters::record_kernel(Kernel::Matmul, 2000, 96);
         counters::record_dispatch(false);
         counters::record_matmul_path(true);
+        counters::record_tile_grid_bpack();
+        counters::record_tile_grid_worker(0, 3, 0);
+        counters::record_tile_grid_worker(1, 2, 1);
         counters::track_alloc(4096);
         health::record("mapping", 0, 0.42, 0.001, 3.1, 0, 0);
         metrics::record_epoch("pretrain", 1.25, 0.5, 0.75, 0.01);
@@ -395,7 +432,7 @@ mod tests {
         let report = RunReport::capture("unit test");
         assert_eq!(report.file_name(), "RUNLOG_unit_test.json");
         let js = report.to_json();
-        assert!(js.contains("\"schema_version\": 3"));
+        assert!(js.contains("\"schema_version\": 4"));
         assert!(js.contains("\"workspace\": {\"hits\": "));
         assert!(js.contains("\"path\": \"pretrain/epoch0\""));
         assert!(js.contains("\"p50_ms\": "));
@@ -404,6 +441,10 @@ mod tests {
         assert!(js.contains(
             "\"dispatch\": {\"parallel\": 0, \"serial\": 1, \
              \"matmul_packed\": 1, \"matmul_legacy\": 0}"
+        ));
+        assert!(js.contains(
+            "\"tile_grid\": {\"claims\": 5, \"bpacks\": 1, \"steals\": 1, \
+             \"claims_per_slot\": [3, 2]}"
         ));
         assert!(js.contains("\"peak_tensor_bytes\": 4096"));
         assert!(js.contains("\"group\": \"mapping\", \"step\": 0, \"grad_norm\": 0.42"));
@@ -464,6 +505,7 @@ mod tests {
         assert!(text.contains("matmul"));
         assert!(text.contains("dispatch: 0 parallel / 1 serial"));
         assert!(text.contains("matmul path: 1 packed / 0 legacy"));
+        assert!(text.contains("tile grid: 5 claims / 1 B packs / 1 steals   per slot: [3, 2]"));
         assert!(text.contains("peak tensor bytes: 4096"));
         assert!(text.contains("health: 1 records over 1 groups   NaN: 0   Inf: 0"));
         assert!(text.contains("0.5000")); // accuracy column

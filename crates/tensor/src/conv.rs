@@ -4,7 +4,9 @@
 //!
 //! * [`conv2d`] — the production path: im2col lowering followed by one
 //!   matrix multiply (plus [`im2col`]/[`col2im`] exposed for the autograd
-//!   backward pass);
+//!   backward pass). The multiply is an ordinary [`crate::ops::matmul`]
+//!   call, so it inherits the packed microkernel's tile-grid scheduler —
+//!   conv threading scales with the GEMM, not with anything here;
 //! * the *dummy tensor* path of Eq. 2 / Fig. 2 of the paper —
 //!   [`dummy_tensor`] materialises the binary tensor
 //!   `𝒫 ∈ {0,1}^{α×α'×β}` with `𝒫[j,j',k] = 1 ⇔ j = s·j' + k − p`, and

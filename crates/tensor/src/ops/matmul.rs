@@ -4,17 +4,21 @@
 //!
 //! * the **packed register-tiled microkernel**
 //!   ([`super::microkernel`]) — packs both operands and runs an `MR×NR`
-//!   SIMD register tile; taken for products above a small flop threshold;
+//!   SIMD register tile; taken for products above a small flop threshold.
+//!   All seven variants (plus `matvec`) route through its
+//!   `gemm_packed` entry, whose **tile-grid scheduler** owns the
+//!   parallelism: `B` is packed once and a worker team claims C-tile
+//!   blocks from a shared atomic queue ([`crate::par::par_task_queue`]).
+//!   Packing happens *under* the parallel split, never per-thread.
 //! * the **legacy scalar kernels** below — a cache-blocked `ikj` loop
 //!   ordering (k-tiled by `KC` so the active panel of `B` stays in L2);
 //!   retained for tiny products, as the reference the packed path is
 //!   tested bitwise-equal against, and as a bisection fallback
-//!   ([`super::microkernel::set_packing_enabled`]).
+//!   ([`super::microkernel::set_packing_enabled`]). The legacy path
+//!   hands its output to [`crate::par::par_row_blocks`] row splits.
 //!
-//! Both paths hand the output to [`crate::par::par_row_blocks`], which
-//! splits the rows over a scoped thread team; per-element accumulation
-//! runs in increasing `k` order everywhere, so parallel, packed and legacy
-//! results are all bitwise identical.
+//! Per-element accumulation runs in increasing `k` order everywhere, so
+//! parallel, packed and legacy results are all bitwise identical.
 
 use super::microkernel::{self, use_packed};
 use crate::par::par_row_blocks;

@@ -1,20 +1,30 @@
-//! Packed, register-tiled GEMM microkernel.
+//! Packed, register-tiled GEMM microkernel with a parallel tile-grid
+//! scheduler.
 //!
 //! All seven matmul-family entry points (plain / transposed / batched /
 //! matvec) reduce to the same computation — `C[i,j] += Σ_k A[i,k]·B[k,j]`
 //! over strided operands — so they all funnel into one driver here:
 //!
-//! 1. **Pack** `B` once per call into KC-tall panels of [`NR`]-wide column
-//!    tiles (`[kc×NR]`, k-major), and each thread's block of `A` rows into
-//!    [`MR`]-tall row tiles (`[kc×MR]`, k-major). Packing linearises the
-//!    strided loads of the transposed variants, so the inner kernel always
-//!    streams two contiguous panels.
-//! 2. Run an `MR×NR` **register-tiled kernel** per tile pair: the 4×16
-//!    accumulator block lives in SIMD registers, `C` is loaded into it at
-//!    the start of each KC tile and stored back after, and `k` advances one
-//!    step at a time.
-//! 3. Ragged edges (`m % MR`, `n % NR`) fall to a bounds-checked edge
-//!    kernel with the identical accumulation order.
+//! 1. **Pack `B` once per call** into KC-tall panels of [`NR`]-wide column
+//!    tiles (`[kc×NR]`, k-major) — shared, read-only, visible to every
+//!    worker. Packing linearises the strided loads of the transposed
+//!    variants, so the inner kernel always streams two contiguous panels.
+//! 2. **Claim C-tile blocks from a shared atomic queue**
+//!    ([`crate::par::par_task_queue`]): the output is a grid of
+//!    `MR`-row strips × `NC`-column groups, and each team worker claims
+//!    grid cells until the queue is dry. On first touch of a strip the
+//!    worker packs that strip's `A` rows into its **private arena lease**
+//!    (`[kc×MR]` row tiles, k-major) and keeps it for subsequent claims
+//!    of the same strip — `A` is packed at most once per (strip, worker)
+//!    and `B` is never re-packed, which is what lets the packed path
+//!    scale instead of fighting the thread team (the old design split
+//!    rows *above* the packing).
+//! 3. Per claimed cell, run the `MR×NR` **register-tiled kernel** for
+//!    each column tile: the 4×16 accumulator block lives in SIMD
+//!    registers, `C` is loaded into it at the start of each KC tile and
+//!    stored back after, and `k` advances one step at a time. Ragged
+//!    edges (`m % MR`, `n % NR`) fall to a bounds-checked edge kernel
+//!    with the identical accumulation order.
 //!
 //! # Bitwise equivalence to the legacy scalar kernels
 //!
@@ -27,8 +37,16 @@
 //! `mul`+`add` into an FMA, so vector width cannot change any element
 //! either. Hence packed results are **bitwise identical** to the legacy
 //! path — which is why the two can be toggled freely (see
-//! [`set_packing_enabled`]) and why `par_row_blocks` row splits, which may
-//! cut through an `MR` tile, are harmless.
+//! [`set_packing_enabled`]).
+//!
+//! Work *stealing* cannot move a bit either: each grid cell is a
+//! self-contained block of output elements, computed by exactly one
+//! worker from shared immutable packed panels over the full `k` range.
+//! Which worker computes which cell — and in which order — changes
+//! nothing about any element's operation sequence, so the scheduler is
+//! free to interleave claims arbitrarily (tallied by the obs
+//! `tile_steals` counter) while staying bitwise equal to the serial
+//! claim order.
 //!
 //! # SIMD dispatch
 //!
@@ -38,9 +56,10 @@
 //! enabled: contraction would fuse the rounding step away and break
 //! bitwise equality.
 
-use crate::par::par_row_blocks;
+use crate::par::{par_task_queue, TaskQueue};
 use crate::workspace;
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering::Relaxed};
+use std::sync::OnceLock;
 
 /// Rows of the register tile (accumulator rows per kernel invocation).
 pub const MR: usize = 4;
@@ -49,6 +68,12 @@ pub const NR: usize = 16;
 /// k-dimension tile, shared with the legacy kernels: the packed `KC×NR`
 /// panel of `B` stays cache-resident while a row block streams past it.
 pub const KC: usize = 128;
+/// Columns per tile-grid cell (a multiple of [`NR`]): one claimed cell is
+/// an `MR`-row strip crossed with up to `NC` columns. Wide outputs split
+/// into several cells per strip so short-and-wide products still expose
+/// enough parallelism; `NC·KC` floats of `B` per cell stay cache-resident
+/// while the strip streams past.
+pub const NC: usize = 256;
 
 // ---------------------------------------------------------------------------
 // Gating: packed vs legacy
@@ -80,6 +105,34 @@ pub fn set_pack_min_flops(flops: usize) {
 /// path under the current gates.
 pub fn use_packed(flops: usize) -> bool {
     packing_enabled() && flops >= PACK_MIN_FLOPS.load(Relaxed)
+}
+
+// Tri-state override for the tile-grid scheduler's parallelism: 0/1 set
+// programmatically, 2 = unset (fall back to METALORA_TILE_GRID, then on).
+static TILE_GRID_OVERRIDE: AtomicU8 = AtomicU8::new(2);
+
+/// Enables/disables parallel scheduling of the packed GEMM's tile grid
+/// (`false` runs the identical grid serially on the calling thread —
+/// a bisection/debug knob, both modes are bitwise identical). Overrides
+/// the `METALORA_TILE_GRID` environment variable; the default is on.
+pub fn set_tile_grid_parallel(on: bool) {
+    TILE_GRID_OVERRIDE.store(on as u8, Relaxed);
+}
+
+/// Whether the tile-grid scheduler may spawn a worker team (the
+/// [`set_tile_grid_parallel`] override if set, else `METALORA_TILE_GRID`
+/// — `0` disables — else on).
+pub fn tile_grid_parallel() -> bool {
+    match TILE_GRID_OVERRIDE.load(Relaxed) {
+        0 => false,
+        1 => true,
+        _ => {
+            static FROM_ENV: OnceLock<bool> = OnceLock::new();
+            *FROM_ENV.get_or_init(|| {
+                std::env::var("METALORA_TILE_GRID").map(|s| s.trim() != "0").unwrap_or(true)
+            })
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -390,67 +443,75 @@ unsafe fn run_edge(
 }
 
 // ---------------------------------------------------------------------------
-// Block driver
+// Tile-grid scheduler
 // ---------------------------------------------------------------------------
 
-/// Multiplies one packed A row block (`rows×k`, [`pack_a`] layout) by the
-/// packed `B` (`k×n`, [`pack_b`] layout) into `block` (`rows×n`,
-/// row-major, zero-initialised by the caller).
-fn gemm_block(apack: &[f32], bpack: &[f32], rows: usize, n: usize, k: usize, block: &mut [f32]) {
-    let lvl = simd_level();
-    let rows_full = rows - rows % MR;
+/// Raw output pointer a scoped worker team shares. Safety rests on the
+/// grid geometry: every task index maps to a distinct (row strip ×
+/// column group) block of `C`, so no two workers ever write the same
+/// element.
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    // Accessor (rather than a public field) so closures capture the whole
+    // `SendPtr` — precise closure capture would otherwise grab the bare
+    // `*mut f32` field, which is not `Sync`.
+    #[inline]
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Computes one claimed grid cell: the `me ≤ MR` rows of a packed A strip
+/// (`[kc×me]` tiles at `kb·me`, [`pack_a`] layout) times columns
+/// `j_lo..j_hi` of one batch's packed `B` (`bp`, [`pack_b`] layout), into
+/// `C` at `c_row` (top-left of the strip, row stride `n`).
+///
+/// Column tiles advance in the outer loop so each `MR×NR` accumulator
+/// block only spills to `C` between KC tiles (an exact f32 round trip);
+/// `kb` advances inner, keeping every element's accumulation in strictly
+/// increasing `k` order.
+///
+/// # Safety
+/// `c_row` must be valid for an `me × (j_hi - j_lo)` block at row stride
+/// `n`, not written concurrently by any other thread; `apack`/`bp` must
+/// hold `me*k` / `k*n` packed floats; `j_lo` must be `NR`-aligned.
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_cell(
+    lvl: SimdLevel,
+    apack: &[f32],
+    me: usize,
+    bp: &[f32],
+    n: usize,
+    k: usize,
+    j_lo: usize,
+    j_hi: usize,
+    c_row: *mut f32,
+) {
     let n_full = n - n % NR;
-    let (me, ne) = (rows - rows_full, n - n_full);
-    let cptr = block.as_mut_ptr();
-    for kb in (0..k).step_by(KC) {
-        let kc = (kb + KC).min(k) - kb;
-        let a_tiles = &apack[kb * rows..];
-        let b_tiles = &bpack[kb * n..];
-        for i0 in (0..rows_full).step_by(MR) {
-            let ap = a_tiles[i0 * kc..].as_ptr();
-            for j0 in (0..n_full).step_by(NR) {
-                // Safety: each (i0, j0) pair addresses a disjoint MR×NR
-                // region of `block`; packed tiles were sized by pack_a/b.
-                unsafe {
-                    run_full(lvl, ap, b_tiles[j0 * kc..].as_ptr(), kc, cptr.add(i0 * n + j0), n);
-                }
-            }
-            if ne > 0 {
-                unsafe {
-                    run_edge(
-                        lvl,
-                        ap,
-                        MR,
-                        b_tiles[n_full * kc..].as_ptr(),
-                        ne,
-                        kc,
-                        cptr.add(i0 * n + n_full),
-                        n,
-                    );
-                }
+    for j0 in (j_lo..j_hi.min(n_full)).step_by(NR) {
+        for kb in (0..k).step_by(KC) {
+            let kc = (kb + KC).min(k) - kb;
+            let ap = apack.as_ptr().add(kb * me);
+            let bt = bp.as_ptr().add(kb * n + j0 * kc);
+            if me == MR {
+                run_full(lvl, ap, bt, kc, c_row.add(j0), n);
+            } else {
+                run_edge(lvl, ap, me, bt, NR, kc, c_row.add(j0), n);
             }
         }
-        if me > 0 {
-            let ap = a_tiles[rows_full * kc..].as_ptr();
-            for j0 in (0..n_full).step_by(NR) {
-                unsafe {
-                    run_edge(lvl, ap, me, b_tiles[j0 * kc..].as_ptr(), NR, kc, cptr.add(rows_full * n + j0), n);
-                }
-            }
-            if ne > 0 {
-                unsafe {
-                    run_edge(
-                        lvl,
-                        ap,
-                        me,
-                        b_tiles[n_full * kc..].as_ptr(),
-                        ne,
-                        kc,
-                        cptr.add(rows_full * n + n_full),
-                        n,
-                    );
-                }
-            }
+    }
+    // The ragged column tile (ne = n % NR) always lands in the grid's
+    // last column group (ne < NR ≤ NC).
+    let ne = n - n_full;
+    if ne > 0 && j_hi == n {
+        for kb in (0..k).step_by(KC) {
+            let kc = (kb + KC).min(k) - kb;
+            let ap = apack.as_ptr().add(kb * me);
+            let bt = bp.as_ptr().add(kb * n + n_full * kc);
+            run_edge(lvl, ap, me, bt, ne, kc, c_row.add(n_full), n);
         }
     }
 }
@@ -461,9 +522,15 @@ fn gemm_block(apack: &[f32], bpack: &[f32], rows: usize, n: usize, k: usize, blo
 /// (`bs*m*n`, row-major). Covers every matmul-family variant: strides
 /// express the transposes, `bs = 1` the unbatched calls, `n = 1` matvec.
 ///
-/// `B` is packed once up front (shared read-only across the thread team);
-/// each row block packs its own slice of `A` from the workspace arena
-/// inside the `par_row_blocks` closure.
+/// `B` is packed **once** up front (shared read-only across the worker
+/// team — the obs `tile_bpacks` counter asserts exactly one pass per
+/// call). The output is then a grid of `MR`-row strips × `NC`-column
+/// groups — a fixed function of the problem shape, never of the thread
+/// count — and [`par_task_queue`] workers claim cells from a shared
+/// atomic queue. Each worker leases one `MR×k` A-panel buffer from the
+/// workspace arena for its whole lifetime (no cross-thread aliasing: the
+/// arena hands out disjoint buffers) and re-packs it only when it claims
+/// a cell from a different strip than its previous one.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_packed(
     ad: &[f32],
@@ -488,23 +555,62 @@ pub(crate) fn gemm_packed(
     for bi in 0..bs {
         pack_b(bd, bi * b_batch, k, n, b_ks, b_cs, &mut bpack[bi * k * n..(bi + 1) * k * n]);
     }
+    metalora_obs::counters::record_tile_grid_bpack();
     let bp: &[f32] = &bpack;
-    par_row_blocks(out, n, 2 * k * n, |first, block| {
-        let rows = block.len() / n;
-        let mut apack = workspace::take(rows * k);
-        // A row block may straddle batch boundaries; process it one batch
-        // segment at a time (each segment is self-contained, so this stays
-        // independent of how par_row_blocks cut the rows).
-        let mut r0 = 0;
-        while r0 < rows {
-            let abs = first + r0;
-            let (bi, i0) = (abs / m, abs % m);
-            let seg = (m - i0).min(rows - r0);
-            pack_a(ad, bi * a_batch, i0, seg, k, a_rs, a_ks, &mut apack[..seg * k]);
-            gemm_block(&apack[..seg * k], &bp[bi * k * n..(bi + 1) * k * n], seg, n, k, &mut block[r0 * n..(r0 + seg) * n]);
-            r0 += seg;
+
+    // The tile grid: strips never straddle batch boundaries, column
+    // groups are NR-aligned. Task index → (strip, group) with groups
+    // adjacent for the same strip, so a worker draining consecutive
+    // indices keeps its packed A strip.
+    let strips_per_batch = m.div_ceil(MR);
+    let col_groups = n.div_ceil(NC);
+    let tasks = bs * strips_per_batch * col_groups;
+    let lvl = simd_level();
+    let c_out = SendPtr(out.as_mut_ptr());
+    let worker = |slot: usize, queue: &TaskQueue| {
+        let mut apack = workspace::take(MR * k);
+        let mut packed_strip = usize::MAX;
+        let (mut claimed, mut steals, mut last) = (0u64, 0u64, usize::MAX);
+        while let Some(task) = queue.claim() {
+            claimed += 1;
+            if last != usize::MAX && task != last + 1 {
+                steals += 1;
+            }
+            last = task;
+            let (strip, g) = (task / col_groups, task % col_groups);
+            let (bi, i0) = (strip / strips_per_batch, (strip % strips_per_batch) * MR);
+            let me = (m - i0).min(MR);
+            if strip != packed_strip {
+                pack_a(ad, bi * a_batch, i0, me, k, a_rs, a_ks, &mut apack[..me * k]);
+                packed_strip = strip;
+            }
+            let (j_lo, j_hi) = (g * NC, ((g + 1) * NC).min(n));
+            // Safety: task indices are claimed exactly once, and each maps
+            // to a disjoint me×(j_hi-j_lo) block of `out`; the packed
+            // panels were sized by pack_a/pack_b above.
+            unsafe {
+                gemm_cell(
+                    lvl,
+                    &apack[..me * k],
+                    me,
+                    &bp[bi * k * n..(bi + 1) * k * n],
+                    n,
+                    k,
+                    j_lo,
+                    j_hi,
+                    c_out.get().add(bi * m * n + i0 * n),
+                );
+            }
         }
-    });
+        metalora_obs::counters::record_tile_grid_worker(slot, claimed, steals);
+    };
+    if tile_grid_parallel() {
+        par_task_queue("tile_grid", tasks, 2 * MR * k * NC.min(n.max(1)), worker);
+    } else {
+        // Bisection knob: identical grid, single worker, no team.
+        metalora_obs::counters::record_dispatch(false);
+        worker(0, &TaskQueue::new(tasks));
+    }
 }
 
 #[cfg(test)]
@@ -555,5 +661,43 @@ mod tests {
         set_packing_enabled(true);
         assert!(use_packed(1 << 20));
         assert!(!use_packed(8));
+    }
+
+    /// Serialises the tests that flip the global tile-grid knob.
+    fn grid_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn tile_grid_toggle_round_trips() {
+        let _g = grid_lock();
+        set_tile_grid_parallel(false);
+        assert!(!tile_grid_parallel());
+        set_tile_grid_parallel(true);
+        assert!(tile_grid_parallel());
+    }
+
+    #[test]
+    fn serial_tile_grid_matches_parallel_tile_grid() {
+        let _g = grid_lock();
+        // The bisection knob must not change a bit (both claim the same
+        // grid; only the team size differs).
+        let (m, k, n) = (37, 150, 290); // ragged in every dimension, 2 KC tiles, 2 col groups
+        let ad: Vec<f32> = (0..m * k).map(|x| (x % 17) as f32 * 0.25 - 2.0).collect();
+        let bd: Vec<f32> = (0..k * n).map(|x| (x % 13) as f32 * 0.5 - 3.0).collect();
+        let run = |parallel: bool| {
+            set_tile_grid_parallel(parallel);
+            let mut out = vec![0.0f32; m * n];
+            gemm_packed(&ad, 0, k, 1, &bd, 0, n, 1, 1, m, n, k, &mut out);
+            out
+        };
+        let serial = run(false);
+        crate::par::set_num_threads(4);
+        crate::par::set_par_threshold(0);
+        let parallel = run(true);
+        crate::par::set_num_threads(0);
+        crate::par::set_par_threshold(usize::MAX);
+        assert!(serial.iter().zip(&parallel).all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 }

@@ -1,10 +1,17 @@
 //! Deterministic parallel execution layer.
 //!
-//! Every hot kernel in the workspace (matmul family, im2col/col2im, the
-//! large elementwise/reduction ops, the KNN distance matrix) funnels its
-//! output through [`par_row_blocks`]: the output buffer is split into
-//! disjoint, fixed-size row blocks and a scoped thread team pulls blocks
-//! from a shared queue.
+//! Two primitives share one thread-count / threshold policy:
+//!
+//! * [`par_row_blocks`] — the output buffer is split into disjoint,
+//!   fixed-size row blocks and a scoped thread team pulls blocks from a
+//!   shared queue. Used by the legacy matmul kernels, im2col/col2im, the
+//!   large elementwise/reduction ops and the KNN distance matrix.
+//! * [`par_task_queue`] — a scoped team (the **calling thread
+//!   participates** as worker 0) drains an atomic counter of task
+//!   indices; each worker is invoked once and claims tasks until the
+//!   queue is dry, so it can hold per-thread state (e.g. a packed-panel
+//!   lease from the workspace arena) across many tasks. This is what the
+//!   packed GEMM microkernel's tile-grid scheduler runs on.
 //!
 //! # Determinism guarantee
 //!
@@ -154,6 +161,85 @@ where
     metalora_obs::trace::end("par_row_blocks");
 }
 
+/// A dried-once atomic work queue over task indices `0..total`.
+///
+/// Claims are a single `fetch_add`; once the counter passes `total` the
+/// queue stays empty forever. Which worker claims which index is
+/// scheduler-dependent, so callers must make each task's result
+/// independent of the claim order (the tile-grid GEMM achieves this by
+/// making every task a self-contained C-tile block).
+pub struct TaskQueue {
+    next: AtomicUsize,
+    total: usize,
+}
+
+impl TaskQueue {
+    /// A fresh queue over `0..total`.
+    pub fn new(total: usize) -> TaskQueue {
+        TaskQueue { next: AtomicUsize::new(0), total }
+    }
+
+    /// Claims the next unclaimed task index, or `None` when the queue is
+    /// dry.
+    #[inline]
+    pub fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        if i < self.total {
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// Number of tasks the queue was created with.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+/// Runs `worker` over a shared [`TaskQueue`] of `tasks` indices, possibly
+/// in parallel.
+///
+/// Each team member calls `worker(slot, queue)` **exactly once** and is
+/// expected to loop on [`TaskQueue::claim`] until the queue is dry —
+/// per-thread scratch (packed-panel leases, counter tallies) is set up
+/// once per worker, not once per task. `slot` is the team-member index
+/// (`0..team size`); the **calling thread participates as slot 0**, so a
+/// team of `N` spawns only `N - 1` threads and `METALORA_THREADS=1` (or
+/// an estimated cost `tasks * cost_per_task` below [`par_threshold`])
+/// runs the whole queue on the calling thread with no spawn at all —
+/// the same serial-fallback semantics as [`par_row_blocks`].
+///
+/// `trace_name` labels the begin/end pair emitted around a parallel team
+/// in the obs timeline (e.g. `"tile_grid"`), mirroring the
+/// `par_row_blocks` mark.
+pub fn par_task_queue<F>(trace_name: &'static str, tasks: usize, cost_per_task: usize, worker: F)
+where
+    F: Fn(usize, &TaskQueue) + Sync,
+{
+    if tasks == 0 {
+        return;
+    }
+    let queue = TaskQueue::new(tasks);
+    let threads = num_threads().min(tasks);
+    if threads <= 1 || tasks.saturating_mul(cost_per_task) < par_threshold() {
+        metalora_obs::counters::record_dispatch(false);
+        worker(0, &queue);
+        return;
+    }
+    metalora_obs::counters::record_dispatch(true);
+    metalora_obs::trace::begin(trace_name);
+    std::thread::scope(|s| {
+        for slot in 1..threads {
+            let queue = &queue;
+            let worker = &worker;
+            s.spawn(move || worker(slot, queue));
+        }
+        worker(0, &queue);
+    });
+    metalora_obs::trace::end(trace_name);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +323,77 @@ mod tests {
         // Tiny rows get grouped; big rows split down to MAX_BLOCKS.
         assert!(block_rows_for(1 << 20, 1) >= MIN_BLOCK_ELEMS);
         assert_eq!(block_rows_for(6400, 512), 100);
+    }
+
+    #[test]
+    fn task_queue_hands_out_each_index_once() {
+        let q = TaskQueue::new(10);
+        let claimed: Vec<usize> = std::iter::from_fn(|| q.claim()).collect();
+        assert_eq!(claimed, (0..10).collect::<Vec<_>>());
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.total(), 10);
+    }
+
+    #[test]
+    fn par_task_queue_covers_all_tasks_exactly_once() {
+        let _g = guard();
+        set_par_threshold(0);
+        for threads in [1, 2, 3, 7] {
+            set_num_threads(threads);
+            let tasks = 53;
+            let hits: Vec<AtomicUsize> = (0..tasks).map(|_| AtomicUsize::new(0)).collect();
+            par_task_queue("test_queue", tasks, 1000, |_slot, q| {
+                while let Some(i) = q.claim() {
+                    hits[i].fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "threads={threads} task={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_task_queue_serial_fallback_claims_in_order() {
+        let _g = guard();
+        set_num_threads(4);
+        set_par_threshold(usize::MAX - 1); // everything is "too small"
+        let order = Mutex::new(Vec::new());
+        par_task_queue("test_queue", 6, 1, |slot, q| {
+            assert_eq!(slot, 0, "serial fallback must run on the calling thread");
+            while let Some(i) = q.claim() {
+                order.lock().unwrap().push(i);
+            }
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn par_task_queue_calling_thread_is_slot_zero() {
+        let _g = guard();
+        set_num_threads(3);
+        set_par_threshold(0);
+        let caller = std::thread::current().id();
+        let slot0_on_caller = AtomicUsize::new(0);
+        par_task_queue("test_queue", 64, 1000, |slot, q| {
+            if slot == 0 && std::thread::current().id() == caller {
+                slot0_on_caller.fetch_add(1, Ordering::SeqCst);
+            }
+            while q.claim().is_some() {}
+        });
+        assert_eq!(slot0_on_caller.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn par_task_queue_empty_is_a_noop() {
+        let _g = guard();
+        set_num_threads(4);
+        set_par_threshold(0);
+        let calls = AtomicUsize::new(0);
+        par_task_queue("test_queue", 0, 1, |_, _| {
+            calls.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 0);
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //! ([`take_zeroed`], [`zeroed_tensor`]) before use, exactly like the
 //! `vec![0.0; n]` it replaces.
 //!
+//! Checkouts are **disjoint by construction** — `pop` removes the buffer
+//! from the pool under the lock, so two live guards can never alias, even
+//! across threads. The GEMM tile-grid scheduler leans on this: every
+//! worker in the team leases its own A-panel buffer for its whole
+//! lifetime while the shared B panel and other threads' checkouts churn
+//! through the same pool concurrently.
+//!
 //! Checkout hits/misses, bytes reused and the pooled-bytes high-water mark
 //! are reported to `metalora_obs` (visible in `RUNLOG_*.json` under
 //! `workspace` when `METALORA_OBS=1`).
@@ -241,6 +248,33 @@ mod tests {
                         // Another thread writing into the same buffer
                         // would break this read-back.
                         assert!(g.iter().all(|&x| x == stamp));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn long_lived_leases_survive_concurrent_churn() {
+        // The tile-grid pattern: each worker holds one lease for its whole
+        // lifetime (its A panel) while short-lived checkouts (B panels,
+        // im2col scratch) cycle through the pool around it. The long lease
+        // must stay intact throughout.
+        std::thread::scope(|s| {
+            for tid in 0..6 {
+                s.spawn(move || {
+                    let len = 256 + tid;
+                    let mut lease = take(len);
+                    let stamp = (7_000 + tid) as f32;
+                    lease.fill(stamp);
+                    for round in 0..300usize {
+                        // Churn: same-bucket checkouts that are stamped,
+                        // verified and returned while the lease is live.
+                        let mut short = take(256 + (round % 64));
+                        short.fill(-(round as f32));
+                        assert!(short.iter().all(|&x| x == -(round as f32)));
+                        drop(short);
+                        assert!(lease.iter().all(|&x| x == stamp));
                     }
                 });
             }

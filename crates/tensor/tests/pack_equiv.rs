@@ -6,10 +6,16 @@
 //!
 //! The pack-gate is forced to 0 so even tiny shapes take the packed path;
 //! a process-wide lock serialises the tests because the gates are global.
+//!
+//! The tile-grid scheduler gets its own sweep here: packed × parallel at
+//! worker counts {1, 2, 3, 4, 7} over ragged shapes (including ones that
+//! cross the NC column-group boundary), interleaved with arena reuse, must
+//! stay bitwise-equal to the legacy serial run, and the obs tallies must
+//! show exactly one B pack per GEMM with claims covering the whole grid.
 
 use metalora_tensor::ops::{
     bmm, bmm_transpose_a, bmm_transpose_b, matmul, matmul_transpose_a, matmul_transpose_b,
-    matvec, set_pack_min_flops, set_packing_enabled,
+    matvec, microkernel, set_pack_min_flops, set_packing_enabled,
 };
 use metalora_tensor::{init, par, workspace, Tensor};
 use proptest::prelude::*;
@@ -165,6 +171,135 @@ proptest! {
             prop_assert!(same, "packed parallel ({threads} threads) diverged");
         }
     }
+
+    #[test]
+    fn tile_grid_thread_sweep_is_bitwise(
+        m in 1usize..60,
+        k in 1usize..150,
+        n in 1usize..60,
+        seed in 0u64..1000,
+    ) {
+        // The tile grid hands out (strip, column-group) cells in whatever
+        // order the team claims them; no worker count may move a bit.
+        let _g = force_packed();
+        let a = rand_t(&[m, k], seed);
+        let b = rand_t(&[k, n], seed + 1);
+        set_packing_enabled(false);
+        par::set_num_threads(1);
+        let reference = matmul(&a, &b).unwrap();
+        set_packing_enabled(true);
+        par::set_par_threshold(0);
+        for threads in [1usize, 2, 3, 4, 7] {
+            par::set_num_threads(threads);
+            let out = matmul(&a, &b).unwrap();
+            let same = reference
+                .data()
+                .iter()
+                .zip(out.data())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            prop_assert!(same, "tile grid at {threads} workers diverged");
+        }
+    }
+
+    #[test]
+    fn tile_grid_spans_column_groups_bitwise(
+        m in 1usize..20,
+        k in 1usize..80,
+        n in 250usize..300,
+        seed in 0u64..1000,
+    ) {
+        // n crosses NC = 256: at least two column groups per strip, with
+        // the ragged NR edge always landing in the last group.
+        let _g = force_packed();
+        let a = rand_t(&[m, k], seed);
+        let b = rand_t(&[k, n], seed + 1);
+        set_packing_enabled(false);
+        par::set_num_threads(1);
+        let reference = matmul(&a, &b).unwrap();
+        set_packing_enabled(true);
+        par::set_par_threshold(0);
+        for threads in [2usize, 3, 7] {
+            par::set_num_threads(threads);
+            let out = matmul(&a, &b).unwrap();
+            let same = reference
+                .data()
+                .iter()
+                .zip(out.data())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            prop_assert!(same, "column-group split at {threads} workers diverged");
+        }
+    }
+
+    #[test]
+    fn tile_grid_bmm_thread_sweep_is_bitwise(
+        bs in 1usize..4,
+        m in 1usize..12,
+        k in 1usize..12,
+        n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        // Batched variants share the grid (strips never straddle batches).
+        let _g = force_packed();
+        let a = rand_t(&[bs, m, k], seed);
+        let b = rand_t(&[bs, k, n], seed + 1);
+        let at = rand_t(&[bs, k, m], seed + 2);
+        let bt = rand_t(&[bs, n, k], seed + 3);
+        set_packing_enabled(false);
+        par::set_num_threads(1);
+        let refs = [
+            bmm(&a, &b).unwrap(),
+            bmm_transpose_a(&at, &b).unwrap(),
+            bmm_transpose_b(&a, &bt).unwrap(),
+        ];
+        set_packing_enabled(true);
+        par::set_par_threshold(0);
+        for threads in [1usize, 2, 3, 4, 7] {
+            par::set_num_threads(threads);
+            let outs = [
+                bmm(&a, &b).unwrap(),
+                bmm_transpose_a(&at, &b).unwrap(),
+                bmm_transpose_b(&a, &bt).unwrap(),
+            ];
+            for (reference, out) in refs.iter().zip(&outs) {
+                let same = reference
+                    .data()
+                    .iter()
+                    .zip(out.data())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                prop_assert!(same, "bmm tile grid at {threads} workers diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_grid_survives_arena_reuse_interleaving(
+        m in 1usize..30,
+        k in 1usize..60,
+        n in 1usize..30,
+        seed in 0u64..1000,
+    ) {
+        // Alternate thread counts call-to-call on the same shapes: the
+        // pooled A/B panels from a 7-worker run are recycled into a
+        // 2-worker run (and vice versa) and must never leak stale data.
+        let _g = force_packed();
+        let a = rand_t(&[m, k], seed);
+        let b = rand_t(&[k, n], seed + 1);
+        set_packing_enabled(false);
+        par::set_num_threads(1);
+        let reference = matmul(&a, &b).unwrap();
+        set_packing_enabled(true);
+        par::set_par_threshold(0);
+        for &threads in [7usize, 1, 4, 2, 7, 3, 1, 2].iter() {
+            par::set_num_threads(threads);
+            let out = matmul(&a, &b).unwrap();
+            let same = reference
+                .data()
+                .iter()
+                .zip(out.data())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            prop_assert!(same, "arena-interleaved run at {threads} workers diverged");
+        }
+    }
 }
 
 /// The arena really recycles: after a warm-up call populates the pool,
@@ -188,6 +323,33 @@ fn workspace_reuse_shows_up_in_obs_counters() {
         "no pool hits across repeated identical matmuls: {snap:?}"
     );
     assert!(snap.workspace_bytes_reused > 0);
+}
+
+/// The scheduler's accounting invariants: exactly one B pack per packed
+/// GEMM, claims covering every cell of every grid, and the per-slot
+/// tallies summing to the total.
+#[test]
+fn tile_grid_counters_account_for_every_cell() {
+    let _g = force_packed();
+    metalora_obs::set_enabled(true);
+    metalora_obs::reset();
+    par::set_par_threshold(0);
+    par::set_num_threads(3);
+    let (m, k, n) = (37usize, 50usize, 300usize);
+    let a = rand_t(&[m, k], 11);
+    let b = rand_t(&[k, n], 12);
+    let gemms = 5u64;
+    for _ in 0..gemms {
+        let _ = matmul(&a, &b).unwrap();
+    }
+    let snap = metalora_obs::counters::snapshot();
+    metalora_obs::set_enabled(false);
+    metalora_obs::reset();
+    let grid = (m.div_ceil(microkernel::MR) * n.div_ceil(microkernel::NC)) as u64;
+    assert_eq!(snap.tile_bpacks, gemms, "B must be packed exactly once per GEMM");
+    assert_eq!(snap.tile_claims, gemms * grid, "claims must cover the whole grid: {snap:?}");
+    let per_slot: u64 = snap.tile_claims_per_slot.iter().sum();
+    assert_eq!(per_slot, snap.tile_claims, "per-slot tallies must sum to the total");
 }
 
 /// Concurrent checkouts must hand out disjoint buffers: each thread stamps
