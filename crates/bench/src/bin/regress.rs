@@ -1,19 +1,26 @@
-//! **Regression gate**: rerun the K1 kernel sweep and diff it against the
-//! committed `BENCH_kernels.json`. Exits nonzero on any violation —
-//! bitwise divergence, a missing measurement point, a `threads = 1`
-//! slowdown beyond tolerance, or drift in the deterministic counter and
-//! dispatch totals. See `metalora_bench::regress` for the exact policy.
+//! **Regression gate**: rerun the K1 kernel sweep and the S1 serve sweep
+//! and diff them against the committed `BENCH_kernels.json` and
+//! `BENCH_serve.json`. Exits nonzero on any violation — bitwise
+//! divergence, a missing measurement point, a `threads = 1` perf
+//! regression beyond tolerance, or drift in the deterministic counter
+//! totals. See `metalora_bench::regress` for the exact policy.
 //!
 //! Run with: `cargo run --release -p metalora-bench --bin regress`
-//! (`--baseline PATH` overrides the baseline file; the sweep scale is
-//! taken from the baseline itself so the workloads always match).
+//! (`--baseline PATH` / `--serve-baseline PATH` override the baseline
+//! files; `--skip-kernels` / `--skip-serve` drop one of the two gates;
+//! the sweep scale is taken from each baseline itself so the workloads
+//! always match).
 
 use metalora_bench::kernels::KernelReport;
-use metalora_bench::regress::{compare, Tolerances};
+use metalora_bench::regress::{compare, compare_serve, Comparison, Tolerances};
+use metalora_bench::serve_bench::ServeReport;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path = "BENCH_kernels.json".to_string();
+    let mut serve_baseline_path = "BENCH_serve.json".to_string();
+    let mut run_kernels = true;
+    let mut run_serve = true;
     let mut tol = Tolerances::default();
     let mut i = 0;
     while i < args.len() {
@@ -24,6 +31,21 @@ fn main() {
                     .unwrap_or_else(|| usage("--baseline needs a value"))
                     .clone();
                 i += 2;
+            }
+            "--serve-baseline" => {
+                serve_baseline_path = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| usage("--serve-baseline needs a value"))
+                    .clone();
+                i += 2;
+            }
+            "--skip-kernels" => {
+                run_kernels = false;
+                i += 1;
+            }
+            "--skip-serve" => {
+                run_serve = false;
+                i += 1;
             }
             "--ms-tolerance" => {
                 tol.ms_frac = args
@@ -36,26 +58,58 @@ fn main() {
             other => usage(&format!("unknown flag `{other}`")),
         }
     }
+    if !run_kernels && !run_serve {
+        usage("--skip-kernels and --skip-serve together leave nothing to gate");
+    }
 
-    let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
-        eprintln!("error: cannot read baseline {baseline_path}: {e}");
+    let mut failed = false;
+
+    if run_kernels {
+        let baseline: KernelReport = read_baseline(&baseline_path);
+        println!(
+            "=== regression gate — baseline {baseline_path} (scale {}, simd {}, {} points) ===\n",
+            baseline.scale,
+            baseline.simd_level,
+            baseline.points.len()
+        );
+        let fresh = metalora_bench::kernels::run(baseline.scale == "quick");
+        println!();
+        let cmp = compare(&baseline, &fresh, &tol);
+        failed |= !render("kernels", &baseline_path, &cmp);
+    }
+
+    if run_serve {
+        let baseline: ServeReport = read_baseline(&serve_baseline_path);
+        println!(
+            "\n=== regression gate — baseline {serve_baseline_path} (scale {}, simd {}, {} points) ===\n",
+            baseline.scale,
+            baseline.simd_level,
+            baseline.points.len()
+        );
+        let fresh = metalora_bench::serve_bench::run(baseline.scale == "quick");
+        println!();
+        let cmp = compare_serve(&baseline, &fresh, &tol);
+        failed |= !render("serve", &serve_baseline_path, &cmp);
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn read_baseline<T: serde::Deserialize>(path: &str) -> T {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read baseline {path}: {e}");
         std::process::exit(2);
     });
-    let baseline: KernelReport = serde_json::from_str(&text).unwrap_or_else(|e| {
-        eprintln!("error: cannot parse baseline {baseline_path}: {e:?}");
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("error: cannot parse baseline {path}: {e:?}");
         std::process::exit(2);
-    });
+    })
+}
 
-    println!(
-        "=== regression gate — baseline {baseline_path} (scale {}, simd {}, {} points) ===\n",
-        baseline.scale,
-        baseline.simd_level,
-        baseline.points.len()
-    );
-    let fresh = metalora_bench::kernels::run(baseline.scale == "quick");
-
-    println!();
-    let cmp = compare(&baseline, &fresh, &tol);
+/// Prints one gate's outcome; returns whether it passed.
+fn render(gate: &str, path: &str, cmp: &Comparison) -> bool {
     for w in &cmp.warnings {
         println!("warning: {w}");
     }
@@ -64,21 +118,23 @@ fn main() {
     }
     if cmp.passed() {
         println!(
-            "regression gate PASSED against {baseline_path} ({} warnings)",
+            "{gate} regression gate PASSED against {path} ({} warnings)",
             cmp.warnings.len()
         );
     } else {
         println!(
-            "regression gate FAILED against {baseline_path}: {} violations, {} warnings",
+            "{gate} regression gate FAILED against {path}: {} violations, {} warnings",
             cmp.violations.len(),
             cmp.warnings.len()
         );
-        std::process::exit(1);
     }
+    cmp.passed()
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: regress [--baseline PATH] [--ms-tolerance FRAC]");
+    eprintln!(
+        "usage: regress [--baseline PATH] [--serve-baseline PATH] [--skip-kernels] [--skip-serve] [--ms-tolerance FRAC]"
+    );
     std::process::exit(2);
 }

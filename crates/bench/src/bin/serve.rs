@@ -1,0 +1,43 @@
+//! **S1 — serving throughput**: zipf multi-tenant traffic through the
+//! `metalora-serve` engine, factored and merged modes at several thread
+//! counts, reporting requests/s and p50/p95/p99 latency plus the
+//! merged-weight cache hit/miss/eviction totals. Every point re-proves
+//! the batched-vs-solo bitwise claim. Raw numbers go to `BENCH_serve.json`.
+//!
+//! The sweep lives in `metalora_bench::serve_bench` so the `regress`
+//! binary can rerun the identical workload against the committed baseline.
+//!
+//! Run with: `cargo run --release -p metalora-bench --bin serve`
+//! (`--scale quick` shrinks the stream for CI smoke runs).
+
+use metalora_tensor::workspace;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--scale")
+        && std::env::args().any(|a| a == "quick");
+    // Drain the pool BEFORE resetting counters: clear() debits the pooled
+    // byte gauge, so the other order would start the gauge negative.
+    workspace::clear();
+    metalora_obs::set_enabled(true);
+    metalora_obs::reset();
+
+    let report = metalora_bench::serve_bench::run(quick);
+
+    let json = serde_json::to_string_pretty(&report).expect("serialise");
+    let path = "BENCH_serve.json";
+    std::fs::write(path, json).expect("write BENCH_serve.json");
+    println!("raw sweep written to {path}");
+
+    let report = metalora_obs::report::RunReport::capture("serve");
+    println!("\n{}", report.summary_table());
+    match report.write() {
+        Ok(p) => println!("run log written to {}", p.display()),
+        Err(e) => eprintln!("could not write run log: {e}"),
+    }
+    if metalora_obs::trace::enabled() {
+        match metalora_obs::trace::write_chrome("serve") {
+            Ok(p) => println!("trace written to {}", p.display()),
+            Err(e) => eprintln!("could not write trace: {e}"),
+        }
+    }
+}

@@ -11,6 +11,7 @@ use metalora::config::ExperimentConfig;
 
 pub mod kernels;
 pub mod regress;
+pub mod serve_bench;
 
 /// Parsed command-line options shared by the bench binaries.
 #[derive(Debug, Clone)]

@@ -27,6 +27,7 @@
 //!   with allocation-pattern changes.
 
 use crate::kernels::KernelReport;
+use crate::serve_bench::ServeReport;
 
 /// Per-metric tolerances for [`compare`].
 #[derive(Debug, Clone)]
@@ -229,6 +230,106 @@ pub fn compare(baseline: &KernelReport, fresh: &KernelReport, tol: &Tolerances) 
     cmp
 }
 
+/// Diffs a fresh [`ServeReport`] against the committed `BENCH_serve.json`
+/// baseline. Same policy split as [`compare`]:
+///
+/// * A `bitwise_ok: false` point, a missing `(mode, threads)` point, or a
+///   scale mismatch is always a violation.
+/// * Request/batch totals and the merged-cache hit/miss/eviction totals
+///   are deterministic for a fixed stream (the LRU replays the same
+///   sequence), so they are compared near-exactly.
+/// * Throughput is gated only at `threads = 1` and only when the SIMD
+///   level matches; latency percentiles are timing noise and never gate.
+pub fn compare_serve(
+    baseline: &ServeReport,
+    fresh: &ServeReport,
+    tol: &Tolerances,
+) -> Comparison {
+    let mut cmp = Comparison::default();
+
+    if baseline.scale != fresh.scale {
+        cmp.violations.push(format!(
+            "serve scale mismatch: baseline ran '{}', fresh ran '{}' — reports are not comparable",
+            baseline.scale, fresh.scale
+        ));
+        return cmp;
+    }
+    let perf_gate = baseline.simd_level == fresh.simd_level;
+    if !perf_gate {
+        cmp.warnings.push(format!(
+            "serve simd level differs (baseline {}, fresh {}): perf regressions downgraded to warnings",
+            baseline.simd_level, fresh.simd_level
+        ));
+    }
+
+    for base_pt in &baseline.points {
+        let Some(fresh_pt) = fresh
+            .points
+            .iter()
+            .find(|p| p.mode == base_pt.mode && p.threads == base_pt.threads)
+        else {
+            cmp.violations.push(format!(
+                "serve missing point: {} / t={} is in the baseline but not in the fresh run",
+                base_pt.mode, base_pt.threads
+            ));
+            continue;
+        };
+        if !fresh_pt.bitwise_ok {
+            cmp.violations.push(format!(
+                "serve correctness: {} / t={} batched outputs no longer bitwise-equal to solo serving",
+                fresh_pt.mode, fresh_pt.threads
+            ));
+        }
+        for (name, base_n, fresh_n) in [
+            ("requests", base_pt.requests, fresh_pt.requests),
+            ("batches", base_pt.batches, fresh_pt.batches),
+            ("cache_hits", base_pt.cache_hits, fresh_pt.cache_hits),
+            ("cache_misses", base_pt.cache_misses, fresh_pt.cache_misses),
+            ("cache_evictions", base_pt.cache_evictions, fresh_pt.cache_evictions),
+        ] {
+            if rel_diff(fresh_n as f64, base_n as f64) > tol.counter_frac {
+                cmp.violations.push(format!(
+                    "serve counter drift: {} / t={} {name} {fresh_n} vs baseline {base_n} — the sweep is serving different work",
+                    base_pt.mode, base_pt.threads
+                ));
+            }
+        }
+        // Throughput floor: fresh must reach baseline / (1 + ms_frac).
+        let floor = base_pt.throughput_rps / (1.0 + tol.ms_frac);
+        if fresh_pt.throughput_rps < floor {
+            let msg = format!(
+                "serve perf: {} / t={} ran at {:.0} req/s, baseline {:.0} req/s (floor {:.0} at -{:.0}%)",
+                fresh_pt.mode,
+                fresh_pt.threads,
+                fresh_pt.throughput_rps,
+                base_pt.throughput_rps,
+                floor,
+                100.0 * tol.ms_frac / (1.0 + tol.ms_frac),
+            );
+            if perf_gate && base_pt.threads == 1 {
+                cmp.violations.push(msg);
+            } else {
+                cmp.warnings.push(msg);
+            }
+        }
+    }
+
+    for fresh_pt in &fresh.points {
+        let known = baseline
+            .points
+            .iter()
+            .any(|p| p.mode == fresh_pt.mode && p.threads == fresh_pt.threads);
+        if !known {
+            cmp.warnings.push(format!(
+                "serve new point not in baseline: {} / t={} (refresh BENCH_serve.json)",
+                fresh_pt.mode, fresh_pt.threads
+            ));
+        }
+    }
+
+    cmp
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,5 +499,132 @@ mod tests {
         let cmp = compare(&report(), &fresh, &Tolerances::default());
         assert!(cmp.passed());
         assert!(cmp.warnings.iter().any(|w| w.contains("arena hit rate")));
+    }
+
+    use crate::serve_bench::ServePoint;
+
+    fn serve_point(mode: &str, threads: usize, rps: f64) -> ServePoint {
+        ServePoint {
+            mode: mode.into(),
+            threads,
+            requests: 96,
+            batches: 6,
+            throughput_rps: rps,
+            p50_us: 10.0,
+            p95_us: 20.0,
+            p99_us: 30.0,
+            cache_hits: if mode == "merged" { 80 } else { 0 },
+            cache_misses: if mode == "merged" { 16 } else { 0 },
+            cache_evictions: if mode == "merged" { 4 } else { 0 },
+            bitwise_ok: true,
+        }
+    }
+
+    fn serve_report() -> ServeReport {
+        ServeReport {
+            host_cpus: 4,
+            simd_level: "avx2".into(),
+            scale: "quick".into(),
+            tenants: 12,
+            zipf_s: 1.1,
+            requests: 96,
+            max_batch: 16,
+            points: vec![
+                serve_point("factored", 1, 1000.0),
+                serve_point("merged", 1, 2000.0),
+                serve_point("merged", 4, 4000.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn identical_serve_reports_pass_clean() {
+        let base = serve_report();
+        let cmp = compare_serve(&base, &base.clone(), &Tolerances::default());
+        assert!(cmp.passed(), "violations: {:?}", cmp.violations);
+        assert!(cmp.warnings.is_empty(), "warnings: {:?}", cmp.warnings);
+    }
+
+    #[test]
+    fn doctored_serve_baseline_throughput_fails_the_gate() {
+        // Doctor the baseline to claim t=1 merged used to serve 10x more
+        // requests per second: the fresh run must read as a regression.
+        let mut base = serve_report();
+        base.points[1].throughput_rps = 20_000.0;
+        let cmp = compare_serve(&base, &serve_report(), &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(
+            cmp.violations.iter().any(|v| v.starts_with("serve perf:")),
+            "{:?}",
+            cmp.violations
+        );
+    }
+
+    #[test]
+    fn serve_multi_thread_throughput_only_warns() {
+        let mut base = serve_report();
+        base.points[2].throughput_rps = 40_000.0; // t=4 doctored 10x
+        let cmp = compare_serve(&base, &serve_report(), &Tolerances::default());
+        assert!(cmp.passed(), "violations: {:?}", cmp.violations);
+        assert!(cmp.warnings.iter().any(|w| w.starts_with("serve perf:")));
+    }
+
+    #[test]
+    fn serve_simd_mismatch_downgrades_perf_to_warning() {
+        let mut base = serve_report();
+        base.simd_level = "avx512".into();
+        base.points[1].throughput_rps = 20_000.0;
+        let cmp = compare_serve(&base, &serve_report(), &Tolerances::default());
+        assert!(cmp.passed(), "violations: {:?}", cmp.violations);
+        assert!(cmp.warnings.iter().any(|w| w.contains("simd level differs")));
+    }
+
+    #[test]
+    fn serve_bitwise_failure_is_always_a_violation() {
+        let mut fresh = serve_report();
+        fresh.points[2].bitwise_ok = false; // even at t>1
+        fresh.simd_level = "scalar".into(); // even with the perf gate off
+        let cmp = compare_serve(&serve_report(), &fresh, &Tolerances::default());
+        assert!(
+            cmp.violations.iter().any(|v| v.starts_with("serve correctness:")),
+            "{:?}",
+            cmp.violations
+        );
+    }
+
+    #[test]
+    fn serve_cache_counter_drift_fails_the_gate() {
+        let mut fresh = serve_report();
+        fresh.points[1].cache_hits = 40; // LRU replay diverged
+        fresh.points[1].batches = 12; // chunking changed
+        let cmp = compare_serve(&serve_report(), &fresh, &Tolerances::default());
+        assert_eq!(
+            cmp.violations.iter().filter(|v| v.contains("counter drift")).count(),
+            2,
+            "{:?}",
+            cmp.violations
+        );
+    }
+
+    #[test]
+    fn serve_missing_point_and_scale_mismatch_fail() {
+        let mut fresh = serve_report();
+        fresh.points.remove(0);
+        let cmp = compare_serve(&serve_report(), &fresh, &Tolerances::default());
+        assert!(cmp.violations.iter().any(|v| v.starts_with("serve missing point:")));
+
+        let mut fresh = serve_report();
+        fresh.scale = "standard".into();
+        let cmp = compare_serve(&serve_report(), &fresh, &Tolerances::default());
+        assert!(cmp.violations.iter().any(|v| v.contains("scale mismatch")));
+    }
+
+    #[test]
+    fn serve_extra_point_only_warns() {
+        let mut fresh = serve_report();
+        fresh.points.push(serve_point("merged", 8, 8000.0));
+        let cmp = compare_serve(&serve_report(), &fresh, &Tolerances::default());
+        assert!(cmp.passed(), "violations: {:?}", cmp.violations);
+        assert!(cmp.warnings.iter().any(|w| w.contains("new point not in baseline")));
     }
 }

@@ -1,0 +1,312 @@
+//! **S1 — serving throughput**: drive the multi-tenant serving engine
+//! with synthetic zipf traffic and report throughput plus p50/p95/p99
+//! request latency for the factored (bitwise) and merged (cached) modes
+//! at several thread counts. Shared by the `serve` binary (fresh run →
+//! `BENCH_serve.json`) and the `regress` binary (fresh run → diff against
+//! the committed baseline), exactly like the K1 kernel sweep.
+//!
+//! Every point carries a `bitwise_ok` flag: the whole batched stream is
+//! re-served one-request-at-a-time on a fresh `max_batch = 1` engine at
+//! the same mode and compared bit for bit, so the amortised-seed batching
+//! claim and re-merge determinism are re-proven on every bench run.
+
+use metalora_nn::Linear;
+use metalora_peft::meta::MappingNet;
+use metalora_peft::{LoraConfig, MultiLoraLinear};
+use metalora_serve::traffic::{self, TrafficConfig};
+use metalora_serve::{EngineConfig, Request, ServeEngine, TenantAdapter};
+use metalora_tensor::{init, ops, par};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One (mode, thread-count) measurement of the serve sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServePoint {
+    /// `"factored"` (bitwise path) or `"merged"` (cached `W + ΔW`).
+    pub mode: String,
+    /// Kernel worker count the point ran with.
+    pub threads: usize,
+    /// Requests served (engine counter; equals the stream length).
+    pub requests: u64,
+    /// Batches executed (`⌈requests / max_batch⌉` over the stream).
+    pub batches: u64,
+    /// Requests per second over the whole stream.
+    pub throughput_rps: f64,
+    /// Median per-request forward latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Merged-weight cache hits (0 in factored mode).
+    pub cache_hits: u64,
+    /// Merged-weight cache misses (0 in factored mode).
+    pub cache_misses: u64,
+    /// Cache evictions forced by the byte capacity.
+    pub cache_evictions: u64,
+    /// Batched outputs bitwise-equal to a `max_batch = 1` re-serve.
+    pub bitwise_ok: bool,
+}
+
+/// Everything one serve sweep produces; serialised to `BENCH_serve.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_cpus: usize,
+    /// SIMD level the kernels ran with (perf comparability guard).
+    pub simd_level: String,
+    /// `"quick"` or `"standard"`.
+    pub scale: String,
+    /// Distinct tenants in the synthetic traffic.
+    pub tenants: usize,
+    /// Zipf exponent of the tenant-id distribution.
+    pub zipf_s: f64,
+    /// Stream length every point served.
+    pub requests: usize,
+    /// Requests per released batch in the batched runs.
+    pub max_batch: usize,
+    pub points: Vec<ServePoint>,
+}
+
+const RANK: usize = 4;
+const CFG: LoraConfig = LoraConfig { rank: RANK, alpha: 8.0 };
+
+/// Builds the bench engine: one shared dense base, a two-slot
+/// `peft::multi` bank, both mapping nets, and `tenants` adapters cycling
+/// through every method (plain LoRA, bank slots, pinned CP/TR, dynamic
+/// CP/TR). Fully deterministic in `seed`.
+fn build_engine(
+    tenants: usize,
+    in_dim: usize,
+    out_dim: usize,
+    use_merged: bool,
+    max_batch: usize,
+    cache_bytes: usize,
+    seed: u64,
+) -> ServeEngine {
+    let mut rng = init::rng(seed);
+    let base = Linear::new("fc", in_dim, out_dim, &mut rng);
+    let (w, bias) = (base.weight().value(), base.bias().map(|b| b.value()));
+    let multi = MultiLoraLinear::new("fc", Box::new(base), 2, CFG, &mut rng);
+    for b in &multi.b {
+        b.set_value(init::uniform(&[RANK, out_dim], -0.5, 0.5, &mut rng));
+    }
+    let map_cp = MappingNet::new("map_cp", in_dim, 16, RANK, &mut rng);
+    let map_tr = MappingNet::new("map_tr", in_dim, 16, RANK * RANK, &mut rng);
+
+    let engine = ServeEngine::new(
+        w,
+        bias,
+        EngineConfig { max_batch, cache_bytes, use_merged },
+    )
+    .with_bank(&multi)
+    .with_mapping_cp(&map_cp)
+    .with_mapping_tr(&map_tr);
+
+    for id in 0..tenants as u64 {
+        let lora_a = init::uniform(&[in_dim, RANK], -0.5, 0.5, &mut rng);
+        let lora_b = init::uniform(&[RANK, out_dim], -0.5, 0.5, &mut rng);
+        let adapter = match id % 6 {
+            0 => TenantAdapter::Lora { a: lora_a, b: lora_b, scaling: CFG.scaling() },
+            1 => TenantAdapter::MultiSlot { slot: (id / 6 % 2) as usize },
+            2 => TenantAdapter::MetaCp {
+                a: lora_a,
+                b: lora_b,
+                scaling: CFG.scaling(),
+                pinned_seed: Some(init::uniform(&[RANK], -1.0, 1.0, &mut rng)),
+            },
+            3 => TenantAdapter::MetaTr {
+                a: init::uniform(&[RANK, in_dim, RANK], -0.3, 0.3, &mut rng),
+                b: init::uniform(&[RANK, out_dim, RANK], -0.3, 0.3, &mut rng),
+                scaling: CFG.scaling(),
+                pinned_seed: Some(init::uniform(&[RANK, RANK], -1.0, 1.0, &mut rng)),
+            },
+            4 => TenantAdapter::MetaCp {
+                a: lora_a,
+                b: lora_b,
+                scaling: CFG.scaling(),
+                pinned_seed: None,
+            },
+            _ => TenantAdapter::MetaTr {
+                a: init::uniform(&[RANK, in_dim, RANK], -0.3, 0.3, &mut rng),
+                b: init::uniform(&[RANK, out_dim, RANK], -0.3, 0.3, &mut rng),
+                scaling: CFG.scaling(),
+                pinned_seed: None,
+            },
+        };
+        engine.register(id, adapter);
+    }
+    engine
+}
+
+fn bits_of(outs: &[metalora_tensor::Tensor]) -> Vec<Vec<u32>> {
+    outs.iter()
+        .map(|t| t.data().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+/// Runs the serve sweep and returns the report. `quick` shrinks the
+/// stream for CI smoke runs.
+pub fn run(quick: bool) -> ServeReport {
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let simd = ops::simd_level().name().to_string();
+    let (tenants, requests, in_dim, out_dim, max_rows) =
+        if quick { (12, 96, 8, 8, 2) } else { (24, 512, 32, 32, 4) };
+    let max_batch = 16;
+    // Capacity for half the cacheable tenants: the zipf tail must churn.
+    let cache_bytes = (tenants / 2) * in_dim * out_dim * 4;
+    let traffic_cfg = TrafficConfig {
+        tenants,
+        tasks: 4,
+        zipf_s: 1.1,
+        requests,
+        in_dim,
+        max_rows,
+        seed: 42,
+    };
+    println!(
+        "=== S1 — serving throughput (host_cpus={host_cpus}, simd={simd}, {} scale) ===\n",
+        if quick { "quick" } else { "standard" }
+    );
+    par::set_par_threshold(0);
+    metalora_obs::set_enabled(true);
+
+    let reqs: Vec<Request> = traffic::generate(&traffic_cfg);
+    let mut points = Vec::new();
+
+    for (mode, use_merged) in [("factored", false), ("merged", true)] {
+        // Reference: the same stream, one request at a time, t = 1.
+        par::set_num_threads(1);
+        let solo = build_engine(tenants, in_dim, out_dim, use_merged, 1, cache_bytes, 7);
+        let reference = bits_of(&solo.process(&reqs).expect("solo serve"));
+
+        for threads in [1usize, 2, 4] {
+            par::set_num_threads(threads);
+            let engine =
+                build_engine(tenants, in_dim, out_dim, use_merged, max_batch, cache_bytes, 7);
+            let t0 = Instant::now();
+            let outs = engine.process(&reqs).expect("batched serve");
+            let elapsed = t0.elapsed().as_secs_f64();
+            let (p50, p95, p99) = engine.latency_percentiles_us();
+            let stats = engine.cache().stats();
+            points.push(ServePoint {
+                mode: mode.to_string(),
+                threads,
+                requests: engine.request_count(),
+                batches: engine.batch_count(),
+                throughput_rps: reqs.len() as f64 / elapsed,
+                p50_us: p50,
+                p95_us: p95,
+                p99_us: p99,
+                cache_hits: stats.hits,
+                cache_misses: stats.misses,
+                cache_evictions: stats.evictions,
+                bitwise_ok: bits_of(&outs) == reference,
+            });
+        }
+    }
+    par::set_num_threads(0);
+    par::set_par_threshold(usize::MAX);
+
+    let headers: Vec<String> =
+        ["mode", "threads", "req/s", "p50 µs", "p95 µs", "p99 µs", "hits", "misses", "evict", "bitwise"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.mode.clone(),
+                p.threads.to_string(),
+                format!("{:.0}", p.throughput_rps),
+                format!("{:.1}", p.p50_us),
+                format!("{:.1}", p.p95_us),
+                format!("{:.1}", p.p99_us),
+                p.cache_hits.to_string(),
+                p.cache_misses.to_string(),
+                p.cache_evictions.to_string(),
+                p.bitwise_ok.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", metalora::report::render_table(&headers, &rows));
+
+    assert!(
+        points.iter().all(|p| p.bitwise_ok),
+        "batched serving diverged from the one-request-at-a-time reference"
+    );
+
+    ServeReport {
+        host_cpus,
+        simd_level: simd,
+        scale: if quick { "quick" } else { "standard" }.to_string(),
+        tenants,
+        zipf_s: traffic_cfg.zipf_s,
+        requests,
+        max_batch,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = ServeReport {
+            host_cpus: 4,
+            simd_level: "avx2".into(),
+            scale: "quick".into(),
+            tenants: 12,
+            zipf_s: 1.1,
+            requests: 96,
+            max_batch: 16,
+            points: vec![ServePoint {
+                mode: "merged".into(),
+                threads: 2,
+                requests: 96,
+                batches: 6,
+                throughput_rps: 1234.5,
+                p50_us: 10.0,
+                p95_us: 20.0,
+                p99_us: 30.0,
+                cache_hits: 80,
+                cache_misses: 16,
+                cache_evictions: 4,
+                bitwise_ok: true,
+            }],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: ServeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.points.len(), 1);
+        assert_eq!(back.points[0].mode, "merged");
+        assert_eq!(back.points[0].batches, 6);
+        assert!(back.points[0].bitwise_ok);
+        assert_eq!(back.max_batch, 16);
+    }
+
+    #[test]
+    fn quick_sweep_is_bitwise_and_covers_both_modes() {
+        let report = run(true);
+        assert_eq!(report.scale, "quick");
+        assert_eq!(report.points.len(), 6);
+        assert!(report.points.iter().all(|p| p.bitwise_ok));
+        assert!(report.points.iter().all(|p| p.requests == 96));
+        assert!(report.points.iter().all(|p| p.throughput_rps > 0.0));
+        // Merged mode must actually exercise the cache, with churn.
+        let merged: Vec<_> = report.points.iter().filter(|p| p.mode == "merged").collect();
+        assert!(merged.iter().all(|p| p.cache_hits > 0));
+        assert!(merged.iter().all(|p| p.cache_evictions > 0));
+        // Factored mode never touches it.
+        let factored: Vec<_> = report.points.iter().filter(|p| p.mode == "factored").collect();
+        assert!(factored.iter().all(|p| p.cache_hits == 0 && p.cache_misses == 0));
+        // Cache behaviour is deterministic for a fixed stream: every
+        // thread count sees identical hit/miss/eviction totals.
+        assert!(merged.windows(2).all(|w| {
+            (w[0].cache_hits, w[0].cache_misses, w[0].cache_evictions)
+                == (w[1].cache_hits, w[1].cache_misses, w[1].cache_evictions)
+        }));
+    }
+}

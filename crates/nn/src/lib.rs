@@ -13,8 +13,11 @@
 //! * [`optim`] — SGD(+momentum) and Adam with weight decay and LR
 //!   schedules.
 //! * [`train`] — minimal training-loop helpers (batching, accuracy).
+//! * [`infer`] — tape-free forward math on plain tensors, bitwise
+//!   identical to the graph forwards (the serving engine's substrate).
 
 pub mod checkpoint;
+pub mod infer;
 pub mod layers;
 pub mod models;
 pub mod module;

@@ -87,6 +87,14 @@ static WS_BYTES_REUSED: AtomicU64 = AtomicU64::new(0);
 static WS_POOLED_BYTES: AtomicI64 = AtomicI64::new(0);
 static PEAK_WS_POOLED_BYTES: AtomicI64 = AtomicI64::new(0);
 
+static SERVE_REQUESTS: AtomicU64 = AtomicU64::new(0);
+static SERVE_BATCHES: AtomicU64 = AtomicU64::new(0);
+static SERVE_SEED_ROWS: AtomicU64 = AtomicU64::new(0);
+static SERVE_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static SERVE_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static SERVE_CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+static SERVE_MERGES: AtomicU64 = AtomicU64::new(0);
+
 /// Records one invocation of `kernel` with its estimated flop count and
 /// the bytes it moved (inputs + outputs).
 #[inline]
@@ -191,6 +199,58 @@ pub fn record_workspace_pooled(delta_bytes: i64) {
     }
 }
 
+/// Records one served batch carrying `requests` requests.
+#[inline]
+pub fn record_serve_batch(requests: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    SERVE_BATCHES.fetch_add(1, Relaxed);
+    SERVE_REQUESTS.fetch_add(requests, Relaxed);
+}
+
+/// Records `rows` seed rows produced by one amortised mapping-net pass of
+/// the serving batcher (all dynamic-MetaLoRA rows of a batch share one
+/// forward; a per-request engine would record a pass per row).
+#[inline]
+pub fn record_serve_seed_rows(rows: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    SERVE_SEED_ROWS.fetch_add(rows, Relaxed);
+}
+
+/// Records one merged-weight cache lookup by outcome.
+#[inline]
+pub fn record_serve_cache(hit: bool) {
+    if !crate::enabled() {
+        return;
+    }
+    if hit {
+        SERVE_CACHE_HITS.fetch_add(1, Relaxed);
+    } else {
+        SERVE_CACHE_MISSES.fetch_add(1, Relaxed);
+    }
+}
+
+/// Records `n` merged weights evicted from the serving cache.
+#[inline]
+pub fn record_serve_evictions(n: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    SERVE_CACHE_EVICTIONS.fetch_add(n, Relaxed);
+}
+
+/// Records one `W + ΔW` merge computed for the serving cache.
+#[inline]
+pub fn record_serve_merge() {
+    if !crate::enabled() {
+        return;
+    }
+    SERVE_MERGES.fetch_add(1, Relaxed);
+}
+
 /// Records a tensor buffer allocation, ratcheting the peak-alive mark.
 #[inline]
 pub fn track_alloc(bytes: usize) {
@@ -267,6 +327,20 @@ pub struct CounterSnapshot {
     pub workspace_pooled_bytes: u64,
     /// High-water mark of bytes idling in the workspace pool.
     pub peak_workspace_pooled_bytes: u64,
+    /// Requests served by the serving engine.
+    pub serve_requests: u64,
+    /// Batches the serving engine executed.
+    pub serve_batches: u64,
+    /// Seed rows produced by amortised mapping-net passes.
+    pub serve_seed_rows: u64,
+    /// Merged-weight cache lookups that hit.
+    pub serve_cache_hits: u64,
+    /// Merged-weight cache lookups that missed.
+    pub serve_cache_misses: u64,
+    /// Merged weights evicted from the serving cache.
+    pub serve_cache_evictions: u64,
+    /// `W + ΔW` merges computed for the serving cache.
+    pub serve_merges: u64,
 }
 
 /// Snapshots every counter.
@@ -305,6 +379,13 @@ pub fn snapshot() -> CounterSnapshot {
         workspace_bytes_reused: WS_BYTES_REUSED.load(Relaxed),
         workspace_pooled_bytes: WS_POOLED_BYTES.load(Relaxed).max(0) as u64,
         peak_workspace_pooled_bytes: PEAK_WS_POOLED_BYTES.load(Relaxed).max(0) as u64,
+        serve_requests: SERVE_REQUESTS.load(Relaxed),
+        serve_batches: SERVE_BATCHES.load(Relaxed),
+        serve_seed_rows: SERVE_SEED_ROWS.load(Relaxed),
+        serve_cache_hits: SERVE_CACHE_HITS.load(Relaxed),
+        serve_cache_misses: SERVE_CACHE_MISSES.load(Relaxed),
+        serve_cache_evictions: SERVE_CACHE_EVICTIONS.load(Relaxed),
+        serve_merges: SERVE_MERGES.load(Relaxed),
     }
 }
 
@@ -332,6 +413,13 @@ pub fn reset() {
     WS_BYTES_REUSED.store(0, Relaxed);
     WS_POOLED_BYTES.store(0, Relaxed);
     PEAK_WS_POOLED_BYTES.store(0, Relaxed);
+    SERVE_REQUESTS.store(0, Relaxed);
+    SERVE_BATCHES.store(0, Relaxed);
+    SERVE_SEED_ROWS.store(0, Relaxed);
+    SERVE_CACHE_HITS.store(0, Relaxed);
+    SERVE_CACHE_MISSES.store(0, Relaxed);
+    SERVE_CACHE_EVICTIONS.store(0, Relaxed);
+    SERVE_MERGES.store(0, Relaxed);
 }
 
 #[cfg(test)]
@@ -439,6 +527,34 @@ mod tests {
         record_workspace_pooled(-1_000_000);
         assert_eq!(snapshot().workspace_pooled_bytes, 0);
         assert_eq!(snapshot().peak_workspace_pooled_bytes, 512);
+    }
+
+    #[test]
+    fn serve_counters_accumulate_and_respect_toggle() {
+        let _g = lock();
+        record_serve_batch(3);
+        record_serve_batch(1);
+        record_serve_seed_rows(5);
+        record_serve_cache(true);
+        record_serve_cache(false);
+        record_serve_cache(false);
+        record_serve_evictions(2);
+        record_serve_merge();
+        let snap = snapshot();
+        assert_eq!(snap.serve_batches, 2);
+        assert_eq!(snap.serve_requests, 4);
+        assert_eq!(snap.serve_seed_rows, 5);
+        assert_eq!(snap.serve_cache_hits, 1);
+        assert_eq!(snap.serve_cache_misses, 2);
+        assert_eq!(snap.serve_cache_evictions, 2);
+        assert_eq!(snap.serve_merges, 1);
+        crate::set_enabled(false);
+        record_serve_batch(9);
+        record_serve_cache(true);
+        record_serve_merge();
+        crate::set_enabled(true);
+        assert_eq!(snapshot().serve_requests, 4);
+        assert_eq!(snapshot().serve_merges, 1);
     }
 
     #[test]

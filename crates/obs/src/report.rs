@@ -5,11 +5,11 @@
 //! ([`RunReport::to_json`], [`RunReport::write`]) or rendered for humans
 //! ([`RunReport::summary_table`]).
 //!
-//! ## Schema (`schema_version` 4)
+//! ## Schema (`schema_version` 5)
 //!
 //! ```json
 //! {
-//!   "schema_version": 4,
+//!   "schema_version": 5,
 //!   "name": "table1",
 //!   "spans":   [ {"path": "pretrain", "count": 2, "total_ms": 813.4,
 //!                 "p50_ms": 400.1, "p95_ms": 413.0, "p99_ms": 413.0} ],
@@ -21,6 +21,9 @@
 //!   "memory":  {"peak_tensor_bytes": 8192, "tensor_bytes_alive": 0},
 //!   "workspace": {"hits": 12, "misses": 3, "bytes_reused": 4096,
 //!                 "pooled_bytes": 1024, "peak_pooled_bytes": 2048},
+//!   "serve":   {"requests": 64, "batches": 4, "seed_rows": 40,
+//!               "cache_hits": 50, "cache_misses": 14,
+//!               "cache_evictions": 6, "merges": 14},
 //!   "health":  [ {"phase": "adapt/MetaLoraCp", "group": "mapping", "step": 0,
 //!                 "grad_norm": 0.42, "update_ratio": 0.001,
 //!                 "weight_norm": 3.1, "nan_count": 0, "inf_count": 0} ],
@@ -34,7 +37,9 @@
 //! duration quantiles, the packed-vs-legacy matmul tally, the `health`
 //! record array and the `trace` buffer stats; 4 added the `tile_grid`
 //! scheduler tallies (C-tile claims overall and per worker slot, B-panel
-//! pack passes, out-of-sequence "steal" claims).
+//! pack passes, out-of-sequence "steal" claims); 5 added the `serve`
+//! object (serving-engine request/batch totals, amortised seed rows, and
+//! merged-weight cache hit/miss/eviction/merge counts).
 
 use crate::counters::{self, CounterSnapshot};
 use crate::health::{self, HealthRecord};
@@ -46,7 +51,7 @@ use std::path::{Path, PathBuf};
 
 /// Version stamp written into every run log (see the module docs for the
 /// version history).
-pub const SCHEMA_VERSION: u32 = 4;
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// A captured snapshot of everything the instrumentation recorded.
 #[derive(Debug, Clone)]
@@ -155,6 +160,18 @@ impl RunReport {
             self.counters.workspace_bytes_reused,
             self.counters.workspace_pooled_bytes,
             self.counters.peak_workspace_pooled_bytes
+        ));
+        s.push_str(&format!(
+            "  \"serve\": {{\"requests\": {}, \"batches\": {}, \"seed_rows\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, \
+             \"merges\": {}}},\n",
+            self.counters.serve_requests,
+            self.counters.serve_batches,
+            self.counters.serve_seed_rows,
+            self.counters.serve_cache_hits,
+            self.counters.serve_cache_misses,
+            self.counters.serve_cache_evictions,
+            self.counters.serve_merges
         ));
 
         s.push_str("  \"health\": [\n");
@@ -313,6 +330,26 @@ impl RunReport {
             ));
         }
 
+        if self.counters.serve_requests > 0 {
+            let lookups = self.counters.serve_cache_hits + self.counters.serve_cache_misses;
+            let hit_rate = if lookups > 0 {
+                100.0 * self.counters.serve_cache_hits as f64 / lookups as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "serve: {} requests in {} batches   seed rows: {}   \
+                 cache: {} hits / {} misses ({hit_rate:.1}%)   evictions: {}   merges: {}\n",
+                self.counters.serve_requests,
+                self.counters.serve_batches,
+                self.counters.serve_seed_rows,
+                self.counters.serve_cache_hits,
+                self.counters.serve_cache_misses,
+                self.counters.serve_cache_evictions,
+                self.counters.serve_merges
+            ));
+        }
+
         if !self.health.is_empty() {
             let nan: u64 = self.health.iter().map(|h| h.nan_count).sum();
             let inf: u64 = self.health.iter().map(|h| h.inf_count).sum();
@@ -421,6 +458,11 @@ mod tests {
         counters::record_tile_grid_worker(0, 3, 0);
         counters::record_tile_grid_worker(1, 2, 1);
         counters::track_alloc(4096);
+        counters::record_serve_batch(3);
+        counters::record_serve_seed_rows(2);
+        counters::record_serve_cache(true);
+        counters::record_serve_cache(false);
+        counters::record_serve_merge();
         health::record("mapping", 0, 0.42, 0.001, 3.1, 0, 0);
         metrics::record_epoch("pretrain", 1.25, 0.5, 0.75, 0.01);
     }
@@ -432,8 +474,13 @@ mod tests {
         let report = RunReport::capture("unit test");
         assert_eq!(report.file_name(), "RUNLOG_unit_test.json");
         let js = report.to_json();
-        assert!(js.contains("\"schema_version\": 4"));
+        assert!(js.contains("\"schema_version\": 5"));
         assert!(js.contains("\"workspace\": {\"hits\": "));
+        assert!(js.contains(
+            "\"serve\": {\"requests\": 3, \"batches\": 1, \"seed_rows\": 2, \
+             \"cache_hits\": 1, \"cache_misses\": 1, \"cache_evictions\": 0, \
+             \"merges\": 1}"
+        ));
         assert!(js.contains("\"path\": \"pretrain/epoch0\""));
         assert!(js.contains("\"p50_ms\": "));
         assert!(js.contains("\"p99_ms\": "));
@@ -507,6 +554,8 @@ mod tests {
         assert!(text.contains("matmul path: 1 packed / 0 legacy"));
         assert!(text.contains("tile grid: 5 claims / 1 B packs / 1 steals   per slot: [3, 2]"));
         assert!(text.contains("peak tensor bytes: 4096"));
+        assert!(text.contains("serve: 3 requests in 1 batches"));
+        assert!(text.contains("cache: 1 hits / 1 misses (50.0%)"));
         assert!(text.contains("health: 1 records over 1 groups   NaN: 0   Inf: 0"));
         assert!(text.contains("0.5000")); // accuracy column
     }

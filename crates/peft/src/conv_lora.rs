@@ -13,7 +13,7 @@ use crate::{LoraConfig, Result};
 use metalora_autograd::{Graph, ParamRef, Var};
 use metalora_nn::{BoxConv, ConvLike, Ctx, Module};
 use metalora_tensor::conv::ConvSpec;
-use metalora_tensor::{contract, init, ops, Tensor};
+use metalora_tensor::{init, Tensor};
 use rand::rngs::StdRng;
 
 /// A frozen convolution plus a trainable Conv-LoRA update.
@@ -54,8 +54,7 @@ impl ConvLora {
 
     /// Materialises `Δ𝒲 = (α/R)·(𝒜 ×₄ B) : [K, K, I, O]` (Eq. 5).
     pub fn delta_weight(&self) -> Result<Tensor> {
-        let d = contract::contract(&self.a.value(), &self.b.value(), &[3], &[0])?;
-        Ok(ops::scale(&d, self.cfg.scaling()))
+        crate::merge::conv_lora_delta(&self.a.value(), &self.b.value(), self.cfg.scaling())
     }
 
     /// The LoRA configuration.
@@ -117,7 +116,7 @@ impl ConvLike for ConvLora {
 mod tests {
     use super::*;
     use metalora_nn::Conv2d;
-    use metalora_tensor::{approx_eq, conv};
+    use metalora_tensor::{approx_eq, conv, contract, ops};
 
     fn setup(stride: usize) -> (ConvLora, StdRng) {
         let mut rng = init::rng(3);

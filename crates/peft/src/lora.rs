@@ -3,7 +3,7 @@
 use crate::{LoraConfig, Result};
 use metalora_autograd::{Graph, ParamRef, Var};
 use metalora_nn::{BoxLinear, Ctx, LinearLike, Module};
-use metalora_tensor::{init, ops, Tensor};
+use metalora_tensor::{init, Tensor};
 use rand::rngs::StdRng;
 
 /// A frozen dense layer plus a trainable rank-`R` update.
@@ -42,8 +42,7 @@ impl LoraLinear {
 
     /// Materialises the dense update `ΔW = (α/R)·A·B : [I, O]`.
     pub fn delta_weight(&self) -> Result<Tensor> {
-        let d = ops::matmul(&self.a.value(), &self.b.value())?;
-        Ok(ops::scale(&d, self.cfg.scaling()))
+        crate::merge::lora_delta(&self.a.value(), &self.b.value(), self.cfg.scaling())
     }
 
     /// The LoRA configuration.
@@ -87,6 +86,7 @@ impl LinearLike for LoraLinear {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use metalora_tensor::ops;
     use metalora_nn::Linear;
     use metalora_tensor::approx_eq;
 

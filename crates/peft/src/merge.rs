@@ -11,7 +11,7 @@
 use crate::meta::{MetaLoraCpLinear, MetaLoraTrLinear};
 use crate::{ConvLora, LoraLinear, Result};
 use metalora_autograd::ParamRef;
-use metalora_tensor::{ops, Tensor, TensorError};
+use metalora_tensor::{contract, einsum, ops, workspace, Tensor, TensorError};
 
 fn add_into(weight: &ParamRef, delta: &Tensor) -> Result<()> {
     if weight.dims() != delta.dims() {
@@ -27,6 +27,78 @@ fn add_into(weight: &ParamRef, delta: &Tensor) -> Result<()> {
         }
     });
     Ok(())
+}
+
+// ---- tensor-level delta/merge helpers ---------------------------------
+//
+// The adapter structs above this layer hold `ParamRef` cells, which are
+// `Rc`-based and cannot cross threads. The serving engine instead keeps
+// value snapshots and calls these free functions; the struct methods
+// (`LoraLinear::delta_weight` etc.) delegate here so both paths compute
+// the identical float sequence.
+
+/// `ΔW = scaling · A·B` for dense LoRA factors `a:[I,R]`, `b:[R,O]`.
+pub fn lora_delta(a: &Tensor, b: &Tensor, scaling: f32) -> Result<Tensor> {
+    let d = ops::matmul(a, b)?;
+    Ok(ops::scale(&d, scaling))
+}
+
+/// `Δ𝒲 = scaling · 𝒜 ×₃ B` for Conv-LoRA factors `a:[K,K,I,R]`,
+/// `b:[R,O]` (Eq. 5's recovery contraction over the rank axis).
+pub fn conv_lora_delta(a: &Tensor, b: &Tensor, scaling: f32) -> Result<Tensor> {
+    let d = contract::contract(a, b, &[3], &[0])?;
+    Ok(ops::scale(&d, scaling))
+}
+
+/// `ΔW(c)` for MetaLoRA-CP factors `a:[I,R]`, `b:[R,O]` and one fixed
+/// seed `c:[R]` — Eq. 6 verbatim: scale `A`'s rank columns by `c`, then
+/// recover with `B`.
+pub fn cp_delta(a: &Tensor, b: &Tensor, c: &Tensor, scaling: f32) -> Result<Tensor> {
+    let (i, r) = (a.dims()[0], a.dims()[1]);
+    if c.len() != r {
+        return Err(TensorError::InvalidArgument(format!(
+            "cp_delta: seed has {} elements, rank is {r}",
+            c.len()
+        )));
+    }
+    let mut ac = a.clone();
+    for row in 0..i {
+        for col in 0..r {
+            let v = ac.get(&[row, col])? * c.data()[col];
+            ac.set(&[row, col], v)?;
+        }
+    }
+    let d = ops::matmul(&ac, b)?;
+    Ok(ops::scale(&d, scaling))
+}
+
+/// `ΔW(C)` for MetaLoRA-TR cores `a:[R,I,R]`, `b:[R,O,R]` and one fixed
+/// seed matrix `C:[R,R]` (`C[r2, r0]`) — Eq. 7 verbatim.
+pub fn tr_delta(a: &Tensor, b: &Tensor, c: &Tensor, scaling: f32) -> Result<Tensor> {
+    let e = einsum::einsum("xiy,yoz,zx->io", &[a, b, c])?;
+    Ok(ops::scale(&e, scaling))
+}
+
+/// `W + ΔW` into a fresh tensor whose buffer is drawn from the workspace
+/// arena — the allocation pattern of the serving engine's merged-weight
+/// cache, where merged weights churn as tenants are evicted and
+/// re-merged. Element order is the same `w[i] + delta[i]` loop as the
+/// in-place [`merge_lora_linear`] fold, so repeated merges of the same
+/// operands are bitwise identical.
+pub fn merge_into(base: &Tensor, delta: &Tensor) -> Result<Tensor> {
+    if base.dims() != delta.dims() {
+        return Err(TensorError::ShapeMismatch {
+            op: "merge",
+            lhs: base.dims().to_vec(),
+            rhs: delta.dims().to_vec(),
+        });
+    }
+    let mut merged = workspace::zeroed_tensor(base.dims());
+    merged.data_mut().copy_from_slice(base.data());
+    for (m, &d) in merged.data_mut().iter_mut().zip(delta.data()) {
+        *m += d;
+    }
+    Ok(merged)
 }
 
 /// Folds a [`LoraLinear`]'s current delta into the given base weight cell

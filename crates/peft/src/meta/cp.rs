@@ -50,18 +50,7 @@ impl MetaLoraCpLinear {
     /// Materialises `ΔW` for one concrete seed `c : [R]` — Eq. 6 verbatim,
     /// used by tests and the Fig. 4 bench.
     pub fn delta_weight_for(&self, c: &Tensor) -> Result<Tensor> {
-        // Σ_r A[:,r]·c[r] ⊗ B[r,:] — scale A's columns then matmul.
-        let a = self.a.value();
-        let (i, r) = (a.dims()[0], a.dims()[1]);
-        let mut ac = a.clone();
-        for row in 0..i {
-            for col in 0..r {
-                let v = ac.get(&[row, col])? * c.data()[col];
-                ac.set(&[row, col], v)?;
-            }
-        }
-        let d = ops::matmul(&ac, &self.b.value())?;
-        Ok(ops::scale(&d, self.cfg.scaling()))
+        crate::merge::cp_delta(&self.a.value(), &self.b.value(), c, self.cfg.scaling())
     }
 
     /// The LoRA configuration.

@@ -61,11 +61,7 @@ impl MetaLoraTrLinear {
     /// Materialises `ΔW` for one concrete seed `C : [R, R]` (Eq. 7
     /// verbatim; `C[r2, r0]`), used by tests and the Fig. 4 bench.
     pub fn delta_weight_for(&self, c: &Tensor) -> Result<Tensor> {
-        let e = metalora_tensor::einsum::einsum(
-            "xiy,yoz,zx->io",
-            &[&self.a.value(), &self.b.value(), c],
-        )?;
-        Ok(ops::scale(&e, self.cfg.scaling()))
+        crate::merge::tr_delta(&self.a.value(), &self.b.value(), c, self.cfg.scaling())
     }
 
     /// The LoRA configuration.

@@ -76,6 +76,11 @@ impl MultiLoraLinear {
     pub fn adapter_params(&self) -> Vec<ParamRef> {
         self.a.iter().chain(&self.b).cloned().collect()
     }
+
+    /// The LoRA configuration shared by every slot.
+    pub fn config(&self) -> LoraConfig {
+        self.cfg
+    }
 }
 
 impl Module for MultiLoraLinear {

@@ -1,0 +1,510 @@
+//! The serving engine: store + cache + batcher + tape-free forwards.
+//!
+//! A [`ServeEngine`] owns value snapshots of one shared frozen base layer
+//! (dense, and optionally a conv base and a `peft::multi` slot bank) plus
+//! the two mapping nets, the tenant [`AdapterStore`] and the merged-weight
+//! [`MergedCache`]. Everything inside is `Send + Sync` — requests can be
+//! served from any number of threads through `&self`.
+//!
+//! Per batch, the engine amortises mapping-net seed generation: all
+//! dynamic MetaLoRA-CP rows are stacked into one `[ΣN, D]` forward (and
+//! likewise for TR), then split back per request — bitwise identical to
+//! per-request generation because matmul rows are independent.
+
+use crate::batch::{concat_rows, split_rows, Batcher, Request};
+use crate::cache::MergedCache;
+use crate::forward::{self, MappingSnapshot};
+use crate::store::{AdapterStore, TenantAdapter, TenantEntry, TenantId};
+use crate::Result;
+use metalora_obs::hist::LogHistogram;
+use metalora_peft::meta::MappingNet;
+use metalora_peft::{merge, MultiLoraLinear};
+use metalora_tensor::conv::ConvSpec;
+use metalora_tensor::{Tensor, TensorError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Engine knobs. `use_merged` selects the serving mode: `true` folds
+/// cacheable adapters into `W + ΔW` once (cached, approximate vs the
+/// factored math at ~1e-4 relative); `false` always runs the factored
+/// forward (bitwise-equal to training).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Requests per released batch (`METALORA_SERVE_BATCH`, default 16).
+    pub max_batch: usize,
+    /// Merged-weight cache capacity in bytes (`METALORA_SERVE_CACHE_MB`,
+    /// default 64 MiB).
+    pub cache_bytes: usize,
+    /// Serve cacheable tenants through merged weights.
+    pub use_merged: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_batch: 16,
+            cache_bytes: 64 * 1024 * 1024,
+            use_merged: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Reads `METALORA_SERVE_BATCH` and `METALORA_SERVE_CACHE_MB`.
+    pub fn from_env() -> Self {
+        let max_batch = std::env::var("METALORA_SERVE_BATCH")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(16);
+        let cache_mb = std::env::var("METALORA_SERVE_CACHE_MB")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(64);
+        EngineConfig {
+            max_batch,
+            cache_bytes: cache_mb * 1024 * 1024,
+            use_merged: true,
+        }
+    }
+}
+
+/// The multi-tenant serving engine.
+pub struct ServeEngine {
+    base_w: Tensor,
+    base_b: Option<Tensor>,
+    conv_w: Option<Tensor>,
+    conv_b: Option<Tensor>,
+    conv_spec: Option<ConvSpec>,
+    bank_a: Vec<Tensor>,
+    bank_b: Vec<Tensor>,
+    bank_scaling: f32,
+    mapping_cp: Option<MappingSnapshot>,
+    mapping_tr: Option<MappingSnapshot>,
+    store: AdapterStore,
+    cache: MergedCache,
+    cfg: EngineConfig,
+    hist: Mutex<LogHistogram>,
+    requests: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl ServeEngine {
+    /// An engine over one shared frozen dense base `w:[I,O]` (+ `bias:[O]`).
+    pub fn new(base_w: Tensor, base_b: Option<Tensor>, cfg: EngineConfig) -> Self {
+        let cache = MergedCache::new(cfg.cache_bytes);
+        ServeEngine {
+            base_w,
+            base_b,
+            conv_w: None,
+            conv_b: None,
+            conv_spec: None,
+            bank_a: Vec::new(),
+            bank_b: Vec::new(),
+            bank_scaling: 1.0,
+            mapping_cp: None,
+            mapping_tr: None,
+            store: AdapterStore::new(),
+            cache,
+            cfg,
+            hist: Mutex::new(LogHistogram::new()),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds a shared frozen conv base for `ConvLora` tenants.
+    pub fn with_conv_base(mut self, w: Tensor, bias: Option<Tensor>, spec: ConvSpec) -> Self {
+        self.conv_w = Some(w);
+        self.conv_b = bias;
+        self.conv_spec = Some(spec);
+        self
+    }
+
+    /// Snapshots a trained `peft::multi` bank for `MultiSlot` tenants.
+    pub fn with_bank(mut self, bank: &MultiLoraLinear) -> Self {
+        self.bank_a = bank.a.iter().map(|p| p.value()).collect();
+        self.bank_b = bank.b.iter().map(|p| p.value()).collect();
+        self.bank_scaling = bank.config().scaling();
+        self
+    }
+
+    /// Snapshots the CP mapping net for dynamic `MetaCp` tenants.
+    pub fn with_mapping_cp(mut self, net: &MappingNet) -> Self {
+        self.mapping_cp = Some(MappingSnapshot::from_net(net));
+        self
+    }
+
+    /// Snapshots the TR mapping net for dynamic `MetaTr` tenants.
+    pub fn with_mapping_tr(mut self, net: &MappingNet) -> Self {
+        self.mapping_tr = Some(MappingSnapshot::from_net(net));
+        self
+    }
+
+    /// Registers (or replaces) a tenant; returns its version stamp.
+    pub fn register(&self, id: TenantId, adapter: TenantAdapter) -> u64 {
+        self.store.insert(id, adapter)
+    }
+
+    /// Deregisters a tenant and purges its merged weights.
+    pub fn deregister(&self, id: TenantId) -> bool {
+        let existed = self.store.remove(id);
+        self.cache.purge_tenant(id);
+        existed
+    }
+
+    /// The tenant registry.
+    pub fn store(&self) -> &AdapterStore {
+        &self.store
+    }
+
+    /// The merged-weight cache.
+    pub fn cache(&self) -> &MergedCache {
+        &self.cache
+    }
+
+    /// The engine knobs.
+    pub fn config(&self) -> EngineConfig {
+        self.cfg
+    }
+
+    /// Requests served so far.
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Relaxed)
+    }
+
+    /// Batches executed so far.
+    pub fn batch_count(&self) -> u64 {
+        self.batches.load(Relaxed)
+    }
+
+    /// Per-request forward latency `(p50, p95, p99)` in microseconds.
+    pub fn latency_percentiles_us(&self) -> (f64, f64, f64) {
+        let h = self.hist.lock().unwrap_or_else(|e| e.into_inner());
+        let (p50, p95, p99) = h.percentiles();
+        (p50 as f64 / 1e3, p95 as f64 / 1e3, p99 as f64 / 1e3)
+    }
+
+    /// Serves one request (a one-element batch).
+    pub fn serve_one(&self, req: &Request) -> Result<Tensor> {
+        let mut out = self.serve_batch(std::slice::from_ref(req))?;
+        Ok(out.remove(0))
+    }
+
+    /// Serves a whole stream, chunked into `max_batch`-sized batches;
+    /// outputs are in request order.
+    pub fn process(&self, reqs: &[Request]) -> Result<Vec<Tensor>> {
+        let mut out = Vec::with_capacity(reqs.len());
+        let mut batcher = Batcher::new(self.cfg.max_batch);
+        for r in reqs {
+            if let Some(batch) = batcher.push(r.clone()) {
+                out.extend(self.serve_batch(&batch)?);
+            }
+        }
+        let tail = batcher.flush();
+        if !tail.is_empty() {
+            out.extend(self.serve_batch(&tail)?);
+        }
+        Ok(out)
+    }
+
+    /// Serves one batch: resolves tenants, amortises dynamic seed
+    /// generation across the batch, then runs each request's tape-free
+    /// forward. Outputs are in request order.
+    pub fn serve_batch(&self, reqs: &[Request]) -> Result<Vec<Tensor>> {
+        let _sp = metalora_obs::span!("serve/batch");
+        let entries: Vec<Arc<TenantEntry>> = reqs
+            .iter()
+            .map(|r| self.store.get_required(r.tenant))
+            .collect::<Result<_>>()?;
+
+        let seeds = self.generate_batch_seeds(reqs, &entries)?;
+
+        let mut out = Vec::with_capacity(reqs.len());
+        for (i, (req, entry)) in reqs.iter().zip(&entries).enumerate() {
+            let start = Instant::now();
+            let y = self.forward_one(entry, &req.x, seeds.get(&i))?;
+            let ns = start.elapsed().as_nanos() as u64;
+            self.hist.lock().unwrap_or_else(|e| e.into_inner()).record(ns);
+            out.push(y);
+        }
+        self.requests.fetch_add(reqs.len() as u64, Relaxed);
+        self.batches.fetch_add(1, Relaxed);
+        metalora_obs::counters::record_serve_batch(reqs.len() as u64);
+        Ok(out)
+    }
+
+    /// One mapping-net forward per format for all dynamic rows of the
+    /// batch, split back into per-request seed blocks keyed by request
+    /// index.
+    fn generate_batch_seeds(
+        &self,
+        reqs: &[Request],
+        entries: &[Arc<TenantEntry>],
+    ) -> Result<HashMap<usize, Tensor>> {
+        let mut seeds = HashMap::new();
+        for (format, mapping) in [("cp", &self.mapping_cp), ("tr", &self.mapping_tr)] {
+            let dynamic: Vec<usize> = entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| match (&e.adapter, format) {
+                    (TenantAdapter::MetaCp { pinned_seed, .. }, "cp")
+                    | (TenantAdapter::MetaTr { pinned_seed, .. }, "tr") => pinned_seed.is_none(),
+                    _ => false,
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if dynamic.is_empty() {
+                continue;
+            }
+            let Some(mapping) = mapping else {
+                return Err(TensorError::InvalidArgument(format!(
+                    "serve: dynamic meta_{format} tenant but no {format} mapping net registered"
+                )));
+            };
+            let _sp = metalora_obs::span!("serve/seed");
+            let parts: Vec<&Tensor> = dynamic.iter().map(|&i| &reqs[i].x).collect();
+            let counts: Vec<usize> = parts.iter().map(|t| t.dims()[0]).collect();
+            let stacked = concat_rows(&parts)?;
+            let generated = mapping.generate(&stacked)?;
+            metalora_obs::counters::record_serve_seed_rows(generated.dims()[0] as u64);
+            for (i, seed) in dynamic.into_iter().zip(split_rows(&generated, &counts)?) {
+                seeds.insert(i, seed);
+            }
+        }
+        Ok(seeds)
+    }
+
+    /// One request's tape-free forward, choosing the merged-cached or
+    /// factored path.
+    fn forward_one(
+        &self,
+        entry: &TenantEntry,
+        x: &Tensor,
+        seed: Option<&Tensor>,
+    ) -> Result<Tensor> {
+        let key = (entry.id, entry.version);
+        let merged_mode = self.cfg.use_merged && entry.adapter.cacheable();
+        match &entry.adapter {
+            TenantAdapter::Lora { a, b, scaling } => {
+                if merged_mode {
+                    let w = self
+                        .cache
+                        .get_or_insert(key, || merge::merge_into(&self.base_w, &merge::lora_delta(a, b, *scaling)?))?;
+                    forward::merged_linear(x, &w, self.base_b.as_ref())
+                } else {
+                    forward::lora_linear(x, &self.base_w, self.base_b.as_ref(), a, b, *scaling)
+                }
+            }
+            TenantAdapter::ConvLora { a, b, scaling } => {
+                let (w, spec) = self.conv_base()?;
+                if merged_mode {
+                    let m = self
+                        .cache
+                        .get_or_insert(key, || merge::merge_into(w, &merge::conv_lora_delta(a, b, *scaling)?))?;
+                    forward::merged_conv(x, &m, self.conv_b.as_ref(), spec)
+                } else {
+                    forward::conv_lora(x, w, self.conv_b.as_ref(), spec, a, b, *scaling)
+                }
+            }
+            TenantAdapter::MetaCp {
+                a,
+                b,
+                scaling,
+                pinned_seed,
+            } => match pinned_seed {
+                Some(c) if merged_mode => {
+                    let w = self
+                        .cache
+                        .get_or_insert(key, || merge::merge_into(&self.base_w, &merge::cp_delta(a, b, c, *scaling)?))?;
+                    forward::merged_linear(x, &w, self.base_b.as_ref())
+                }
+                Some(c) => {
+                    let rows = forward::tile_seed(c, x.dims()[0])?;
+                    forward::meta_cp_linear(x, &self.base_w, self.base_b.as_ref(), a, b, &rows, *scaling)
+                }
+                None => {
+                    let seed = seed.ok_or_else(|| {
+                        TensorError::InvalidArgument("serve: missing generated CP seed".into())
+                    })?;
+                    forward::meta_cp_linear(x, &self.base_w, self.base_b.as_ref(), a, b, seed, *scaling)
+                }
+            },
+            TenantAdapter::MetaTr {
+                a,
+                b,
+                scaling,
+                pinned_seed,
+            } => match pinned_seed {
+                Some(c) if merged_mode => {
+                    let w = self
+                        .cache
+                        .get_or_insert(key, || merge::merge_into(&self.base_w, &merge::tr_delta(a, b, c, *scaling)?))?;
+                    forward::merged_linear(x, &w, self.base_b.as_ref())
+                }
+                Some(c) => {
+                    let rows = forward::tile_seed(c, x.dims()[0])?;
+                    forward::meta_tr_linear(x, &self.base_w, self.base_b.as_ref(), a, b, &rows, *scaling)
+                }
+                None => {
+                    let seed = seed.ok_or_else(|| {
+                        TensorError::InvalidArgument("serve: missing generated TR seed".into())
+                    })?;
+                    forward::meta_tr_linear(x, &self.base_w, self.base_b.as_ref(), a, b, seed, *scaling)
+                }
+            },
+            TenantAdapter::MultiSlot { slot } => {
+                if *slot >= self.bank_a.len() {
+                    return Err(TensorError::IndexOutOfRange {
+                        index: *slot,
+                        len: self.bank_a.len(),
+                    });
+                }
+                let (a, b) = (&self.bank_a[*slot], &self.bank_b[*slot]);
+                if merged_mode {
+                    let w = self.cache.get_or_insert(key, || {
+                        merge::merge_into(&self.base_w, &merge::lora_delta(a, b, self.bank_scaling)?)
+                    })?;
+                    forward::merged_linear(x, &w, self.base_b.as_ref())
+                } else {
+                    forward::lora_linear(x, &self.base_w, self.base_b.as_ref(), a, b, self.bank_scaling)
+                }
+            }
+        }
+    }
+
+    fn conv_base(&self) -> Result<(&Tensor, ConvSpec)> {
+        match (&self.conv_w, self.conv_spec) {
+            (Some(w), Some(spec)) => Ok((w, spec)),
+            _ => Err(TensorError::InvalidArgument(
+                "serve: conv_lora tenant but no conv base registered".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metalora_tensor::init;
+
+    fn engine(use_merged: bool) -> ServeEngine {
+        let mut rng = init::rng(21);
+        let w = init::uniform(&[4, 3], -1.0, 1.0, &mut rng);
+        let b = init::uniform(&[3], -0.5, 0.5, &mut rng);
+        let cfg = EngineConfig {
+            max_batch: 4,
+            cache_bytes: 1 << 20,
+            use_merged,
+        };
+        ServeEngine::new(w, Some(b), cfg)
+    }
+
+    fn lora_tenant(rng: &mut rand::rngs::StdRng) -> TenantAdapter {
+        TenantAdapter::Lora {
+            a: init::uniform(&[4, 2], -1.0, 1.0, rng),
+            b: init::uniform(&[2, 3], -1.0, 1.0, rng),
+            scaling: 1.5,
+        }
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeEngine>();
+    }
+
+    #[test]
+    fn unknown_tenant_is_an_error() {
+        let e = engine(true);
+        let req = Request::new(404, Tensor::zeros(&[1, 4]));
+        assert!(e.serve_one(&req).is_err());
+    }
+
+    #[test]
+    fn merged_and_factored_agree_approximately() {
+        let mut rng = init::rng(22);
+        let em = engine(true);
+        let ef = engine(false);
+        let t = lora_tenant(&mut rng);
+        em.register(1, t.clone());
+        ef.register(1, t);
+        let req = Request::new(1, init::uniform(&[2, 4], -1.0, 1.0, &mut rng));
+        let ym = em.serve_one(&req).unwrap();
+        let yf = ef.serve_one(&req).unwrap();
+        assert!(metalora_tensor::approx_eq(&ym, &yf, 1e-4));
+        assert_eq!(em.cache().stats().misses, 1);
+        // Second request hits the cache.
+        em.serve_one(&req).unwrap();
+        assert_eq!(em.cache().stats().hits, 1);
+        assert_eq!(em.request_count(), 2);
+        assert_eq!(em.batch_count(), 2);
+    }
+
+    #[test]
+    fn reregistration_bumps_version_and_remerges() {
+        let mut rng = init::rng(23);
+        let e = engine(true);
+        e.register(5, lora_tenant(&mut rng));
+        let req = Request::new(5, init::uniform(&[1, 4], -1.0, 1.0, &mut rng));
+        let y1 = e.serve_one(&req).unwrap();
+        // New factors → same tenant id must serve the *new* function.
+        e.register(5, lora_tenant(&mut rng));
+        let y2 = e.serve_one(&req).unwrap();
+        assert!(!metalora_tensor::approx_eq(&y1, &y2, 1e-5));
+        assert_eq!(e.cache().stats().misses, 2);
+        assert!(e.deregister(5));
+        assert!(e.cache().lru_keys().is_empty() || !e.cache().contains((5, 1)));
+    }
+
+    #[test]
+    fn bank_slot_bounds_checked() {
+        let e = engine(false);
+        e.register(9, TenantAdapter::MultiSlot { slot: 3 });
+        let req = Request::new(9, Tensor::zeros(&[1, 4]));
+        assert!(matches!(
+            e.serve_one(&req),
+            Err(TensorError::IndexOutOfRange { index: 3, len: 0 })
+        ));
+    }
+
+    #[test]
+    fn dynamic_meta_without_mapping_net_errors() {
+        let mut rng = init::rng(24);
+        let e = engine(false);
+        e.register(
+            2,
+            TenantAdapter::MetaCp {
+                a: init::uniform(&[4, 2], -1.0, 1.0, &mut rng),
+                b: init::uniform(&[2, 3], -1.0, 1.0, &mut rng),
+                scaling: 1.0,
+                pinned_seed: None,
+            },
+        );
+        let req = Request::new(2, Tensor::zeros(&[1, 4]));
+        assert!(e.serve_one(&req).is_err());
+    }
+
+    #[test]
+    fn process_chunks_and_preserves_order() {
+        let mut rng = init::rng(25);
+        let e = engine(false);
+        e.register(1, lora_tenant(&mut rng));
+        let reqs: Vec<Request> = (0..7)
+            .map(|_| Request::new(1, init::uniform(&[1, 4], -1.0, 1.0, &mut rng)))
+            .collect();
+        let outs = e.process(&reqs).unwrap();
+        assert_eq!(outs.len(), 7);
+        // max_batch = 4 → batches of 4 and 3.
+        assert_eq!(e.batch_count(), 2);
+        for (req, out) in reqs.iter().zip(&outs) {
+            let solo = e.serve_one(req).unwrap();
+            assert_eq!(
+                solo.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                out.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Tape-free adapter forwards.
+//!
+//! Each function mirrors the exact `ops::` call sequence of the matching
+//! training-mode `Module::forward` (whose graph ops are thin wrappers over
+//! the same `ops::` functions), so serve outputs are **bitwise identical**
+//! to a tape forward on the same values — `tests/forward_equiv.rs` gates
+//! this for every adapter method at `METALORA_THREADS ∈ {1, 2, 4}`.
+
+use crate::Result;
+use metalora_nn::infer;
+use metalora_peft::meta::MappingNet;
+use metalora_tensor::conv::ConvSpec;
+use metalora_tensor::{ops, Tensor, TensorError};
+
+/// Plain LoRA: `y = x·W + b + scaling·(x·A)·B` — the twin of
+/// `LoraLinear::forward` (and of one `MultiLoraLinear` slot, which runs
+/// the identical sequence with that slot's factors).
+pub fn lora_linear(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    a: &Tensor,
+    b: &Tensor,
+    scaling: f32,
+) -> Result<Tensor> {
+    let y = infer::linear(x, w, bias)?;
+    let xa = ops::matmul(x, a)?;
+    let delta = ops::matmul(&xa, b)?;
+    let delta = ops::scale(&delta, scaling);
+    ops::add(&y, &delta)
+}
+
+/// MetaLoRA-CP: `y = base + scaling·((x·A) ⊙ c)·B` with a per-row seed
+/// `c:[N,R]` — the twin of `MetaLoraCpLinear::forward` after its
+/// (identity, when `rows == N`) seed expansion.
+pub fn meta_cp_linear(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    a: &Tensor,
+    b: &Tensor,
+    seed: &Tensor,
+    scaling: f32,
+) -> Result<Tensor> {
+    let n = x.dims()[0];
+    let r = a.dims()[1];
+    if seed.dims() != [n, r] {
+        return Err(TensorError::InvalidArgument(format!(
+            "meta_cp_linear: seed shape {:?}, expected [{n}, {r}]",
+            seed.dims()
+        )));
+    }
+    let y = infer::linear(x, w, bias)?;
+    let xa = ops::matmul(x, a)?;
+    let gated = ops::mul(&xa, seed)?;
+    let delta = ops::matmul(&gated, b)?;
+    let delta = ops::scale(&delta, scaling);
+    ops::add(&y, &delta)
+}
+
+/// MetaLoRA-TR: the Eq. 7 contraction chain with cores `a:[R,I,R]`,
+/// `b:[R,O,R]` and per-row seeds `[N,R·R]` (r2-major) — the twin of
+/// `MetaLoraTrLinear::delta` plus the base add.
+pub fn meta_tr_linear(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    a: &Tensor,
+    b: &Tensor,
+    seed: &Tensor,
+    scaling: f32,
+) -> Result<Tensor> {
+    let n = x.dims()[0];
+    let r = b.dims()[0];
+    let (i, o) = (a.dims()[1], b.dims()[1]);
+    if seed.dims() != [n, r * r] {
+        return Err(TensorError::InvalidArgument(format!(
+            "meta_tr_linear: seed shape {:?}, expected [{n}, {}]",
+            seed.dims(),
+            r * r
+        )));
+    }
+    let y = infer::linear(x, w, bias)?;
+    // t₁ = x·𝒜 : 𝒜 [r0, I, r1] → [I, r0·r1].
+    let a_mat = ops::permute(a, &[1, 0, 2])?;
+    let a_mat = a_mat.reshaped(&[i, r * r])?;
+    let t1 = ops::matmul(x, &a_mat)?; // [N, r0·r1]
+    // t₂ = t₁·ℬ : ℬ [r1, O, r2] → [r1, O·r2].
+    let t1 = t1.reshaped(&[n * r, r])?;
+    let b_mat = b.reshaped(&[r, o * r])?;
+    let t2 = ops::matmul(&t1, &b_mat)?; // [N·r0, O·r2]
+    // → [N, O, r2·r0] with r2-major tail to match the seed layout.
+    let t2 = t2.reshaped(&[n, r, o, r])?; // [N, r0, O, r2]
+    let t2 = ops::permute(&t2, &[0, 2, 3, 1])?; // [N, O, r2, r0]
+    let t2 = t2.reshaped(&[n, o, r * r])?;
+    let c = seed.reshaped(&[n, 1, r * r])?;
+    let prod = ops::mul(&t2, &c)?;
+    let dy = ops::sum_axis(&prod, 2)?; // [N, O]
+    let dy = ops::scale(&dy, scaling);
+    ops::add(&y, &dy)
+}
+
+/// Conv-LoRA: base conv plus the small-conv → 1×1-recovery delta — the
+/// twin of `ConvLora::forward`.
+pub fn conv_lora(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+    a: &Tensor,
+    b: &Tensor,
+    scaling: f32,
+) -> Result<Tensor> {
+    let y = infer::conv2d(x, w, bias, spec)?;
+    let u = metalora_tensor::conv::conv2d(x, a, spec, spec)?;
+    let (r, o) = (b.dims()[0], b.dims()[1]);
+    let b4 = b.reshaped(&[1, 1, r, o])?;
+    let one = ConvSpec::new(1, 1, 0)?;
+    let delta = metalora_tensor::conv::conv2d(&u, &b4, one, one)?;
+    let delta = ops::scale(&delta, scaling);
+    ops::add(&y, &delta)
+}
+
+/// Dense forward through an already-merged weight `W + ΔW`.
+pub fn merged_linear(x: &Tensor, w_merged: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
+    infer::linear(x, w_merged, bias)
+}
+
+/// Conv forward through an already-merged kernel `𝒲 + Δ𝒲`.
+pub fn merged_conv(
+    x: &Tensor,
+    w_merged: &Tensor,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+) -> Result<Tensor> {
+    infer::conv2d(x, w_merged, bias, spec)
+}
+
+/// Value snapshot of a [`MappingNet`] — the four MLP tensors, detached
+/// from their `Rc`-based parameter cells so the engine can generate seeds
+/// from any thread.
+#[derive(Clone, Debug)]
+pub struct MappingSnapshot {
+    w1: Tensor,
+    b1: Tensor,
+    w2: Tensor,
+    b2: Tensor,
+}
+
+impl MappingSnapshot {
+    /// Snapshots the net's current weights.
+    pub fn from_net(net: &MappingNet) -> Self {
+        let (w1, b1, w2, b2) = net.export_weights();
+        MappingSnapshot { w1, b1, w2, b2 }
+    }
+
+    /// Seed width produced per row.
+    pub fn out_dim(&self) -> usize {
+        self.w2.dims()[1]
+    }
+
+    /// Feature width consumed per row.
+    pub fn in_dim(&self) -> usize {
+        self.w1.dims()[0]
+    }
+
+    /// `[N, in] → [N, out]`: linear → GELU → linear → tanh, the bitwise
+    /// twin of [`MappingNet::generate`] (and of `generate_infer`, same
+    /// math on the snapshot values). Rows are independent, so a stacked
+    /// batch yields each row's seed bitwise unchanged — the amortisation
+    /// the batcher relies on.
+    pub fn generate(&self, features: &Tensor) -> Result<Tensor> {
+        let h = infer::linear(features, &self.w1, Some(&self.b1))?;
+        let h = infer::gelu(&h);
+        let s = infer::linear(&h, &self.w2, Some(&self.b2))?;
+        Ok(infer::tanh(&s))
+    }
+}
+
+/// Repeats a pinned seed (flattened to `d` values) into `[n, d]` rows —
+/// how a frozen-task tenant's seed aligns with a multi-row request in the
+/// factored path.
+pub fn tile_seed(seed: &Tensor, n: usize) -> Result<Tensor> {
+    let d = seed.len();
+    let mut data = Vec::with_capacity(n * d);
+    for _ in 0..n {
+        data.extend_from_slice(seed.data());
+    }
+    Tensor::from_vec(data, &[n, d])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metalora_tensor::init;
+
+    #[test]
+    fn tile_seed_repeats_rows() {
+        let c = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let t = tile_seed(&c, 3).unwrap();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.data(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn seed_shapes_are_validated() {
+        let mut rng = init::rng(3);
+        let x = init::uniform(&[2, 4], -1.0, 1.0, &mut rng);
+        let w = init::uniform(&[4, 3], -1.0, 1.0, &mut rng);
+        let a = init::uniform(&[4, 2], -1.0, 1.0, &mut rng);
+        let b = init::uniform(&[2, 3], -1.0, 1.0, &mut rng);
+        let bad = Tensor::zeros(&[2, 3]);
+        assert!(meta_cp_linear(&x, &w, None, &a, &b, &bad, 1.0).is_err());
+        let a3 = init::uniform(&[2, 4, 2], -1.0, 1.0, &mut rng);
+        let b3 = init::uniform(&[2, 3, 2], -1.0, 1.0, &mut rng);
+        assert!(meta_tr_linear(&x, &w, None, &a3, &b3, &bad, 1.0).is_err());
+    }
+
+    #[test]
+    fn batched_mapping_rows_equal_single_rows_bitwise() {
+        let mut rng = init::rng(4);
+        let net = MappingNet::new("m", 6, 8, 3, &mut rng);
+        let snap = MappingSnapshot::from_net(&net);
+        assert_eq!(snap.in_dim(), 6);
+        assert_eq!(snap.out_dim(), 3);
+        let f = init::uniform(&[5, 6], -2.0, 2.0, &mut rng);
+        let batched = snap.generate(&f).unwrap();
+        for row in 0..5 {
+            let one = Tensor::from_vec(f.data()[row * 6..(row + 1) * 6].to_vec(), &[1, 6]).unwrap();
+            let s = snap.generate(&one).unwrap();
+            let got: Vec<u32> = batched.data()[row * 3..(row + 1) * 3]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let want: Vec<u32> = s.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "row {row}");
+        }
+    }
+}
