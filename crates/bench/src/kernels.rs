@@ -9,7 +9,7 @@ use metalora::pipeline::{adapt, pretrain};
 use metalora::report::render_table;
 use metalora_data::knn::{Distance, KnnClassifier};
 use metalora_tensor::conv::{conv2d, ConvSpec};
-use metalora_tensor::{init, ops, par, workspace, Tensor};
+use metalora_tensor::{init, ops, par, workspace, Bf16Buf, Tensor};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -30,6 +30,36 @@ pub struct KernelPoint {
     pub speedup_vs_1: f64,
     /// Output identical to the legacy single-thread run, bit for bit.
     pub bitwise_equal_to_serial: bool,
+}
+
+/// One bf16-GEMM measurement against its f32 twin at the same shape and
+/// thread count. Storage is bf16 end to end (A, B, and the stored C),
+/// accumulation is f32, so `bytes_moved` is a *deterministic* function of
+/// the shape — 2 bytes/element vs 4 — and the regress gate holds the
+/// ratio to the report's `bf16_bytes_ceiling`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bf16KernelPoint {
+    /// Kernel label with its problem size (`"bf16 matmul 384x384x384"`).
+    pub kernel: String,
+    /// Worker count the point ran with.
+    pub threads: usize,
+    /// Best-of-reps wall time.
+    pub best_ms: f64,
+    /// Throughput at `best_ms`.
+    pub gflops: f64,
+    /// Matched f32 packed point's `best_ms` (same shape, same threads).
+    pub f32_best_ms: f64,
+    /// `f32_best_ms / best_ms` — how the halved streaming pays off.
+    pub speedup_vs_f32: f64,
+    /// Bytes the bf16 GEMM moves for one call (obs counter delta).
+    pub bytes_moved: u64,
+    /// Bytes the f32 GEMM moves for the same call.
+    pub f32_bytes_moved: u64,
+    /// `bytes_moved / f32_bytes_moved` — gated at `bf16_bytes_ceiling`.
+    pub bytes_ratio: f64,
+    /// Output bitwise-equal to the f32 GEMM of the widened operands,
+    /// rounded once — the mixed-precision contract, at every thread count.
+    pub matches_widened_f32: bool,
 }
 
 /// Workspace-arena counters for one phase.
@@ -105,6 +135,13 @@ pub struct KernelReport {
     pub scale: String,
     pub simd_level: String,
     pub points: Vec<KernelPoint>,
+    /// Regress-gate ceiling for `bytes_ratio` of the bf16 GEMM points
+    /// (0 disables the gate — pre-bf16 baselines deserialise to that).
+    #[serde(default)]
+    pub bf16_bytes_ceiling: f64,
+    /// bf16 GEMM points (absent in pre-bf16 baselines).
+    #[serde(default)]
+    pub bf16_points: Vec<Bf16KernelPoint>,
     pub sweep_counters: Vec<CounterTotals>,
     pub sweep_dispatch: DispatchTotals,
     pub sweep_arena: ArenaStats,
@@ -129,6 +166,17 @@ fn bitwise_eq(a: &Tensor, b: &Tensor) -> bool {
             .iter()
             .zip(b.data())
             .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Cumulative `bytes_moved` of the matmul kernel counter — deltas around
+/// single calls give the per-call traffic of each precision.
+fn matmul_bytes_moved() -> u64 {
+    metalora_obs::counters::snapshot()
+        .kernels
+        .iter()
+        .find(|k| k.kernel == "matmul")
+        .map(|k| k.bytes_moved)
+        .unwrap_or(0)
 }
 
 /// Sweeps one kernel over thread counts for both the legacy and the packed
@@ -250,6 +298,55 @@ pub fn run(quick: bool) -> KernelReport {
         },
     );
 
+    // bf16 GEMM at the matmul shape, packed path (the production path).
+    // Reference is the mixed-precision contract itself: f32 GEMM of the
+    // widened operands, rounded to bf16 once — every thread count must
+    // reproduce it bit for bit. Byte traffic is counted once per
+    // precision (it does not depend on the thread count).
+    let mm_name = format!("matmul {mm_dim}x{mm_dim}x{mm_dim}");
+    let a16 = Bf16Buf::from_tensor(&a);
+    let b16 = Bf16Buf::from_tensor(&b);
+    ops::set_packing_enabled(true);
+    par::set_num_threads(1);
+    let widened_ref =
+        Bf16Buf::from_tensor(&ops::matmul(&a16.widen(), &b16.widen()).unwrap());
+    let before = matmul_bytes_moved();
+    let _ = ops::matmul_bf16(&a16, &b16).unwrap();
+    let mid = matmul_bytes_moved();
+    let _ = ops::matmul(&a, &b).unwrap();
+    let after = matmul_bytes_moved();
+    let (bf16_bytes, f32_bytes) = (mid - before, after - mid);
+    let mut bf16_points = Vec::new();
+    for &t in &threads {
+        par::set_num_threads(t);
+        let mut best = f64::INFINITY;
+        let mut out = ops::matmul_bf16(&a16, &b16).unwrap();
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            out = ops::matmul_bf16(&a16, &b16).unwrap();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let f32_best = points
+            .iter()
+            .find(|p| p.kernel == mm_name && p.path == "packed" && p.threads == t)
+            .map(|p| p.best_ms)
+            .unwrap_or(f64::NAN);
+        bf16_points.push(Bf16KernelPoint {
+            kernel: format!("bf16 {mm_name}"),
+            threads: t,
+            best_ms: best,
+            gflops: mm_flops / (best * 1e6),
+            f32_best_ms: f32_best,
+            speedup_vs_f32: f32_best / best,
+            bytes_moved: bf16_bytes,
+            f32_bytes_moved: f32_bytes,
+            bytes_ratio: bf16_bytes as f64 / f32_bytes as f64,
+            matches_widened_f32: out.dims() == widened_ref.dims()
+                && out.data() == widened_ref.data(),
+        });
+    }
+    par::set_num_threads(0);
+
     par::set_par_threshold(usize::MAX);
     let snap = metalora_obs::counters::snapshot();
     let sweep_counters: Vec<CounterTotals> = snap
@@ -300,6 +397,26 @@ pub fn run(quick: bool) -> KernelReport {
         })
         .collect();
     println!("{}", render_table(&headers, &rows));
+    let headers16: Vec<String> =
+        ["kernel", "threads", "best ms", "GFLOP/s", "vs f32", "bytes ratio", "widened eq"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let rows16: Vec<Vec<String>> = bf16_points
+        .iter()
+        .map(|p| {
+            vec![
+                p.kernel.clone(),
+                p.threads.to_string(),
+                format!("{:.3}", p.best_ms),
+                format!("{:.2}", p.gflops),
+                format!("{:.2}x", p.speedup_vs_f32),
+                format!("{:.3}", p.bytes_ratio),
+                p.matches_widened_f32.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers16, &rows16));
     println!(
         "arena hit rate: sweep {:.1}% ({}/{} checkouts), train {:.1}% ({}/{} checkouts)",
         100.0 * sweep_arena.hit_rate,
@@ -314,6 +431,10 @@ pub fn run(quick: bool) -> KernelReport {
         points.iter().all(|p| p.bitwise_equal_to_serial),
         "kernel output diverged from the legacy serial run"
     );
+    assert!(
+        bf16_points.iter().all(|p| p.matches_widened_f32),
+        "bf16 GEMM diverged from the round-once widened-f32 reference"
+    );
 
     KernelReport {
         host_cpus,
@@ -322,6 +443,8 @@ pub fn run(quick: bool) -> KernelReport {
         scale: if quick { "quick" } else { "standard" }.to_string(),
         simd_level: simd,
         points,
+        bf16_bytes_ceiling: 0.55,
+        bf16_points,
         sweep_counters,
         sweep_dispatch,
         sweep_arena,
@@ -349,6 +472,19 @@ mod tests {
                 gflops: 2.8,
                 speedup_vs_1: 1.9,
                 bitwise_equal_to_serial: true,
+            }],
+            bf16_bytes_ceiling: 0.55,
+            bf16_points: vec![Bf16KernelPoint {
+                kernel: "bf16 matmul 128x128x128".into(),
+                threads: 2,
+                best_ms: 1.1,
+                gflops: 3.8,
+                f32_best_ms: 1.5,
+                speedup_vs_f32: 1.5 / 1.1,
+                bytes_moved: 98_304,
+                f32_bytes_moved: 196_608,
+                bytes_ratio: 0.5,
+                matches_widened_f32: true,
             }],
             sweep_counters: vec![CounterTotals {
                 kernel: "matmul".into(),
@@ -382,6 +518,24 @@ mod tests {
         let back: KernelReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.scale, "quick");
         assert_eq!(back.points.len(), 1);
+        assert_eq!(back.bf16_points.len(), 1);
+        assert!((back.bf16_points[0].bytes_ratio - 0.5).abs() < 1e-12);
+        assert!(back.bf16_points[0].matches_widened_f32);
+        assert!((back.bf16_bytes_ceiling - 0.55).abs() < 1e-12);
+        // Pre-bf16 baselines (no bf16 fields) must still deserialise:
+        // strip the new keys from the value tree and rebuild.
+        let serde::Value::Map(entries) = report.to_value() else {
+            panic!("report must serialise to a map");
+        };
+        let legacy = serde::Value::Map(
+            entries
+                .into_iter()
+                .filter(|(k, _)| k != "bf16_points" && k != "bf16_bytes_ceiling")
+                .collect(),
+        );
+        let old = KernelReport::from_value(&legacy).unwrap();
+        assert!(old.bf16_points.is_empty());
+        assert_eq!(old.bf16_bytes_ceiling, 0.0);
         assert_eq!(back.points[0].threads, 2);
         assert!(back.points[0].bitwise_equal_to_serial);
         assert_eq!(back.sweep_counters[0].calls, 12);

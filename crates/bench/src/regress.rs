@@ -25,6 +25,16 @@
 //!   measuring the same work.
 //! * Arena hit rates only warn — pooling behaviour may legitimately shift
 //!   with allocation-pattern changes.
+//! * bf16 points are gated by **tolerance**, not bitwise-vs-baseline:
+//!   wall-clock follows the same t=1/fractional policy as f32, while the
+//!   per-call `bytes_moved` and the `bytes_ratio ≤ bf16_bytes_ceiling`
+//!   claim are deterministic functions of the swept shapes and always
+//!   violate on drift. The bitwise contract still exists, but it travels
+//!   *inside* each point (`matches_widened_f32`, checked against the
+//!   round-once widened-f32 reference at run time), not across runs.
+//!   Baselines predating the bf16 sweep have no `bf16_points` and a zero
+//!   ceiling: the gates simply don't arm, and fresh bf16 points surface
+//!   as refresh-the-baseline warnings.
 
 use crate::kernels::KernelReport;
 use crate::serve_bench::ServeReport;
@@ -174,6 +184,68 @@ pub fn compare(baseline: &KernelReport, fresh: &KernelReport, tol: &Tolerances) 
         }
     }
 
+    // bf16 GEMM points: tolerance mode. Timing follows the f32 policy;
+    // byte traffic and the bytes ratio are deterministic and always gate.
+    for base_pt in &baseline.bf16_points {
+        let Some(fresh_pt) = fresh
+            .bf16_points
+            .iter()
+            .find(|p| p.kernel == base_pt.kernel && p.threads == base_pt.threads)
+        else {
+            cmp.violations.push(format!(
+                "bf16 missing point: {} / t={} is in the baseline but not in the fresh run",
+                base_pt.kernel, base_pt.threads
+            ));
+            continue;
+        };
+        if !fresh_pt.matches_widened_f32 {
+            cmp.violations.push(format!(
+                "bf16 correctness: {} / t={} no longer matches the round-once widened-f32 reference",
+                fresh_pt.kernel, fresh_pt.threads
+            ));
+        }
+        if rel_diff(fresh_pt.bytes_moved as f64, base_pt.bytes_moved as f64) > tol.counter_frac {
+            cmp.violations.push(format!(
+                "bf16 bytes drift: {} / t={} moved {} bytes vs baseline {} — storage widths changed",
+                base_pt.kernel, base_pt.threads, fresh_pt.bytes_moved, base_pt.bytes_moved
+            ));
+        }
+        if baseline.bf16_bytes_ceiling > 0.0
+            && fresh_pt.bytes_ratio > baseline.bf16_bytes_ceiling
+        {
+            cmp.violations.push(format!(
+                "bf16 bytes ratio: {} / t={} moves {:.3}x the f32 bytes, ceiling is {:.2}x",
+                fresh_pt.kernel, fresh_pt.threads, fresh_pt.bytes_ratio,
+                baseline.bf16_bytes_ceiling
+            ));
+        }
+        let limit = base_pt.best_ms * (1.0 + tol.ms_frac);
+        if fresh_pt.best_ms > limit {
+            let msg = format!(
+                "bf16 perf: {} / t={} took {:.3} ms, baseline {:.3} ms (limit {:.3} ms at +{:.0}%)",
+                fresh_pt.kernel, fresh_pt.threads, fresh_pt.best_ms, base_pt.best_ms,
+                limit, 100.0 * tol.ms_frac,
+            );
+            if perf_gate && base_pt.threads == 1 {
+                cmp.violations.push(msg);
+            } else {
+                cmp.warnings.push(msg);
+            }
+        }
+    }
+    for fresh_pt in &fresh.bf16_points {
+        let known = baseline
+            .bf16_points
+            .iter()
+            .any(|p| p.kernel == fresh_pt.kernel && p.threads == fresh_pt.threads);
+        if !known {
+            cmp.warnings.push(format!(
+                "bf16 new point not in baseline: {} / t={} (refresh BENCH_kernels.json)",
+                fresh_pt.kernel, fresh_pt.threads
+            ));
+        }
+    }
+
     for base_ct in &baseline.sweep_counters {
         let Some(fresh_ct) =
             fresh.sweep_counters.iter().find(|c| c.kernel == base_ct.kernel)
@@ -240,6 +312,9 @@ pub fn compare(baseline: &KernelReport, fresh: &KernelReport, tol: &Tolerances) 
 ///   sequence), so they are compared near-exactly.
 /// * Throughput is gated only at `threads = 1` and only when the SIMD
 ///   level matches; latency percentiles are timing noise and never gate.
+/// * When the baseline arms `bf16_capacity_floor`, the fresh run's
+///   merged-bf16 residency must reach that multiple of the f32 merged
+///   residency at equal cache bytes — the doubled-capacity claim.
 pub fn compare_serve(
     baseline: &ServeReport,
     fresh: &ServeReport,
@@ -286,6 +361,7 @@ pub fn compare_serve(
             ("cache_hits", base_pt.cache_hits, fresh_pt.cache_hits),
             ("cache_misses", base_pt.cache_misses, fresh_pt.cache_misses),
             ("cache_evictions", base_pt.cache_evictions, fresh_pt.cache_evictions),
+            ("resident_entries", base_pt.resident_entries, fresh_pt.resident_entries),
         ] {
             if rel_diff(fresh_n as f64, base_n as f64) > tol.counter_frac {
                 cmp.violations.push(format!(
@@ -327,13 +403,45 @@ pub fn compare_serve(
         }
     }
 
+    // Capacity gate: at equal `cache_bytes` the bf16 merged cache must
+    // end the stream holding `bf16_capacity_floor`× the f32 merged
+    // working set. Residency is deterministic for a fixed stream, so this
+    // is a violation — but only when the baseline arms the gate (old
+    // baselines carry a zero floor) and the fresh run has both modes.
+    if baseline.bf16_capacity_floor > 0.0 {
+        let resident = |mode: &str| {
+            fresh
+                .points
+                .iter()
+                .filter(|p| p.mode == mode)
+                .map(|p| p.resident_entries)
+                .max()
+        };
+        match (resident("merged"), resident("merged-bf16")) {
+            (Some(f32_res), Some(bf16_res)) if f32_res > 0 => {
+                let ratio = bf16_res as f64 / f32_res as f64;
+                if ratio < baseline.bf16_capacity_floor {
+                    cmp.violations.push(format!(
+                        "serve capacity: merged-bf16 holds {bf16_res} entries vs merged {f32_res} \
+                         ({ratio:.2}x), floor is {:.2}x at equal cache bytes",
+                        baseline.bf16_capacity_floor
+                    ));
+                }
+            }
+            _ => cmp.warnings.push(
+                "serve capacity gate skipped: fresh run lacks merged/merged-bf16 residency"
+                    .to_string(),
+            ),
+        }
+    }
+
     cmp
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernels::{ArenaStats, CounterTotals, DispatchTotals, KernelPoint};
+    use crate::kernels::{ArenaStats, Bf16KernelPoint, CounterTotals, DispatchTotals, KernelPoint};
 
     fn arena() -> ArenaStats {
         ArenaStats { hits: 10, misses: 2, hit_rate: 10.0 / 12.0, bytes_reused: 1024, peak_pooled_bytes: 2048 }
@@ -351,6 +459,21 @@ mod tests {
         }
     }
 
+    fn bf16_point(threads: usize, best_ms: f64) -> Bf16KernelPoint {
+        Bf16KernelPoint {
+            kernel: "bf16 matmul 128x128x128".into(),
+            threads,
+            best_ms,
+            gflops: 1.0,
+            f32_best_ms: 1.0,
+            speedup_vs_f32: 1.0 / best_ms,
+            bytes_moved: 98_304,
+            f32_bytes_moved: 196_608,
+            bytes_ratio: 0.5,
+            matches_widened_f32: true,
+        }
+    }
+
     fn report() -> KernelReport {
         KernelReport {
             host_cpus: 4,
@@ -359,6 +482,8 @@ mod tests {
             scale: "quick".into(),
             simd_level: "avx2".into(),
             points: vec![point("legacy", 1, 2.0), point("packed", 1, 1.0), point("packed", 4, 0.4)],
+            bf16_bytes_ceiling: 0.55,
+            bf16_points: vec![bf16_point(1, 0.8), bf16_point(4, 0.3)],
             sweep_counters: vec![
                 CounterTotals { kernel: "matmul".into(), calls: 24, flops: 100_000 },
                 CounterTotals { kernel: "knn".into(), calls: 9, flops: 5_000 },
@@ -504,6 +629,7 @@ mod tests {
     use crate::serve_bench::ServePoint;
 
     fn serve_point(mode: &str, threads: usize, rps: f64) -> ServePoint {
+        let cached = mode.starts_with("merged");
         ServePoint {
             mode: mode.into(),
             threads,
@@ -513,9 +639,19 @@ mod tests {
             p50_us: 10.0,
             p95_us: 20.0,
             p99_us: 30.0,
-            cache_hits: if mode == "merged" { 80 } else { 0 },
-            cache_misses: if mode == "merged" { 16 } else { 0 },
-            cache_evictions: if mode == "merged" { 4 } else { 0 },
+            cache_hits: if cached { 80 } else { 0 },
+            cache_misses: if cached { 16 } else { 0 },
+            cache_evictions: if cached { 4 } else { 0 },
+            resident_entries: match mode {
+                "merged" => 3,
+                "merged-bf16" => 6,
+                _ => 0,
+            },
+            resident_bytes: match mode {
+                "merged" => 768,
+                "merged-bf16" => 768,
+                _ => 0,
+            },
             bitwise_ok: true,
         }
     }
@@ -529,10 +665,13 @@ mod tests {
             zipf_s: 1.1,
             requests: 96,
             max_batch: 16,
+            bf16_capacity_floor: 1.8,
             points: vec![
                 serve_point("factored", 1, 1000.0),
                 serve_point("merged", 1, 2000.0),
                 serve_point("merged", 4, 4000.0),
+                serve_point("merged-bf16", 1, 2000.0),
+                serve_point("merged-bf16", 4, 4000.0),
             ],
         }
     }
@@ -626,5 +765,117 @@ mod tests {
         let cmp = compare_serve(&serve_report(), &fresh, &Tolerances::default());
         assert!(cmp.passed(), "violations: {:?}", cmp.violations);
         assert!(cmp.warnings.iter().any(|w| w.contains("new point not in baseline")));
+    }
+
+    // --- bf16 tolerance gates ---------------------------------------
+
+    #[test]
+    fn bf16_timing_within_tolerance_passes() {
+        // 40% slower than the doctored baseline is inside the 60% band:
+        // tolerance mode, not bitwise-vs-baseline.
+        let mut base = report();
+        base.bf16_points[0].best_ms = 0.6;
+        let cmp = compare(&base, &report(), &Tolerances::default());
+        assert!(cmp.passed(), "violations: {:?}", cmp.violations);
+    }
+
+    #[test]
+    fn bf16_timing_regression_fails_only_at_t1() {
+        let mut base = report();
+        base.bf16_points[0].best_ms = 0.1; // t=1 doctored 8x faster
+        base.bf16_points[1].best_ms = 0.01; // t=4 doctored 30x faster
+        let cmp = compare(&base, &report(), &Tolerances::default());
+        assert!(!cmp.passed());
+        assert_eq!(
+            cmp.violations.iter().filter(|v| v.starts_with("bf16 perf:")).count(),
+            1,
+            "{:?}",
+            cmp.violations
+        );
+        assert!(cmp.warnings.iter().any(|w| w.starts_with("bf16 perf:")));
+    }
+
+    #[test]
+    fn bf16_contract_break_and_missing_point_fail() {
+        let mut fresh = report();
+        fresh.bf16_points[1].matches_widened_f32 = false; // even at t>1
+        fresh.simd_level = "scalar".into(); // even with the perf gate off
+        let cmp = compare(&report(), &fresh, &Tolerances::default());
+        assert!(cmp.violations.iter().any(|v| v.starts_with("bf16 correctness:")), "{:?}", cmp.violations);
+
+        let mut fresh = report();
+        fresh.bf16_points.remove(0);
+        let cmp = compare(&report(), &fresh, &Tolerances::default());
+        assert!(cmp.violations.iter().any(|v| v.starts_with("bf16 missing point:")));
+    }
+
+    #[test]
+    fn bf16_bytes_ratio_over_ceiling_fails() {
+        let mut fresh = report();
+        // Same bytes as baseline (no drift) but the ratio claim broke —
+        // e.g. the f32 side got cheaper.
+        fresh.bf16_points[0].bytes_ratio = 0.75;
+        let cmp = compare(&report(), &fresh, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(cmp.violations.iter().any(|v| v.starts_with("bf16 bytes ratio:")), "{:?}", cmp.violations);
+    }
+
+    #[test]
+    fn bf16_bytes_drift_fails() {
+        let mut fresh = report();
+        fresh.bf16_points[0].bytes_moved = 196_608; // someone widened storage
+        let cmp = compare(&report(), &fresh, &Tolerances::default());
+        assert!(cmp.violations.iter().any(|v| v.starts_with("bf16 bytes drift:")), "{:?}", cmp.violations);
+    }
+
+    #[test]
+    fn pre_bf16_baseline_disarms_the_gates() {
+        // An old baseline deserialises to no bf16 points and a zero
+        // ceiling: fresh bf16 points only produce refresh warnings.
+        let mut base = report();
+        base.bf16_points.clear();
+        base.bf16_bytes_ceiling = 0.0;
+        let cmp = compare(&base, &report(), &Tolerances::default());
+        assert!(cmp.passed(), "violations: {:?}", cmp.violations);
+        assert!(cmp.warnings.iter().any(|w| w.contains("bf16 new point not in baseline")));
+    }
+
+    #[test]
+    fn serve_capacity_under_floor_fails() {
+        let mut fresh = serve_report();
+        for p in fresh.points.iter_mut().filter(|p| p.mode == "merged-bf16") {
+            p.resident_entries = 4; // 4/3 < 1.8
+        }
+        let cmp = compare_serve(&serve_report(), &fresh, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(cmp.violations.iter().any(|v| v.starts_with("serve capacity:")), "{:?}", cmp.violations);
+        // The drift gate also notices: residency is deterministic.
+        assert!(cmp.violations.iter().any(|v| v.contains("resident_entries")));
+    }
+
+    #[test]
+    fn serve_capacity_gate_disarmed_by_zero_floor() {
+        let mut base = serve_report();
+        base.bf16_capacity_floor = 0.0;
+        let mut fresh = serve_report();
+        for p in fresh.points.iter_mut() {
+            p.resident_entries = 3; // ratio 1.0 everywhere
+        }
+        let cmp = compare_serve(&base, &fresh, &Tolerances::default());
+        assert!(
+            !cmp.violations.iter().any(|v| v.starts_with("serve capacity:")),
+            "{:?}",
+            cmp.violations
+        );
+    }
+
+    #[test]
+    fn serve_capacity_gate_warns_without_bf16_points() {
+        let mut fresh = serve_report();
+        fresh.points.retain(|p| p.mode != "merged-bf16");
+        let cmp = compare_serve(&serve_report(), &fresh, &Tolerances::default());
+        // Missing baseline points violate anyway, but the capacity gate
+        // itself must degrade to a warning, not panic or false-pass.
+        assert!(cmp.warnings.iter().any(|w| w.contains("capacity gate skipped")), "{:?}", cmp.warnings);
     }
 }

@@ -1,6 +1,7 @@
 //! **S1 — serving throughput**: drive the multi-tenant serving engine
 //! with synthetic zipf traffic and report throughput plus p50/p95/p99
-//! request latency for the factored (bitwise) and merged (cached) modes
+//! request latency for the factored (bitwise), merged (cached `W + ΔW`)
+//! and merged-bf16 (half-width cached weights, same capacity) modes
 //! at several thread counts. Shared by the `serve` binary (fresh run →
 //! `BENCH_serve.json`) and the `regress` binary (fresh run → diff against
 //! the committed baseline), exactly like the K1 kernel sweep.
@@ -15,7 +16,7 @@ use metalora_peft::meta::MappingNet;
 use metalora_peft::{LoraConfig, MultiLoraLinear};
 use metalora_serve::traffic::{self, TrafficConfig};
 use metalora_serve::{EngineConfig, Request, ServeEngine, TenantAdapter};
-use metalora_tensor::{init, ops, par};
+use metalora_tensor::{bf16, init, ops, par};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -44,6 +45,14 @@ pub struct ServePoint {
     pub cache_misses: u64,
     /// Cache evictions forced by the byte capacity.
     pub cache_evictions: u64,
+    /// Merged weights resident when the stream ended (0 in factored
+    /// mode) — the capacity claim: at equal `cache_bytes`, the bf16 mode
+    /// must hold ~2× the entries of the f32 mode.
+    #[serde(default)]
+    pub resident_entries: u64,
+    /// Bytes those resident entries occupy.
+    #[serde(default)]
+    pub resident_bytes: u64,
     /// Batched outputs bitwise-equal to a `max_batch = 1` re-serve.
     pub bitwise_ok: bool,
 }
@@ -65,6 +74,11 @@ pub struct ServeReport {
     pub requests: usize,
     /// Requests per released batch in the batched runs.
     pub max_batch: usize,
+    /// Regress-gate floor for `resident_entries("merged-bf16") /
+    /// resident_entries("merged")` at equal `cache_bytes` (0 disables the
+    /// gate — pre-bf16 baselines deserialise to that).
+    #[serde(default)]
+    pub bf16_capacity_floor: f64,
     pub points: Vec<ServePoint>,
 }
 
@@ -153,8 +167,10 @@ pub fn run(quick: bool) -> ServeReport {
     let (tenants, requests, in_dim, out_dim, max_rows) =
         if quick { (12, 96, 8, 8, 2) } else { (24, 512, 32, 32, 4) };
     let max_batch = 16;
-    // Capacity for half the cacheable tenants: the zipf tail must churn.
-    let cache_bytes = (tenants / 2) * in_dim * out_dim * 4;
+    // Capacity for a quarter of the tenants as f32 merged weights: the
+    // zipf tail must churn in both precisions (bf16 fits 2× the entries
+    // in the same bytes and still evicts — 4 of 6 tenant ids cache).
+    let cache_bytes = (tenants / 4) * in_dim * out_dim * 4;
     let traffic_cfg = TrafficConfig {
         tenants,
         tasks: 4,
@@ -174,7 +190,13 @@ pub fn run(quick: bool) -> ServeReport {
     let reqs: Vec<Request> = traffic::generate(&traffic_cfg);
     let mut points = Vec::new();
 
-    for (mode, use_merged) in [("factored", false), ("merged", true)] {
+    for (mode, use_merged) in
+        [("factored", false), ("merged", true), ("merged-bf16", true)]
+    {
+        // The bf16 mode is the merged sweep with half-width cached
+        // weights: same stream, same capacity, toggled per mode so the
+        // f32 modes stay byte-for-byte what they always were.
+        bf16::set_enabled(mode == "merged-bf16");
         // Reference: the same stream, one request at a time, t = 1.
         par::set_num_threads(1);
         let solo = build_engine(tenants, in_dim, out_dim, use_merged, 1, cache_bytes, 7);
@@ -201,18 +223,23 @@ pub fn run(quick: bool) -> ServeReport {
                 cache_hits: stats.hits,
                 cache_misses: stats.misses,
                 cache_evictions: stats.evictions,
+                resident_entries: stats.entries,
+                resident_bytes: stats.bytes,
                 bitwise_ok: bits_of(&outs) == reference,
             });
         }
     }
+    bf16::set_enabled(false);
     par::set_num_threads(0);
     par::set_par_threshold(usize::MAX);
 
-    let headers: Vec<String> =
-        ["mode", "threads", "req/s", "p50 µs", "p95 µs", "p99 µs", "hits", "misses", "evict", "bitwise"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let headers: Vec<String> = [
+        "mode", "threads", "req/s", "p50 µs", "p95 µs", "p99 µs", "hits", "misses", "evict",
+        "resident", "bitwise",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -226,6 +253,7 @@ pub fn run(quick: bool) -> ServeReport {
                 p.cache_hits.to_string(),
                 p.cache_misses.to_string(),
                 p.cache_evictions.to_string(),
+                p.resident_entries.to_string(),
                 p.bitwise_ok.to_string(),
             ]
         })
@@ -245,6 +273,7 @@ pub fn run(quick: bool) -> ServeReport {
         zipf_s: traffic_cfg.zipf_s,
         requests,
         max_batch,
+        bf16_capacity_floor: 1.8,
         points,
     }
 }
@@ -263,8 +292,9 @@ mod tests {
             zipf_s: 1.1,
             requests: 96,
             max_batch: 16,
+            bf16_capacity_floor: 1.8,
             points: vec![ServePoint {
-                mode: "merged".into(),
+                mode: "merged-bf16".into(),
                 threads: 2,
                 requests: 96,
                 batches: 6,
@@ -275,38 +305,87 @@ mod tests {
                 cache_hits: 80,
                 cache_misses: 16,
                 cache_evictions: 4,
+                resident_entries: 6,
+                resident_bytes: 768,
                 bitwise_ok: true,
             }],
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: ServeReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.points.len(), 1);
-        assert_eq!(back.points[0].mode, "merged");
+        assert_eq!(back.points[0].mode, "merged-bf16");
         assert_eq!(back.points[0].batches, 6);
+        assert_eq!(back.points[0].resident_entries, 6);
+        assert_eq!(back.points[0].resident_bytes, 768);
         assert!(back.points[0].bitwise_ok);
         assert_eq!(back.max_batch, 16);
+        assert!((back.bf16_capacity_floor - 1.8).abs() < 1e-12);
+        // Pre-bf16 baselines lack the new keys; they default to zero.
+        use serde::{Deserialize, Serialize, Value};
+        let strip = |v: Value, keys: &[&str]| {
+            let Value::Map(entries) = v else { panic!("expected map") };
+            Value::Map(
+                entries
+                    .into_iter()
+                    .filter(|(k, _)| !keys.contains(&k.as_str()))
+                    .collect(),
+            )
+        };
+        let Value::Map(mut top) = report.to_value() else { panic!() };
+        for (k, v) in top.iter_mut() {
+            if k == "points" {
+                let Value::Seq(pts) = std::mem::replace(v, Value::Null) else { panic!() };
+                *v = Value::Seq(
+                    pts.into_iter()
+                        .map(|p| strip(p, &["resident_entries", "resident_bytes"]))
+                        .collect(),
+                );
+            }
+        }
+        let legacy = strip(Value::Map(top), &["bf16_capacity_floor"]);
+        let old = ServeReport::from_value(&legacy).unwrap();
+        assert_eq!(old.points[0].resident_entries, 0);
+        assert_eq!(old.bf16_capacity_floor, 0.0);
     }
 
     #[test]
-    fn quick_sweep_is_bitwise_and_covers_both_modes() {
+    fn quick_sweep_is_bitwise_and_covers_all_modes() {
         let report = run(true);
         assert_eq!(report.scale, "quick");
-        assert_eq!(report.points.len(), 6);
+        assert_eq!(report.points.len(), 9);
         assert!(report.points.iter().all(|p| p.bitwise_ok));
         assert!(report.points.iter().all(|p| p.requests == 96));
         assert!(report.points.iter().all(|p| p.throughput_rps > 0.0));
-        // Merged mode must actually exercise the cache, with churn.
+        // Both merged modes must actually exercise the cache, with churn.
         let merged: Vec<_> = report.points.iter().filter(|p| p.mode == "merged").collect();
-        assert!(merged.iter().all(|p| p.cache_hits > 0));
-        assert!(merged.iter().all(|p| p.cache_evictions > 0));
-        // Factored mode never touches it.
+        let merged16: Vec<_> =
+            report.points.iter().filter(|p| p.mode == "merged-bf16").collect();
+        for pts in [&merged, &merged16] {
+            assert_eq!(pts.len(), 3);
+            assert!(pts.iter().all(|p| p.cache_hits > 0));
+            assert!(pts.iter().all(|p| p.cache_evictions > 0));
+            assert!(pts.iter().all(|p| p.resident_entries > 0));
+            // Cache behaviour is deterministic for a fixed stream: every
+            // thread count sees identical totals and residency.
+            assert!(pts.windows(2).all(|w| {
+                (w[0].cache_hits, w[0].cache_misses, w[0].cache_evictions, w[0].resident_entries)
+                    == (w[1].cache_hits, w[1].cache_misses, w[1].cache_evictions, w[1].resident_entries)
+            }));
+        }
+        // The capacity claim at equal cache_bytes: half-width entries →
+        // twice the resident tenants (quick scale: 3 f32 vs 6 bf16).
+        let ratio = merged16[0].resident_entries as f64 / merged[0].resident_entries as f64;
+        assert!(
+            ratio >= report.bf16_capacity_floor,
+            "bf16 residency ratio {ratio} under floor {}",
+            report.bf16_capacity_floor
+        );
+        // Same byte budget, half-width entries.
+        let per32 = merged[0].resident_bytes / merged[0].resident_entries;
+        let per16 = merged16[0].resident_bytes / merged16[0].resident_entries;
+        assert_eq!(per32, 2 * per16);
+        // Factored mode never touches the cache.
         let factored: Vec<_> = report.points.iter().filter(|p| p.mode == "factored").collect();
         assert!(factored.iter().all(|p| p.cache_hits == 0 && p.cache_misses == 0));
-        // Cache behaviour is deterministic for a fixed stream: every
-        // thread count sees identical hit/miss/eviction totals.
-        assert!(merged.windows(2).all(|w| {
-            (w[0].cache_hits, w[0].cache_misses, w[0].cache_evictions)
-                == (w[1].cache_hits, w[1].cache_misses, w[1].cache_evictions)
-        }));
     }
 }

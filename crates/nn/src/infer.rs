@@ -15,7 +15,7 @@
 use crate::Result;
 use metalora_autograd::gelu_fwd;
 use metalora_tensor::conv::{self, ConvSpec};
-use metalora_tensor::{ops, Tensor};
+use metalora_tensor::{ops, Bf16Buf, Tensor};
 
 /// Dense layer `x·W (+ b)` for `x:[N,I]`, `w:[I,O]`, `bias:[O]` — the
 /// tape-free twin of [`crate::Linear`]'s forward (matmul, then broadcast
@@ -41,6 +41,34 @@ pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, spec: ConvSpec) -> 
         }
         None => Ok(y),
     }
+}
+
+/// [`linear`] against a bf16 weight snapshot: the weights stream at half
+/// the bytes through `ops::matmul_bf16_weights` (widened exactly at GEMM
+/// pack time, f32 accumulation throughout), so the result is **bitwise**
+/// `linear(x, &w.widen(), bias)` — the only deviation from a pure-f32
+/// forward is the one-time RNE rounding taken when `w` was snapshot
+/// (relative ≤ 2⁻⁸ per weight).
+pub fn linear_bf16(x: &Tensor, w: &Bf16Buf, bias: Option<&Tensor>) -> Result<Tensor> {
+    let y = ops::matmul_bf16_weights(x, w)?;
+    match bias {
+        Some(b) => ops::add(&y, b),
+        None => Ok(y),
+    }
+}
+
+/// [`conv2d`] against a bf16 kernel snapshot. Conv kernels are tiny next
+/// to the im2col activations, so this widens the kernel up front (exact)
+/// and runs the f32 conv — the storage saving is the point (snapshots,
+/// caches), not the kernel's streaming bytes. Bitwise
+/// `conv2d(x, &w.widen(), bias, spec)`.
+pub fn conv2d_bf16(
+    x: &Tensor,
+    w: &Bf16Buf,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+) -> Result<Tensor> {
+    conv2d(x, &w.widen(), bias, spec)
 }
 
 /// GELU (tanh approximation) — applies the same scalar function as
@@ -122,6 +150,41 @@ mod tests {
         )
         .unwrap();
         assert_eq!(bits(&y), bits(&y_tape));
+    }
+
+    #[test]
+    fn linear_bf16_is_bitwise_linear_on_widened_weights() {
+        let mut rng = init::rng(15);
+        let layer = Linear::new("fc", 9, 6, &mut rng);
+        let x = init::uniform(&[5, 9], -1.0, 1.0, &mut rng);
+        let w16 = Bf16Buf::from_tensor(&layer.weight().value());
+        let bias = layer.bias().map(|b| b.value());
+        let got = linear_bf16(&x, &w16, bias.as_ref()).unwrap();
+        let expect = linear(&x, &w16.widen(), bias.as_ref()).unwrap();
+        assert_eq!(bits(&got), bits(&expect));
+        // And vs the f32 weights the snapshot came from, the error is the
+        // storage rounding only: bounded by 2^-8 relative per weight,
+        // accumulated over the k=9 contraction.
+        let f32_out = linear(&x, &layer.weight().value(), bias.as_ref()).unwrap();
+        let worst = got
+            .data()
+            .iter()
+            .zip(f32_out.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(worst <= 9.0 * 2.0f32.powi(-8), "worst abs err {worst}");
+    }
+
+    #[test]
+    fn conv2d_bf16_is_bitwise_conv2d_on_widened_kernel() {
+        let mut rng = init::rng(16);
+        let layer = Conv2d::new("c", 3, 4, 3, 1, 1, &mut rng).unwrap();
+        let x = init::uniform(&[2, 3, 5, 5], -1.0, 1.0, &mut rng);
+        let w16 = Bf16Buf::from_tensor(&layer.weight().value());
+        let bias = layer.bias().map(|b| b.value());
+        let got = conv2d_bf16(&x, &w16, bias.as_ref(), layer.spec()).unwrap();
+        let expect = conv2d(&x, &w16.widen(), bias.as_ref(), layer.spec()).unwrap();
+        assert_eq!(bits(&got), bits(&expect));
     }
 
     #[test]

@@ -5,11 +5,11 @@
 //! ([`RunReport::to_json`], [`RunReport::write`]) or rendered for humans
 //! ([`RunReport::summary_table`]).
 //!
-//! ## Schema (`schema_version` 5)
+//! ## Schema (`schema_version` 6)
 //!
 //! ```json
 //! {
-//!   "schema_version": 5,
+//!   "schema_version": 6,
 //!   "name": "table1",
 //!   "spans":   [ {"path": "pretrain", "count": 2, "total_ms": 813.4,
 //!                 "p50_ms": 400.1, "p95_ms": 413.0, "p99_ms": 413.0} ],
@@ -24,6 +24,8 @@
 //!   "serve":   {"requests": 64, "batches": 4, "seed_rows": 40,
 //!               "cache_hits": 50, "cache_misses": 14,
 //!               "cache_evictions": 6, "merges": 14},
+//!   "bf16":    {"snapshots": 14, "actual_bytes": 2048,
+//!               "f32_equiv_bytes": 4096, "bytes_saved": 2048},
 //!   "health":  [ {"phase": "adapt/MetaLoraCp", "group": "mapping", "step": 0,
 //!                 "grad_norm": 0.42, "update_ratio": 0.001,
 //!                 "weight_norm": 3.1, "nan_count": 0, "inf_count": 0} ],
@@ -39,7 +41,9 @@
 //! scheduler tallies (C-tile claims overall and per worker slot, B-panel
 //! pack passes, out-of-sequence "steal" claims); 5 added the `serve`
 //! object (serving-engine request/batch totals, amortised seed rows, and
-//! merged-weight cache hit/miss/eviction/merge counts).
+//! merged-weight cache hit/miss/eviction/merge counts); 6 added the
+//! `bf16` object (storage snapshots taken, their actual bytes vs the f32
+//! equivalent, and the derived bytes saved).
 
 use crate::counters::{self, CounterSnapshot};
 use crate::health::{self, HealthRecord};
@@ -51,7 +55,7 @@ use std::path::{Path, PathBuf};
 
 /// Version stamp written into every run log (see the module docs for the
 /// version history).
-pub const SCHEMA_VERSION: u32 = 5;
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// A captured snapshot of everything the instrumentation recorded.
 #[derive(Debug, Clone)]
@@ -172,6 +176,14 @@ impl RunReport {
             self.counters.serve_cache_misses,
             self.counters.serve_cache_evictions,
             self.counters.serve_merges
+        ));
+        s.push_str(&format!(
+            "  \"bf16\": {{\"snapshots\": {}, \"actual_bytes\": {}, \
+             \"f32_equiv_bytes\": {}, \"bytes_saved\": {}}},\n",
+            self.counters.bf16_snapshots,
+            self.counters.bf16_actual_bytes,
+            self.counters.bf16_f32_equiv_bytes,
+            self.counters.bf16_f32_equiv_bytes - self.counters.bf16_actual_bytes
         ));
 
         s.push_str("  \"health\": [\n");
@@ -350,6 +362,17 @@ impl RunReport {
             ));
         }
 
+        if self.counters.bf16_snapshots > 0 {
+            let saved = self.counters.bf16_f32_equiv_bytes - self.counters.bf16_actual_bytes;
+            out.push_str(&format!(
+                "bf16: {} snapshots   {} bytes resident (f32 equivalent {}, saved {})\n",
+                self.counters.bf16_snapshots,
+                self.counters.bf16_actual_bytes,
+                self.counters.bf16_f32_equiv_bytes,
+                saved
+            ));
+        }
+
         if !self.health.is_empty() {
             let nan: u64 = self.health.iter().map(|h| h.nan_count).sum();
             let inf: u64 = self.health.iter().map(|h| h.inf_count).sum();
@@ -463,6 +486,7 @@ mod tests {
         counters::record_serve_cache(true);
         counters::record_serve_cache(false);
         counters::record_serve_merge();
+        counters::record_bf16_snapshot(64);
         health::record("mapping", 0, 0.42, 0.001, 3.1, 0, 0);
         metrics::record_epoch("pretrain", 1.25, 0.5, 0.75, 0.01);
     }
@@ -474,12 +498,16 @@ mod tests {
         let report = RunReport::capture("unit test");
         assert_eq!(report.file_name(), "RUNLOG_unit_test.json");
         let js = report.to_json();
-        assert!(js.contains("\"schema_version\": 5"));
+        assert!(js.contains("\"schema_version\": 6"));
         assert!(js.contains("\"workspace\": {\"hits\": "));
         assert!(js.contains(
             "\"serve\": {\"requests\": 3, \"batches\": 1, \"seed_rows\": 2, \
              \"cache_hits\": 1, \"cache_misses\": 1, \"cache_evictions\": 0, \
              \"merges\": 1}"
+        ));
+        assert!(js.contains(
+            "\"bf16\": {\"snapshots\": 1, \"actual_bytes\": 128, \
+             \"f32_equiv_bytes\": 256, \"bytes_saved\": 128}"
         ));
         assert!(js.contains("\"path\": \"pretrain/epoch0\""));
         assert!(js.contains("\"p50_ms\": "));
@@ -556,6 +584,7 @@ mod tests {
         assert!(text.contains("peak tensor bytes: 4096"));
         assert!(text.contains("serve: 3 requests in 1 batches"));
         assert!(text.contains("cache: 1 hits / 1 misses (50.0%)"));
+        assert!(text.contains("bf16: 1 snapshots   128 bytes resident (f32 equivalent 256, saved 128)"));
         assert!(text.contains("health: 1 records over 1 groups   NaN: 0   Inf: 0"));
         assert!(text.contains("0.5000")); // accuracy column
     }

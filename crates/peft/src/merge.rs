@@ -11,7 +11,7 @@
 use crate::meta::{MetaLoraCpLinear, MetaLoraTrLinear};
 use crate::{ConvLora, LoraLinear, Result};
 use metalora_autograd::ParamRef;
-use metalora_tensor::{contract, einsum, ops, workspace, Tensor, TensorError};
+use metalora_tensor::{contract, einsum, ops, workspace, Bf16Buf, Tensor, TensorError};
 
 fn add_into(weight: &ParamRef, delta: &Tensor) -> Result<()> {
     if weight.dims() != delta.dims() {
@@ -99,6 +99,48 @@ pub fn merge_into(base: &Tensor, delta: &Tensor) -> Result<Tensor> {
         *m += d;
     }
     Ok(merged)
+}
+
+// ---- bf16 storage snapshots -------------------------------------------
+//
+// Adapter factors are the per-tenant storage cost of a serving node, so
+// they are the natural narrowing target: snapshot each factor once as
+// bf16 (RNE, relative ≤ 2⁻⁸ per value), widen exactly at delta time, and
+// run the identical f32 delta kernels. Seeds stay f32 — they are runtime
+// values produced by the mapping net, not stored state. Gated by callers
+// on `metalora_tensor::bf16::enabled()`; the f32 paths stay golden.
+
+/// [`lora_delta`] from bf16 factor snapshots — bitwise
+/// `lora_delta(&a.widen(), &b.widen(), scaling)`.
+pub fn lora_delta_bf16(a: &Bf16Buf, b: &Bf16Buf, scaling: f32) -> Result<Tensor> {
+    lora_delta(&a.widen(), &b.widen(), scaling)
+}
+
+/// [`conv_lora_delta`] from bf16 factor snapshots.
+pub fn conv_lora_delta_bf16(a: &Bf16Buf, b: &Bf16Buf, scaling: f32) -> Result<Tensor> {
+    conv_lora_delta(&a.widen(), &b.widen(), scaling)
+}
+
+/// [`cp_delta`] from bf16 factor snapshots and an f32 seed.
+pub fn cp_delta_bf16(a: &Bf16Buf, b: &Bf16Buf, c: &Tensor, scaling: f32) -> Result<Tensor> {
+    cp_delta(&a.widen(), &b.widen(), c, scaling)
+}
+
+/// [`tr_delta`] from bf16 core snapshots and an f32 seed matrix.
+pub fn tr_delta_bf16(a: &Bf16Buf, b: &Bf16Buf, c: &Tensor, scaling: f32) -> Result<Tensor> {
+    tr_delta(&a.widen(), &b.widen(), c, scaling)
+}
+
+/// [`merge_into`] rounded once to bf16 storage — the serving cache's
+/// half-size entry builder. The merge itself is the identical f32 add;
+/// only the stored result narrows (one RNE rounding per element), so a
+/// cached bf16 weight equals `Bf16Buf::from_tensor(&merge_into(..))`
+/// exactly. The f32 intermediate goes straight back to the arena.
+pub fn merge_into_bf16(base: &Tensor, delta: &Tensor) -> Result<Bf16Buf> {
+    let merged = merge_into(base, delta)?;
+    let out = Bf16Buf::from_tensor(&merged);
+    workspace::recycle(merged);
+    Ok(out)
 }
 
 /// Folds a [`LoraLinear`]'s current delta into the given base weight cell

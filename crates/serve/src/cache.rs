@@ -3,17 +3,21 @@
 //! Keys are `(tenant, version)` pairs — a re-registered adapter bumps its
 //! version in the [`crate::store::AdapterStore`], so a stale merged
 //! weight can never be served even if it is still resident. Values are
-//! `Arc<Tensor>`: a hit hands out a cheap shared handle, and an evicted
-//! weight's buffer is recycled into the workspace arena once the last
-//! in-flight request drops its handle's clone (we recycle only when the
-//! cache holds the sole reference; otherwise the buffer frees normally).
+//! [`CachedWeight`]s: shared handles to either an f32 merge (exact, 4
+//! bytes/element) or a bf16 snapshot of the merge (2 bytes/element, RNE —
+//! see `metalora_tensor::bf16`). At equal byte capacity a bf16-mode cache
+//! therefore holds ~2× the tenants; the eviction threshold is the *total*
+//! resident bytes across both kinds, and [`CacheStats`] reports the
+//! f32/bf16 split. An f32 weight's buffer is recycled into the workspace
+//! arena on eviction once the cache holds the sole reference; bf16
+//! buffers just drop (the arena pools f32 storage only).
 //!
 //! Merges are built *outside* the lock: concurrent misses on the same key
 //! may both compute the (deterministic, hence bitwise-identical) merge,
 //! and the first insert wins — correctness never depends on winning.
 
 use crate::store::TenantId;
-use metalora_tensor::{workspace, Tensor};
+use metalora_tensor::{workspace, Bf16Buf, Tensor};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -29,24 +33,52 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to stay under the byte capacity.
     pub evictions: u64,
-    /// Bytes currently resident.
+    /// Bytes currently resident (f32 + bf16).
     pub bytes: u64,
+    /// Resident bytes held by f32 entries (4 bytes/element).
+    pub bytes_f32: u64,
+    /// Resident bytes held by bf16 entries (2 bytes/element).
+    pub bytes_bf16: u64,
     /// Entries currently resident.
     pub entries: u64,
 }
 
+/// A resident merged weight, in either storage precision.
+#[derive(Clone)]
+pub enum CachedWeight {
+    /// Exact f32 merge.
+    F32(Arc<Tensor>),
+    /// bf16 snapshot of the merge (half the bytes, one RNE rounding).
+    Bf16(Arc<Bf16Buf>),
+}
+
+impl CachedWeight {
+    /// Resident footprint of this entry.
+    pub fn byte_len(&self) -> usize {
+        match self {
+            CachedWeight::F32(t) => t.len() * 4,
+            CachedWeight::Bf16(b) => b.byte_len(),
+        }
+    }
+}
+
 #[derive(Default)]
 struct Inner {
-    map: HashMap<CacheKey, Arc<Tensor>>,
+    map: HashMap<CacheKey, CachedWeight>,
     /// Recency order, least-recently-used first.
     lru: Vec<CacheKey>,
-    bytes: usize,
+    bytes_f32: usize,
+    bytes_bf16: usize,
     hits: u64,
     misses: u64,
     evictions: u64,
 }
 
 impl Inner {
+    fn total_bytes(&self) -> usize {
+        self.bytes_f32 + self.bytes_bf16
+    }
+
     fn touch(&mut self, key: CacheKey) {
         if let Some(pos) = self.lru.iter().position(|&k| k == key) {
             self.lru.remove(pos);
@@ -54,22 +86,54 @@ impl Inner {
         self.lru.push(key);
     }
 
-    /// Evicts LRU-first until `self.bytes <= capacity`.
-    fn evict_to(&mut self, capacity: usize) -> u64 {
-        let mut evicted = 0;
-        while self.bytes > capacity && !self.lru.is_empty() {
-            let key = self.lru.remove(0);
-            if let Some(t) = self.map.remove(&key) {
-                self.bytes -= t.len() * 4;
-                evicted += 1;
-                // Return the buffer to the arena when nobody else holds it.
+    fn credit(&mut self, w: &CachedWeight) {
+        match w {
+            CachedWeight::F32(t) => self.bytes_f32 += t.len() * 4,
+            CachedWeight::Bf16(b) => self.bytes_bf16 += b.byte_len(),
+        }
+    }
+
+    /// Debits `w`'s bytes; an f32 buffer the cache solely owns goes back
+    /// to the workspace arena (bf16 buffers just drop — the arena pools
+    /// f32 storage only).
+    fn release(&mut self, w: CachedWeight) {
+        match w {
+            CachedWeight::F32(t) => {
+                self.bytes_f32 -= t.len() * 4;
                 if let Ok(t) = Arc::try_unwrap(t) {
                     workspace::recycle(t);
                 }
             }
+            CachedWeight::Bf16(b) => self.bytes_bf16 -= b.byte_len(),
+        }
+    }
+
+    /// Evicts LRU-first until the total resident bytes fit `capacity`.
+    fn evict_to(&mut self, capacity: usize) -> u64 {
+        let mut evicted = 0;
+        while self.total_bytes() > capacity && !self.lru.is_empty() {
+            let key = self.lru.remove(0);
+            if let Some(w) = self.map.remove(&key) {
+                self.release(w);
+                evicted += 1;
+            }
         }
         self.evictions += evicted;
         evicted
+    }
+
+    /// Inserts `built` under `key` after a miss: a variant-swap replaces
+    /// the old entry in place (the key is already in the recency list),
+    /// a fresh key is appended as most-recent.
+    fn insert(&mut self, key: CacheKey, built: CachedWeight) {
+        self.credit(&built);
+        match self.map.insert(key, built) {
+            Some(old) => {
+                self.release(old);
+                self.touch(key);
+            }
+            None => self.lru.push(key),
+        }
     }
 }
 
@@ -102,19 +166,23 @@ impl MergedCache {
         self.capacity
     }
 
-    /// Looks up `key`, building the merged weight with `build` on a miss.
+    /// Looks up `key` as an f32 entry, building the merged weight with
+    /// `build` on a miss.
     ///
     /// The builder runs outside the lock; on a concurrent double-miss the
     /// first insert wins and the loser adopts it (both builds are bitwise
     /// identical, so either result is correct). A weight larger than the
-    /// whole capacity is returned uncached.
+    /// whole capacity is returned uncached. A key resident in the *other*
+    /// precision counts as a miss and is replaced — precisions never
+    /// alias (a bf16 entry widened is the rounded merge, not the merge).
     pub fn get_or_insert<F>(&self, key: CacheKey, build: F) -> crate::Result<Arc<Tensor>>
     where
         F: FnOnce() -> crate::Result<Tensor>,
     {
         {
             let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(t) = inner.map.get(&key).cloned() {
+            if let Some(CachedWeight::F32(t)) = inner.map.get(&key) {
+                let t = t.clone();
                 inner.hits += 1;
                 inner.touch(key);
                 metalora_obs::counters::record_serve_cache(true);
@@ -125,19 +193,17 @@ impl MergedCache {
         metalora_obs::counters::record_serve_cache(false);
         let built = Arc::new(build()?);
         metalora_obs::counters::record_serve_merge();
-        let bytes = built.len() * 4;
-        if bytes > self.capacity {
+        if built.len() * 4 > self.capacity {
             return Ok(built);
         }
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(t) = inner.map.get(&key).cloned() {
+        if let Some(CachedWeight::F32(t)) = inner.map.get(&key) {
             // Lost a double-miss race; adopt the resident copy.
+            let t = t.clone();
             inner.touch(key);
             return Ok(t);
         }
-        inner.map.insert(key, built.clone());
-        inner.lru.push(key);
-        inner.bytes += bytes;
+        inner.insert(key, CachedWeight::F32(built.clone()));
         let evicted = inner.evict_to(self.capacity);
         if evicted > 0 {
             metalora_obs::counters::record_serve_evictions(evicted);
@@ -145,7 +211,45 @@ impl MergedCache {
         Ok(built)
     }
 
-    /// Whether `key` is resident (test hook; does not touch recency).
+    /// [`Self::get_or_insert`] for a bf16 entry: same contract, half the
+    /// resident bytes per element, so equal capacity holds ~2× tenants.
+    pub fn get_or_insert_bf16<F>(&self, key: CacheKey, build: F) -> crate::Result<Arc<Bf16Buf>>
+    where
+        F: FnOnce() -> crate::Result<Bf16Buf>,
+    {
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(CachedWeight::Bf16(b)) = inner.map.get(&key) {
+                let b = b.clone();
+                inner.hits += 1;
+                inner.touch(key);
+                metalora_obs::counters::record_serve_cache(true);
+                return Ok(b);
+            }
+            inner.misses += 1;
+        }
+        metalora_obs::counters::record_serve_cache(false);
+        let built = Arc::new(build()?);
+        metalora_obs::counters::record_serve_merge();
+        if built.byte_len() > self.capacity {
+            return Ok(built);
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(CachedWeight::Bf16(b)) = inner.map.get(&key) {
+            let b = b.clone();
+            inner.touch(key);
+            return Ok(b);
+        }
+        inner.insert(key, CachedWeight::Bf16(built.clone()));
+        let evicted = inner.evict_to(self.capacity);
+        if evicted > 0 {
+            metalora_obs::counters::record_serve_evictions(evicted);
+        }
+        Ok(built)
+    }
+
+    /// Whether `key` is resident in either precision (test hook; does not
+    /// touch recency).
     pub fn contains(&self, key: CacheKey) -> bool {
         self.inner
             .lock()
@@ -170,7 +274,9 @@ impl MergedCache {
             hits: inner.hits,
             misses: inner.misses,
             evictions: inner.evictions,
-            bytes: inner.bytes as u64,
+            bytes: inner.total_bytes() as u64,
+            bytes_f32: inner.bytes_f32 as u64,
+            bytes_bf16: inner.bytes_bf16 as u64,
             entries: inner.map.len() as u64,
         }
     }
@@ -179,15 +285,17 @@ impl MergedCache {
     pub fn clear(&self) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.lru.clear();
-        inner.bytes = 0;
-        for (_, t) in inner.map.drain() {
-            if let Ok(t) = Arc::try_unwrap(t) {
-                workspace::recycle(t);
-            }
+        let drained: Vec<CachedWeight> = inner.map.drain().map(|(_, w)| w).collect();
+        for w in drained {
+            inner.release(w);
         }
     }
 
-    /// Drops every resident version of one tenant (deregistration path).
+    /// Drops every resident version of one tenant (deregistration path):
+    /// map removals per key, then **one** pass over the recency list —
+    /// not a `retain` per removed key, which made purging a tenant with
+    /// `v` resident versions O(v·len) and re-walked the eviction-order
+    /// bookkeeping once per version.
     pub fn purge_tenant(&self, id: TenantId) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let keys: Vec<CacheKey> = inner
@@ -197,14 +305,11 @@ impl MergedCache {
             .copied()
             .collect();
         for key in keys {
-            if let Some(t) = inner.map.remove(&key) {
-                inner.bytes -= t.len() * 4;
-                if let Ok(t) = Arc::try_unwrap(t) {
-                    workspace::recycle(t);
-                }
+            if let Some(w) = inner.map.remove(&key) {
+                inner.release(w);
             }
-            inner.lru.retain(|&k| k != key);
         }
+        inner.lru.retain(|&(t, _)| t != id);
     }
 }
 
@@ -215,6 +320,11 @@ mod tests {
     fn tensor(v: f32) -> Tensor {
         // [4, 4] → 64 bytes.
         Tensor::from_vec(vec![v; 16], &[4, 4]).unwrap()
+    }
+
+    fn bbuf(v: f32) -> crate::Result<Bf16Buf> {
+        // [4, 4] → 32 bytes.
+        Bf16Buf::from_f32(&[v; 16], &[4, 4])
     }
 
     #[test]
@@ -278,5 +388,70 @@ mod tests {
         assert!(r.is_err());
         assert!(!c.contains((1, 1)));
         assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn bf16_entries_use_half_bytes_and_split_stats() {
+        let c = MergedCache::new(1024);
+        c.get_or_insert((1, 1), || Ok(tensor(1.0))).unwrap();
+        let b = c.get_or_insert_bf16((2, 1), || bbuf(0.5)).unwrap();
+        assert_eq!(b.widen().data(), &[0.5; 16]);
+        let s = c.stats();
+        assert_eq!((s.bytes_f32, s.bytes_bf16, s.bytes), (64, 32, 96));
+        assert_eq!(s.entries, 2);
+        // A second lookup is a hit on the shared handle.
+        let b2 = c.get_or_insert_bf16((2, 1), || panic!("hit expected")).unwrap();
+        assert_eq!(b2.data(), b.data());
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn equal_capacity_holds_twice_the_bf16_entries() {
+        // 128 bytes: two f32 [4,4] entries (evicts on the third) but four
+        // bf16 entries — the capacity doubling the serve path banks on.
+        let cf = MergedCache::new(128);
+        for t in 0..3 {
+            cf.get_or_insert((t, 1), || Ok(tensor(t as f32))).unwrap();
+        }
+        assert_eq!(cf.stats().evictions, 1);
+
+        let cb = MergedCache::new(128);
+        for t in 0..4 {
+            cb.get_or_insert_bf16((t, 1), || bbuf(t as f32)).unwrap();
+        }
+        let s = cb.stats();
+        assert_eq!((s.evictions, s.entries, s.bytes_bf16), (0, 4, 128));
+        cb.get_or_insert_bf16((4, 1), || bbuf(4.0)).unwrap();
+        assert_eq!(cb.stats().evictions, 1);
+    }
+
+    #[test]
+    fn purge_tenant_preserves_other_tenants_recency_order() {
+        let c = MergedCache::new(1024);
+        // Interleave three versions of tenant 1 with tenants 2 and 3.
+        c.get_or_insert((1, 1), || Ok(tensor(1.0))).unwrap();
+        c.get_or_insert((2, 1), || Ok(tensor(2.0))).unwrap();
+        c.get_or_insert((1, 2), || Ok(tensor(1.2))).unwrap();
+        c.get_or_insert_bf16((3, 1), || bbuf(3.0)).unwrap();
+        c.get_or_insert((1, 3), || Ok(tensor(1.3))).unwrap();
+        c.purge_tenant(1);
+        assert_eq!(c.lru_keys(), vec![(2, 1), (3, 1)]);
+        let s = c.stats();
+        assert_eq!((s.entries, s.bytes_f32, s.bytes_bf16), (2, 64, 32));
+        // Purges are not evictions.
+        assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn precision_mismatch_is_a_miss_and_replaces_in_place() {
+        let c = MergedCache::new(1024);
+        c.get_or_insert((1, 1), || Ok(tensor(1.0))).unwrap();
+        let b = c.get_or_insert_bf16((1, 1), || bbuf(2.0)).unwrap();
+        assert_eq!(b.widen().data()[0], 2.0);
+        let s = c.stats();
+        // Second lookup was a miss; the entry swapped precision in place.
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 1));
+        assert_eq!((s.bytes_f32, s.bytes_bf16), (0, 32));
+        assert_eq!(c.lru_keys(), vec![(1, 1)]);
     }
 }

@@ -10,7 +10,7 @@ use crate::Result;
 use metalora_nn::infer;
 use metalora_peft::meta::MappingNet;
 use metalora_tensor::conv::ConvSpec;
-use metalora_tensor::{ops, Tensor, TensorError};
+use metalora_tensor::{ops, Bf16Buf, Tensor, TensorError};
 
 /// Plain LoRA: `y = x·W + b + scaling·(x·A)·B` — the twin of
 /// `LoraLinear::forward` (and of one `MultiLoraLinear` slot, which runs
@@ -134,6 +134,28 @@ pub fn merged_conv(
     spec: ConvSpec,
 ) -> Result<Tensor> {
     infer::conv2d(x, w_merged, bias, spec)
+}
+
+/// Dense forward through a bf16 snapshot of the merged weight: the
+/// weights stream at half the bytes (widened exactly at GEMM pack time,
+/// f32 accumulation), so vs [`merged_linear`] the only deviation is the
+/// one-time RNE rounding taken when the merge was snapshot.
+pub fn merged_linear_bf16(
+    x: &Tensor,
+    w_merged: &Bf16Buf,
+    bias: Option<&Tensor>,
+) -> Result<Tensor> {
+    infer::linear_bf16(x, w_merged, bias)
+}
+
+/// Conv forward through a bf16 snapshot of the merged kernel.
+pub fn merged_conv_bf16(
+    x: &Tensor,
+    w_merged: &Bf16Buf,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+) -> Result<Tensor> {
+    infer::conv2d_bf16(x, w_merged, bias, spec)
 }
 
 /// Value snapshot of a [`MappingNet`] — the four MLP tensors, detached

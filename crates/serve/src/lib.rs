@@ -50,7 +50,7 @@ pub mod store;
 pub mod traffic;
 
 pub use batch::{Batcher, Request};
-pub use cache::{CacheStats, MergedCache};
+pub use cache::{CacheKey, CacheStats, CachedWeight, MergedCache};
 pub use engine::{EngineConfig, ServeEngine};
 pub use store::{AdapterStore, TenantAdapter, TenantEntry, TenantId};
 

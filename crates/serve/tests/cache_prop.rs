@@ -1,11 +1,11 @@
 //! Property tests for the merged-weight LRU cache.
 //!
 //! A reference model (a plain vec in recency order plus exact counters)
-//! is driven with arbitrary interleavings of lookups and version bumps;
-//! [`MergedCache`] must agree on residency, eviction order, and the
-//! hit/miss/eviction/byte accounting after every step. A second property
-//! checks the semantic contract: a weight served from cache is bitwise
-//! the weight a fresh merge would produce.
+//! is driven with arbitrary interleavings of lookups, version bumps, and
+//! whole-tenant purges; [`MergedCache`] must agree on residency, eviction
+//! order, and the hit/miss/eviction/byte accounting after every step.
+//! A second property checks the semantic contract: a weight served from
+//! cache is bitwise the weight a fresh merge would produce.
 
 use metalora_peft::merge;
 use metalora_serve::{CacheStats, MergedCache};
@@ -49,31 +49,51 @@ impl ModelLru {
         }
     }
 
+    /// Purge: drop every resident key of `tenant` without touching the
+    /// hit/miss/eviction counters (a purge is not an eviction).
+    fn purge(&mut self, tenant: u64) {
+        self.keys.retain(|&(t, _)| t != tenant);
+    }
+
     fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
             bytes: (self.keys.len() * ENTRY_BYTES) as u64,
+            bytes_f32: (self.keys.len() * ENTRY_BYTES) as u64,
+            bytes_bf16: 0,
             entries: self.keys.len() as u64,
         }
     }
 }
 
-/// One step of the driving sequence: which tenant to look up, and whether
-/// to bump its version first (simulating re-registration).
+/// One step of the driving sequence: which tenant to act on, and whether
+/// to first bump its version (re-registration) or purge it outright
+/// (deregistration) before the lookup / instead of it.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Lookup,
+    BumpThenLookup,
+    Purge,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Op {
     tenant: u64,
-    bump: bool,
+    action: Action,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    // Encodes (tenant ∈ 0..6, bump ∈ {false, true}) in one draw — the
-    // vendored proptest stub has no tuple strategies.
-    (0u64..12).prop_map(|v| Op {
+    // Encodes (tenant ∈ 0..6, action ∈ {lookup, bump+lookup, purge}) in
+    // one draw — the vendored proptest stub has no tuple strategies.
+    (0u64..18).prop_map(|v| Op {
         tenant: v % 6,
-        bump: v >= 6,
+        action: match v / 6 {
+            0 => Action::Lookup,
+            1 => Action::BumpThenLookup,
+            _ => Action::Purge,
+        },
     })
 }
 
@@ -93,17 +113,28 @@ proptest! {
         let mut versions = [1u64; 6];
 
         for op in ops {
-            if op.bump {
-                versions[op.tenant as usize] += 1;
+            match op.action {
+                Action::Purge => {
+                    // Mid-sequence deregistration: all of the tenant's
+                    // resident versions leave at once, the other tenants'
+                    // recency order and the counters are untouched.
+                    model.purge(op.tenant);
+                    cache.purge_tenant(op.tenant);
+                }
+                lookup => {
+                    if matches!(lookup, Action::BumpThenLookup) {
+                        versions[op.tenant as usize] += 1;
+                    }
+                    let key = (op.tenant, versions[op.tenant as usize]);
+                    model.lookup(key);
+                    let built = cache
+                        .get_or_insert(key, || Ok(tensor_for(key.0, key.1)))
+                        .unwrap();
+                    // Served value is always the key's own weight, never a
+                    // stale entry from a pre-bump version.
+                    prop_assert_eq!(built.data()[0], tenant_value(key));
+                }
             }
-            let key = (op.tenant, versions[op.tenant as usize]);
-            model.lookup(key);
-            let built = cache
-                .get_or_insert(key, || Ok(tensor_for(key.0, key.1)))
-                .unwrap();
-            // Served value is always the key's own weight, never a stale
-            // entry from a pre-bump version.
-            prop_assert_eq!(built.data()[0], tenant_value(key));
             prop_assert_eq!(cache.lru_keys(), model.keys.clone(), "recency order");
             prop_assert_eq!(cache.stats(), model.stats(), "counters");
         }

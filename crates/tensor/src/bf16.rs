@@ -1,0 +1,265 @@
+//! bf16 storage with f32 accumulation.
+//!
+//! bf16 (bfloat16) is the **top half of an IEEE-754 f32**: 1 sign bit,
+//! the same 8 exponent bits, and the 7 highest mantissa bits. That makes
+//! the two conversions asymmetric in a way this module leans on:
+//!
+//! * **Widening (`bf16 → f32`) is exact** — shift the 16 stored bits into
+//!   the top of a `u32` and reinterpret. No rounding, no special cases.
+//! * **Narrowing (`f32 → bf16`) rounds** — round-to-nearest-even on the
+//!   16 truncated mantissa bits (the IEEE default rounding mode, and what
+//!   hardware bf16 converters implement). NaNs keep their sign and top
+//!   payload bits with the quiet bit forced so a payload of trailing
+//!   zeros cannot truncate into an infinity.
+//!
+//! The mixed-precision contract everywhere in this repo is **bf16
+//! storage, f32 accumulation**: bf16 buffers are widened (exactly) to f32
+//! at the edge of a kernel — e.g. at GEMM pack time, see
+//! `ops::microkernel` — and all arithmetic then runs in the existing f32
+//! kernels with their bitwise-pinned accumulation order. Rounding happens
+//! only when a result is *stored* as bf16, never inside an accumulation.
+//! Consequently a bf16-sourced kernel is bitwise identical to the f32
+//! kernel applied to the widened inputs, and the only error vs a pure-f32
+//! pipeline is the initial storage rounding: one half-ULP of bf16
+//! (relative ≤ 2⁻⁸) per stored value.
+//!
+//! The serving/bench code gates bf16 storage behind [`enabled`]
+//! (`METALORA_BF16=1`, default **off** — f32 stays the golden path).
+
+use crate::{Result, Tensor, TensorError};
+use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
+use std::sync::OnceLock;
+
+// Tri-state override mirroring `ops::microkernel`'s tile-grid knob: 0/1
+// set programmatically, 2 = unset (fall back to METALORA_BF16, then off).
+static BF16_OVERRIDE: AtomicU8 = AtomicU8::new(2);
+
+/// Enables/disables the bf16 storage paths programmatically, overriding
+/// the `METALORA_BF16` environment variable.
+pub fn set_enabled(on: bool) {
+    BF16_OVERRIDE.store(on as u8, Relaxed);
+}
+
+/// Whether bf16 storage is on (the [`set_enabled`] override if set, else
+/// `METALORA_BF16=1` — anything else, including unset, leaves it off).
+pub fn enabled() -> bool {
+    match BF16_OVERRIDE.load(Relaxed) {
+        0 => false,
+        1 => true,
+        _ => {
+            static FROM_ENV: OnceLock<bool> = OnceLock::new();
+            *FROM_ENV.get_or_init(|| {
+                std::env::var("METALORA_BF16").map(|s| s.trim() == "1").unwrap_or(false)
+            })
+        }
+    }
+}
+
+/// Narrows an f32 to bf16 bits, round-to-nearest-even.
+#[inline]
+pub fn f32_to_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Keep sign + top payload bits; force the quiet bit so the
+        // truncated payload can never read back as an infinity.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    // Round-to-nearest-even on the 16 dropped bits: add 0x7FFF plus the
+    // LSB of the kept half (the tie-to-even term). Cannot overflow u32:
+    // the largest non-NaN input is 0xFF80_0000 (−inf). Finite values too
+    // large for bf16 correctly round up to the infinity pattern.
+    let rounded = bits + 0x7FFF + ((bits >> 16) & 1);
+    (rounded >> 16) as u16
+}
+
+/// Widens bf16 bits to the exactly-representable f32.
+#[inline]
+pub fn bf16_to_f32(h: u16) -> f32 {
+    f32::from_bits((h as u32) << 16)
+}
+
+/// Narrows a slice of f32 into preallocated bf16 storage.
+pub fn narrow_slice(src: &[f32], dst: &mut [u16]) {
+    assert_eq!(src.len(), dst.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = f32_to_bf16(s);
+    }
+}
+
+/// Widens a slice of bf16 bits into preallocated f32 storage (exact).
+pub fn widen_slice(src: &[u16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = bf16_to_f32(s);
+    }
+}
+
+/// A packed row-major bf16 buffer — the storage-only sibling of
+/// [`Tensor`]: same dims contract, half the bytes, no arithmetic of its
+/// own. Kernels widen it (exactly) back to f32 before computing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bf16Buf {
+    dims: Vec<usize>,
+    data: Vec<u16>,
+}
+
+impl Bf16Buf {
+    /// Rounds an f32 slice into a new bf16 buffer (RNE per element).
+    /// Records the narrowing with the obs bf16 storage counters.
+    pub fn from_f32(data: &[f32], dims: &[usize]) -> Result<Self> {
+        let n: usize = dims.iter().product();
+        if n != data.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "Bf16Buf::from_f32: {} values do not fill dims {:?}",
+                data.len(),
+                dims
+            )));
+        }
+        let mut out = vec![0u16; n];
+        narrow_slice(data, &mut out);
+        metalora_obs::counters::record_bf16_snapshot(n as u64);
+        Ok(Bf16Buf { dims: dims.to_vec(), data: out })
+    }
+
+    /// Rounds a tensor into a new bf16 buffer — the snapshot entry point
+    /// for frozen backbone weights and adapter factors.
+    pub fn from_tensor(t: &Tensor) -> Self {
+        Self::from_f32(t.data(), t.dims()).expect("tensor data always fills its dims")
+    }
+
+    /// Dimensions, row-major.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The raw bf16 bit patterns, row-major.
+    pub fn data(&self) -> &[u16] {
+        &self.data
+    }
+
+    /// Bytes this buffer actually occupies (2 per element).
+    pub fn byte_len(&self) -> usize {
+        2 * self.data.len()
+    }
+
+    /// Bytes the same values would occupy stored as f32.
+    pub fn f32_equiv_byte_len(&self) -> usize {
+        4 * self.data.len()
+    }
+
+    /// Widens back to an f32 tensor (exact — see module docs).
+    pub fn widen(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.data.len()];
+        widen_slice(&self.data, &mut out);
+        Tensor::from_vec(out, &self.dims).expect("len matches dims by construction")
+    }
+
+    /// Widens into a preallocated f32 slice (exact).
+    pub fn widen_into(&self, dst: &mut [f32]) {
+        widen_slice(&self.data, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widen_is_exact_on_all_bf16_patterns() {
+        // Every non-NaN bf16 value must round-trip bf16 → f32 → bf16 to
+        // the identical bit pattern (widening is exact, and RNE of an
+        // exactly-representable value is the value itself).
+        for h in 0..=u16::MAX {
+            let f = bf16_to_f32(h);
+            if f.is_nan() {
+                continue;
+            }
+            assert_eq!(f32_to_bf16(f), h, "pattern {h:#06x} failed to round-trip");
+        }
+    }
+
+    #[test]
+    fn narrow_rounds_to_nearest_even() {
+        // 1.0 = 0x3F80_0000. The bf16 step at this magnitude is 2^-7.
+        let ulp = 2.0f32.powi(-7);
+        // Just below the halfway point rounds down, just above rounds up.
+        assert_eq!(f32_to_bf16(1.0 + 0.49 * ulp), f32_to_bf16(1.0));
+        assert_eq!(bf16_to_f32(f32_to_bf16(1.0 + 0.51 * ulp)), 1.0 + ulp);
+        // Exact ties go to the even mantissa: 1.0 has an even (zero)
+        // mantissa LSB, so 1.0 + ulp/2 ties down to 1.0; (1.0 + ulp) has
+        // an odd LSB, so (1.0 + ulp) + ulp/2 ties up to 1.0 + 2·ulp.
+        assert_eq!(bf16_to_f32(f32_to_bf16(1.0 + 0.5 * ulp)), 1.0);
+        assert_eq!(bf16_to_f32(f32_to_bf16(1.0 + 1.5 * ulp)), 1.0 + 2.0 * ulp);
+    }
+
+    #[test]
+    fn specials_survive() {
+        assert_eq!(bf16_to_f32(f32_to_bf16(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(bf16_to_f32(f32_to_bf16(f32::NEG_INFINITY)), f32::NEG_INFINITY);
+        assert!(bf16_to_f32(f32_to_bf16(f32::NAN)).is_nan());
+        // A NaN whose payload lives entirely in the truncated bits must
+        // stay a NaN, not collapse to an infinity.
+        let sneaky = f32::from_bits(0x7F80_0001);
+        assert!(bf16_to_f32(f32_to_bf16(sneaky)).is_nan());
+        // Signed zeros keep their sign bit.
+        assert_eq!(f32_to_bf16(-0.0).to_owned() >> 15, 1);
+        assert_eq!(f32_to_bf16(0.0) >> 15, 0);
+        // Values beyond the largest finite bf16 round up to infinity.
+        assert_eq!(bf16_to_f32(f32_to_bf16(f32::MAX)), f32::INFINITY);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_half_ulp() {
+        // RNE guarantees |x - bf16(x)| ≤ 2^-8 · |x| for normal x.
+        let mut x = 1.234e-20f32;
+        while x < 1e20 {
+            let err = (bf16_to_f32(f32_to_bf16(x)) - x).abs();
+            assert!(err <= x.abs() * 2.0f32.powi(-8), "x={x}: err {err}");
+            x *= 3.7;
+        }
+    }
+
+    #[test]
+    fn buf_round_trips_dims_and_values() {
+        let t = Tensor::from_vec(vec![0.5, -1.25, 3.0, 0.0, 2.5, -8.0], &[2, 3]).unwrap();
+        let b = Bf16Buf::from_tensor(&t);
+        assert_eq!(b.dims(), &[2, 3]);
+        assert_eq!(b.len(), 6);
+        assert_eq!((b.byte_len(), b.f32_equiv_byte_len()), (12, 24));
+        // These values are all exactly representable in bf16.
+        let w = b.widen();
+        assert_eq!(w.data(), t.data());
+        assert_eq!(w.dims(), t.dims());
+    }
+
+    #[test]
+    fn from_f32_validates_dims() {
+        assert!(Bf16Buf::from_f32(&[1.0, 2.0], &[3]).is_err());
+        assert!(Bf16Buf::from_f32(&[], &[0, 5]).is_ok());
+    }
+
+    #[test]
+    fn knob_round_trips_and_defaults_off() {
+        // Exercises only the programmatic override (the env fallback is
+        // cached process-wide and covered by the CI bf16 job).
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+    }
+}

@@ -20,9 +20,10 @@
 //! Per-element accumulation runs in increasing `k` order everywhere, so
 //! parallel, packed and legacy results are all bitwise identical.
 
-use super::microkernel::{self, use_packed};
+use super::microkernel::{self, use_packed, PanelSrc};
+use crate::bf16::{self, Bf16Buf};
 use crate::par::par_row_blocks;
-use crate::{Result, Tensor, TensorError};
+use crate::{workspace, Result, Tensor, TensorError};
 
 /// k-dimension tile: the `KC×n` panel of `B` revisited per row block stays
 /// L2-resident. Shared with the packed path.
@@ -313,6 +314,110 @@ pub fn bmm_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Tensor::from_vec(out, &[bs, m, n])
 }
 
+// ---------------------------------------------------------------------------
+// bf16 storage entries
+// ---------------------------------------------------------------------------
+//
+// Same kernels, half the stored bytes: bf16 operands are widened to f32
+// at pack time (exactly — see `crate::bf16`), accumulate through the
+// identical f32 paths, and only a *stored* bf16 result is rounded (once,
+// after the full accumulation). The byte accounting below is what the
+// bench sweeps compare: a bf16 operand moves 2 bytes per element where
+// the f32 entry points above move 4.
+
+/// Like [`record_mm`] but with explicitly counted bytes, for the
+/// mixed-precision entries whose operands are not all 4 bytes wide.
+#[inline]
+fn record_mm_bytes(packed: bool, bytes: usize, flops: usize) {
+    metalora_obs::counters::record_kernel(
+        metalora_obs::counters::Kernel::Matmul,
+        flops as u64,
+        bytes as u64,
+    );
+    metalora_obs::counters::record_matmul_path(packed);
+}
+
+fn as_bf16_matrix_dims(b: &Bf16Buf, what: &'static str) -> Result<(usize, usize)> {
+    if b.rank() != 2 {
+        return Err(TensorError::InvalidArgument(format!(
+            "{what}: expected rank-2 bf16 buffer, got rank {}",
+            b.rank()
+        )));
+    }
+    Ok((b.dims()[0], b.dims()[1]))
+}
+
+/// `C = X·W` for f32 activations `X:[m,k]` and bf16-stored weights
+/// `W:[k,n]`, f32 output — the serving hot path: weights stream at half
+/// the bytes, activations and accumulation stay f32. Bitwise identical to
+/// [`matmul`] of `X` with the widened copy of `W`.
+pub fn matmul_bf16_weights(x: &Tensor, w: &Bf16Buf) -> Result<Tensor> {
+    let (m, k) = as_matrix_dims(x, "matmul_bf16_weights lhs")?;
+    let (k2, n) = as_bf16_matrix_dims(w, "matmul_bf16_weights rhs")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_bf16_weights",
+            lhs: x.dims().to_vec(),
+            rhs: w.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let xd = x.data();
+    let packed = use_packed(2 * m * k * n);
+    if packed {
+        microkernel::gemm_packed_src(
+            PanelSrc::F32(xd), 0, k, 1, PanelSrc::Bf16(w.data()), 0, n, 1, 1, m, n, k, &mut out,
+        );
+    } else {
+        // Tiny product: widen the weights into an arena lease and run the
+        // legacy kernel — the widened values are the same ones packing
+        // would produce, so the bitwise contract holds on this path too.
+        let mut wf = workspace::take(k * n);
+        bf16::widen_slice(w.data(), &mut wf);
+        par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
+            matmul_rows(xd, &wf, k, n, first, block);
+        });
+    }
+    record_mm_bytes(packed, 4 * x.len() + 2 * w.len() + 4 * m * n, 2 * m * k * n);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A·B` with **all three** matrices stored bf16: operands widen at
+/// pack time, the product accumulates in f32, and the result rounds to
+/// bf16 once at the end (RNE). Moves half the bytes of [`matmul`] at
+/// equal shape. The f32 accumulation equals `matmul` of the widened
+/// operands bitwise; only the final stored rounding differs.
+pub fn matmul_bf16(a: &Bf16Buf, b: &Bf16Buf) -> Result<Bf16Buf> {
+    let (m, k) = as_bf16_matrix_dims(a, "matmul_bf16 lhs")?;
+    let (k2, n) = as_bf16_matrix_dims(b, "matmul_bf16 rhs")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_bf16",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut acc = workspace::take_zeroed(m * n);
+    let packed = use_packed(2 * m * k * n);
+    if packed {
+        microkernel::gemm_packed_src(
+            PanelSrc::Bf16(a.data()), 0, k, 1, PanelSrc::Bf16(b.data()), 0, n, 1, 1, m, n, k,
+            &mut acc,
+        );
+    } else {
+        let mut af = workspace::take(m * k);
+        bf16::widen_slice(a.data(), &mut af);
+        let mut bf = workspace::take(k * n);
+        bf16::widen_slice(b.data(), &mut bf);
+        let (afr, bfr) = (&af[..], &bf[..]);
+        par_row_blocks(&mut acc, n.max(1), 2 * k * n, |first, block| {
+            matmul_rows(afr, bfr, k, n, first, block);
+        });
+    }
+    record_mm_bytes(packed, 2 * (a.len() + b.len() + m * n), 2 * m * k * n);
+    Bf16Buf::from_f32(&acc, &[m, n])
+}
+
 fn as_batch_dims(t: &Tensor, what: &'static str) -> Result<(usize, usize, usize)> {
     if t.rank() != 3 {
         return Err(TensorError::InvalidArgument(format!(
@@ -496,6 +601,50 @@ mod tests {
             .unwrap();
             assert!(approx_eq(&c.index_axis0(bi).unwrap(), &expect, 1e-5));
         }
+    }
+
+    #[test]
+    fn matmul_bf16_weights_matches_widened_matmul_bitwise() {
+        let mut r = init::rng(21);
+        // Large enough for the packed path and small enough for legacy:
+        // both must equal matmul against the widened weights to the bit.
+        for (m, k, n) in [(3, 5, 4), (40, 140, 50)] {
+            let x = init::uniform(&[m, k], -1.0, 1.0, &mut r);
+            let w = Bf16Buf::from_tensor(&init::uniform(&[k, n], -1.0, 1.0, &mut r));
+            let got = matmul_bf16_weights(&x, &w).unwrap();
+            let expect = matmul(&x, &w.widen()).unwrap();
+            assert_eq!(got.dims(), expect.dims());
+            assert!(got
+                .data()
+                .iter()
+                .zip(expect.data())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn matmul_bf16_equals_rounded_widened_product() {
+        let mut r = init::rng(22);
+        for (m, k, n) in [(4, 6, 3), (36, 130, 40)] {
+            let a = Bf16Buf::from_tensor(&init::uniform(&[m, k], -1.0, 1.0, &mut r));
+            let b = Bf16Buf::from_tensor(&init::uniform(&[k, n], -1.0, 1.0, &mut r));
+            let got = matmul_bf16(&a, &b).unwrap();
+            let expect = matmul(&a.widen(), &b.widen()).unwrap();
+            // The accumulation is the f32 one; only the final store
+            // rounds, so rounding the reference must reproduce the
+            // result exactly.
+            let expect16 = Bf16Buf::from_tensor(&expect);
+            assert_eq!(got, expect16);
+        }
+    }
+
+    #[test]
+    fn bf16_matmul_validates_shapes() {
+        let a = Bf16Buf::from_f32(&[0.0; 6], &[2, 3]).unwrap();
+        let b = Bf16Buf::from_f32(&[0.0; 8], &[4, 2]).unwrap();
+        assert!(matmul_bf16(&a, &b).is_err());
+        assert!(matmul_bf16_weights(&Tensor::zeros(&[2, 4]), &a).is_err());
+        assert!(matmul_bf16_weights(&Tensor::zeros(&[2]), &a).is_err());
     }
 
     #[test]

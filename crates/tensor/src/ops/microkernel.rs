@@ -56,6 +56,7 @@
 //! enabled: contraction would fuse the rounding step away and break
 //! bitwise equality.
 
+use crate::bf16::bf16_to_f32;
 use crate::par::{par_task_queue, TaskQueue};
 use crate::workspace;
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering::Relaxed};
@@ -268,6 +269,220 @@ pub fn pack_a(
                     dst[dk * me + r] = ad[src + r * rs];
                 }
             }
+        }
+    }
+}
+
+/// [`pack_b`] reading bf16 bits: each element is widened to f32 as it is
+/// packed (exact — bf16 is the top half of f32), producing the identical
+/// panel layout. Packing is the *only* point the storage format is
+/// visible; the inner kernels stream packed f32 panels either way, so the
+/// bf16 GEMM is bitwise identical to the f32 GEMM on widened inputs.
+#[inline(always)]
+fn pack_b_bf16_body(
+    bd: &[u16],
+    base: usize,
+    k: usize,
+    n: usize,
+    ks: usize,
+    cs: usize,
+    packed: &mut [f32],
+) {
+    debug_assert!(packed.len() >= k * n);
+    let n_full = n - n % NR;
+    for kb in (0..k).step_by(KC) {
+        let kc = (kb + KC).min(k) - kb;
+        let tile = &mut packed[kb * n..kb * n + kc * n];
+        for j0 in (0..n_full).step_by(NR) {
+            let dst = &mut tile[j0 * kc..j0 * kc + kc * NR];
+            for dk in 0..kc {
+                let src = base + (kb + dk) * ks + j0 * cs;
+                for jj in 0..NR {
+                    dst[dk * NR + jj] = bf16_to_f32(bd[src + jj * cs]);
+                }
+            }
+        }
+        let ne = n - n_full;
+        if ne > 0 {
+            let dst = &mut tile[n_full * kc..];
+            for dk in 0..kc {
+                let src = base + (kb + dk) * ks + n_full * cs;
+                for jj in 0..ne {
+                    dst[dk * ne + jj] = bf16_to_f32(bd[src + jj * cs]);
+                }
+            }
+        }
+    }
+}
+
+/// [`pack_a`] reading bf16 bits — see [`pack_b_bf16_body`].
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn pack_a_bf16_body(
+    ad: &[u16],
+    base: usize,
+    first: usize,
+    rows: usize,
+    k: usize,
+    rs: usize,
+    ks: usize,
+    packed: &mut [f32],
+) {
+    debug_assert!(packed.len() >= rows * k);
+    let rows_full = rows - rows % MR;
+    for kb in (0..k).step_by(KC) {
+        let kc = (kb + KC).min(k) - kb;
+        let tile = &mut packed[kb * rows..kb * rows + kc * rows];
+        for i0 in (0..rows_full).step_by(MR) {
+            let dst = &mut tile[i0 * kc..i0 * kc + kc * MR];
+            for dk in 0..kc {
+                let src = base + (first + i0) * rs + (kb + dk) * ks;
+                for r in 0..MR {
+                    dst[dk * MR + r] = bf16_to_f32(ad[src + r * rs]);
+                }
+            }
+        }
+        let me = rows - rows_full;
+        if me > 0 {
+            let dst = &mut tile[rows_full * kc..];
+            for dk in 0..kc {
+                let src = base + (first + rows_full) * rs + (kb + dk) * ks;
+                for r in 0..me {
+                    dst[dk * me + r] = bf16_to_f32(ad[src + r * rs]);
+                }
+            }
+        }
+    }
+}
+
+// The widening loop is shift-and-reinterpret per element — pure integer
+// lane work the autovectorizer widens under the same target_feature
+// re-instantiation scheme the kernels use (256/512-bit where available,
+// baseline autovectorization otherwise). The widening value is identical
+// at every level, so SIMD dispatch cannot change a packed bit.
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn pack_b_bf16_avx2(bd: &[u16], base: usize, k: usize, n: usize, ks: usize, cs: usize, packed: &mut [f32]) {
+    pack_b_bf16_body(bd, base, k, n, ks, cs, packed)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512bw")]
+unsafe fn pack_b_bf16_avx512(bd: &[u16], base: usize, k: usize, n: usize, ks: usize, cs: usize, packed: &mut [f32]) {
+    pack_b_bf16_body(bd, base, k, n, ks, cs, packed)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn pack_a_bf16_avx2(
+    ad: &[u16],
+    base: usize,
+    first: usize,
+    rows: usize,
+    k: usize,
+    rs: usize,
+    ks: usize,
+    packed: &mut [f32],
+) {
+    pack_a_bf16_body(ad, base, first, rows, k, rs, ks, packed)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512bw")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn pack_a_bf16_avx512(
+    ad: &[u16],
+    base: usize,
+    first: usize,
+    rows: usize,
+    k: usize,
+    rs: usize,
+    ks: usize,
+    packed: &mut [f32],
+) {
+    pack_a_bf16_body(ad, base, first, rows, k, rs, ks, packed)
+}
+
+/// Packs bf16-stored `B` into f32 panels, widening each element — same
+/// layout contract as [`pack_b`], dispatched to the best SIMD level.
+pub fn pack_b_bf16(bd: &[u16], base: usize, k: usize, n: usize, ks: usize, cs: usize, packed: &mut [f32]) {
+    match simd_level() {
+        // Safety: levels are only ever reported when the CPU has them.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 if std::arch::is_x86_feature_detected!("avx512bw") => unsafe {
+            pack_b_bf16_avx512(bd, base, k, n, ks, cs, packed)
+        },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 | SimdLevel::Avx2 => unsafe {
+            pack_b_bf16_avx2(bd, base, k, n, ks, cs, packed)
+        },
+        _ => pack_b_bf16_body(bd, base, k, n, ks, cs, packed),
+    }
+}
+
+/// Packs bf16-stored `A` rows into f32 panels, widening each element —
+/// same layout contract as [`pack_a`], dispatched to the best SIMD level.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_a_bf16(
+    ad: &[u16],
+    base: usize,
+    first: usize,
+    rows: usize,
+    k: usize,
+    rs: usize,
+    ks: usize,
+    packed: &mut [f32],
+) {
+    match simd_level() {
+        // Safety: levels are only ever reported when the CPU has them.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 if std::arch::is_x86_feature_detected!("avx512bw") => unsafe {
+            pack_a_bf16_avx512(ad, base, first, rows, k, rs, ks, packed)
+        },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 | SimdLevel::Avx2 => unsafe {
+            pack_a_bf16_avx2(ad, base, first, rows, k, rs, ks, packed)
+        },
+        _ => pack_a_bf16_body(ad, base, first, rows, k, rs, ks, packed),
+    }
+}
+
+/// Storage an operand is packed *from*. f32 packs verbatim; bf16 widens
+/// to f32 at pack time (exact), so downstream of packing the two are
+/// indistinguishable — one scheduler and one set of inner kernels serve
+/// every storage combination.
+#[derive(Clone, Copy)]
+pub enum PanelSrc<'a> {
+    /// Plain f32 storage (the golden path).
+    F32(&'a [f32]),
+    /// bf16 bit patterns, widened during packing.
+    Bf16(&'a [u16]),
+}
+
+impl PanelSrc<'_> {
+    fn pack_b(&self, base: usize, k: usize, n: usize, ks: usize, cs: usize, packed: &mut [f32]) {
+        match self {
+            PanelSrc::F32(d) => pack_b(d, base, k, n, ks, cs, packed),
+            PanelSrc::Bf16(d) => pack_b_bf16(d, base, k, n, ks, cs, packed),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn pack_a(
+        &self,
+        base: usize,
+        first: usize,
+        rows: usize,
+        k: usize,
+        rs: usize,
+        ks: usize,
+        packed: &mut [f32],
+    ) {
+        match self {
+            PanelSrc::F32(d) => pack_a(d, base, first, rows, k, rs, ks, packed),
+            PanelSrc::Bf16(d) => pack_a_bf16(d, base, first, rows, k, rs, ks, packed),
         }
     }
 }
@@ -547,13 +762,51 @@ pub(crate) fn gemm_packed(
     k: usize,
     out: &mut [f32],
 ) {
+    gemm_packed_src(
+        PanelSrc::F32(ad),
+        a_batch,
+        a_rs,
+        a_ks,
+        PanelSrc::F32(bd),
+        b_batch,
+        b_ks,
+        b_cs,
+        bs,
+        m,
+        n,
+        k,
+        out,
+    )
+}
+
+/// [`gemm_packed`] over [`PanelSrc`] operands — the mixed-precision entry:
+/// bf16 operands are widened into the packed f32 panels during packing,
+/// and from there the scheduler, kernels and f32 accumulation order are
+/// exactly the f32 path's. Output is always f32; callers that want bf16
+/// results round once after the full accumulation.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_packed_src(
+    a: PanelSrc,
+    a_batch: usize,
+    a_rs: usize,
+    a_ks: usize,
+    b: PanelSrc,
+    b_batch: usize,
+    b_ks: usize,
+    b_cs: usize,
+    bs: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+) {
     debug_assert_eq!(out.len(), bs * m * n);
     if bs * m * n == 0 {
         return;
     }
     let mut bpack = workspace::take(bs * k * n);
     for bi in 0..bs {
-        pack_b(bd, bi * b_batch, k, n, b_ks, b_cs, &mut bpack[bi * k * n..(bi + 1) * k * n]);
+        b.pack_b(bi * b_batch, k, n, b_ks, b_cs, &mut bpack[bi * k * n..(bi + 1) * k * n]);
     }
     metalora_obs::counters::record_tile_grid_bpack();
     let bp: &[f32] = &bpack;
@@ -581,7 +834,7 @@ pub(crate) fn gemm_packed(
             let (bi, i0) = (strip / strips_per_batch, (strip % strips_per_batch) * MR);
             let me = (m - i0).min(MR);
             if strip != packed_strip {
-                pack_a(ad, bi * a_batch, i0, me, k, a_rs, a_ks, &mut apack[..me * k]);
+                a.pack_a(bi * a_batch, i0, me, k, a_rs, a_ks, &mut apack[..me * k]);
                 packed_strip = strip;
             }
             let (j_lo, j_hi) = (g * NC, ((g + 1) * NC).min(n));
@@ -676,6 +929,51 @@ mod tests {
         assert!(!tile_grid_parallel());
         set_tile_grid_parallel(true);
         assert!(tile_grid_parallel());
+    }
+
+    #[test]
+    fn bf16_packs_match_f32_packs_on_widened_data() {
+        use crate::bf16::{bf16_to_f32, f32_to_bf16};
+        // Ragged in both dimensions, 2 KC tiles: packing from bf16 must
+        // produce bit-for-bit the panels packed from the widened f32 copy.
+        let (rows, k, n) = (MR + 2, KC + 3, NR + 5);
+        let hb: Vec<u16> =
+            (0..k * n.max(rows)).map(|x| f32_to_bf16((x % 29) as f32 * 0.375 - 4.0)).collect();
+        let wide: Vec<f32> = hb.iter().map(|&h| bf16_to_f32(h)).collect();
+
+        let mut p16 = vec![f32::NAN; k * n];
+        let mut p32 = vec![f32::NAN; k * n];
+        pack_b_bf16(&hb, 0, k, n, n, 1, &mut p16);
+        pack_b(&wide, 0, k, n, n, 1, &mut p32);
+        assert!(p16.iter().zip(&p32).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+        let mut a16 = vec![f32::NAN; rows * k];
+        let mut a32 = vec![f32::NAN; rows * k];
+        pack_a_bf16(&hb, 0, 0, rows, k, k, 1, &mut a16);
+        pack_a(&wide, 0, 0, rows, k, k, 1, &mut a32);
+        assert!(a16.iter().zip(&a32).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn bf16_gemm_is_bitwise_f32_gemm_on_widened_inputs() {
+        use crate::bf16::{bf16_to_f32, f32_to_bf16};
+        let _g = grid_lock();
+        let (m, k, n) = (19, KC + 21, NR * 3 + 7);
+        let ah: Vec<u16> = (0..m * k).map(|x| f32_to_bf16((x % 17) as f32 * 0.25 - 2.0)).collect();
+        let bh: Vec<u16> = (0..k * n).map(|x| f32_to_bf16((x % 13) as f32 * 0.5 - 3.0)).collect();
+        let aw: Vec<f32> = ah.iter().map(|&h| bf16_to_f32(h)).collect();
+        let bw: Vec<f32> = bh.iter().map(|&h| bf16_to_f32(h)).collect();
+
+        let mut from_bf16 = vec![0.0f32; m * n];
+        gemm_packed_src(
+            PanelSrc::Bf16(&ah), 0, k, 1, PanelSrc::Bf16(&bh), 0, n, 1, 1, m, n, k,
+            &mut from_bf16,
+        );
+        let mut from_f32 = vec![0.0f32; m * n];
+        gemm_packed(&aw, 0, k, 1, &bw, 0, n, 1, 1, m, n, k, &mut from_f32);
+        // Widening at pack time is exact, so the full f32 accumulation —
+        // and hence every output bit — is identical.
+        assert!(from_bf16.iter().zip(&from_f32).all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

@@ -38,10 +38,10 @@ use std::ops::{Deref, DerefMut};
 use std::sync::Mutex;
 
 /// Max buffers parked per size bucket; further returns are dropped.
-const MAX_PER_BUCKET: usize = 16;
+pub const MAX_PER_BUCKET: usize = 16;
 
 /// Max total bytes the pool will hold onto; returns past this are dropped.
-const MAX_POOLED_BYTES: usize = 256 << 20;
+pub const MAX_POOLED_BYTES: usize = 256 << 20;
 
 /// Number of power-of-two size buckets (bucket `i` holds capacity `2^i`
 /// floats; the largest bucket covers 2^31 floats = 8 GiB, far beyond any

@@ -1,0 +1,95 @@
+//! Workspace-arena behaviour at the 256 MB pooled-bytes cap.
+//!
+//! The unit tests in `workspace.rs` cover reuse and aliasing; nothing
+//! there drives the pool near [`workspace::MAX_POOLED_BYTES`]. These
+//! tests live in their own integration binary (own process, own pool) so
+//! filling the pool to its cap cannot disturb the pointer-reuse
+//! assertions of the unit suite — and they still serialise among
+//! themselves because they share that process-wide pool.
+
+use metalora_tensor::workspace::{self, MAX_POOLED_BYTES};
+use std::sync::{Mutex, MutexGuard};
+
+/// All tests here mutate the one process-wide pool; run them one at a
+/// time and start each from a drained pool.
+fn pool_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    workspace::clear();
+    g
+}
+
+/// Floats whose 4-byte footprint is exactly the pooled-bytes cap.
+const CAP_FLOATS: usize = MAX_POOLED_BYTES / 4;
+
+#[test]
+fn lease_exactly_at_cap_is_pooled() {
+    let _g = pool_lock();
+    // `give` keeps a buffer while pooled_bytes + bytes <= cap, so a
+    // single buffer of exactly the cap must be accepted...
+    let buf: Vec<f32> = Vec::with_capacity(CAP_FLOATS);
+    assert_eq!(4 * buf.capacity(), MAX_POOLED_BYTES, "allocator changed the capacity");
+    let ptr = buf.as_ptr();
+    workspace::give(buf);
+    // ...and the next same-bucket checkout gets that very allocation back.
+    let lease = workspace::take(CAP_FLOATS);
+    assert_eq!(lease.len(), CAP_FLOATS);
+    assert_eq!(lease.as_ptr(), ptr, "at-cap buffer must be pooled and reused");
+    drop(lease);
+    workspace::clear();
+}
+
+#[test]
+fn one_byte_over_cap_is_dropped() {
+    let _g = pool_lock();
+    // Fill the pool to the cap exactly.
+    workspace::give(Vec::with_capacity(CAP_FLOATS));
+    // Any further return — even a single-float buffer — would exceed the
+    // cap and must be dropped, not pooled.
+    let small: Vec<f32> = vec![7.0; 1];
+    let small_ptr = small.as_ptr();
+    workspace::give(small);
+    // A checkout in the small bucket therefore misses: `take` zero-fills
+    // only the grown tail, so a recycled buffer would still hold 7.0.
+    let lease = workspace::take(1);
+    assert!(
+        lease.as_ptr() != small_ptr || lease[0] != 7.0,
+        "over-cap return must not have been pooled"
+    );
+    drop(lease);
+    workspace::clear();
+}
+
+#[test]
+fn recycle_works_again_after_cap_pressure() {
+    let _g = pool_lock();
+    // Saturate the cap, bounce a return off it...
+    workspace::give(Vec::with_capacity(CAP_FLOATS));
+    workspace::give(Vec::with_capacity(1024));
+    // ...then drain the big buffer out: the pool is empty again and the
+    // cap headroom is restored, so recycling must resume normally.
+    let big = workspace::take(CAP_FLOATS);
+    let t = workspace::zeroed_tensor(&[256]);
+    let ptr = t.data().as_ptr();
+    workspace::recycle(t);
+    let t2 = workspace::zeroed_tensor(&[256]);
+    assert_eq!(t2.data().as_ptr(), ptr, "post-cap recycle must reuse the buffer");
+    drop(big);
+    workspace::clear();
+}
+
+#[test]
+fn cap_sized_tensor_recycles_through_zeroed_tensor() {
+    let _g = pool_lock();
+    // The Tensor-based recycle path at the cap boundary: a zeroed tensor
+    // of exactly cap bytes parks on recycle (pool empty → fits) and the
+    // next zeroed_tensor of the same bucket reuses it, zero-filled.
+    let t = workspace::zeroed_tensor(&[CAP_FLOATS]);
+    let ptr = t.data().as_ptr();
+    workspace::recycle(t);
+    let t2 = workspace::zeroed_tensor(&[CAP_FLOATS]);
+    assert_eq!(t2.data().as_ptr(), ptr);
+    assert!(t2.data().iter().all(|&x| x == 0.0));
+    workspace::recycle(t2);
+    workspace::clear();
+}

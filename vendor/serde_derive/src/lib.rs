@@ -5,17 +5,27 @@
 //!
 //! * structs with named fields (any visibility),
 //! * unit structs and tuple structs,
-//! * enums whose variants are units or tuples.
+//! * enums whose variants are units or tuples,
+//! * `#[serde(default)]` on named struct fields — a missing key
+//!   deserialises to `Default::default()` instead of erroring, so report
+//!   schemas can grow fields without breaking older baselines.
 //!
-//! Generics, named-field enum variants and `#[serde(...)]` attributes are
-//! rejected with a compile error rather than silently mis-handled.
+//! Generics, named-field enum variants and other `#[serde(...)]`
+//! attributes are rejected or ignored rather than silently mis-handled.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named struct field: its name, and whether `#[serde(default)]`
+/// lets a missing key fall back to `Default::default()`.
+struct Field {
+    name: String,
+    default: bool,
+}
 
 /// The shape of a derive input, reduced to what codegen needs.
 enum Item {
     /// Struct with named fields.
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<Field> },
     /// Tuple struct with `arity` unnamed fields (0 covers unit structs).
     TupleStruct { name: String, arity: usize },
     /// Enum of `(variant name, tuple arity)`; arity 0 is a unit variant.
@@ -84,12 +94,48 @@ fn count_top_level_items(tokens: &[TokenTree]) -> usize {
     items
 }
 
+/// True when the attribute body tokens (the part inside `#[...]`) spell
+/// `serde(default)`.
+fn is_serde_default(attr: &TokenTree) -> bool {
+    let TokenTree::Group(g) = attr else { return false };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match inner.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(args)]
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            matches!(args.as_slice(),
+                [TokenTree::Ident(a)] if a.to_string() == "default")
+        }
+        _ => false,
+    }
+}
+
 /// Parses named-struct body tokens into field names.
-fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        i = skip_attrs_and_vis(tokens, i);
+        // Collect attributes ourselves (instead of skip_attrs_and_vis) so
+        // `#[serde(default)]` is seen before it is skipped.
+        let mut default = false;
+        loop {
+            match (tokens.get(i), tokens.get(i + 1)) {
+                (Some(TokenTree::Punct(p)), Some(attr)) if p.as_char() == '#' => {
+                    default |= is_serde_default(attr);
+                    i += 2;
+                }
+                (Some(TokenTree::Ident(id)), _) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
         if i >= tokens.len() {
             break;
         }
@@ -116,7 +162,7 @@ fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
 }
@@ -217,6 +263,7 @@ fn gen_serialize(item: &Item) -> String {
             let entries: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
                     )
@@ -289,7 +336,21 @@ fn gen_deserialize(item: &Item) -> String {
             let inits: String = fields
                 .iter()
                 .map(|f| {
-                    format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?,")
+                    let (name, default) = (&f.name, f.default);
+                    if default {
+                        format!(
+                            "{name}: match v.get(\"{name}\") {{\n\
+                                 ::std::option::Option::Some(x) => \
+                                     ::serde::Deserialize::from_value(x)?,\n\
+                                 ::std::option::Option::None => \
+                                     ::std::default::Default::default(),\n\
+                             }},"
+                        )
+                    } else {
+                        format!(
+                            "{name}: ::serde::Deserialize::from_value(v.field(\"{name}\")?)?,"
+                        )
+                    }
                 })
                 .collect();
             format!(
@@ -389,7 +450,7 @@ fn gen_deserialize(item: &Item) -> String {
 }
 
 /// Derives the stub `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok(item) => gen_serialize(&item).parse().unwrap(),
@@ -398,7 +459,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the stub `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok(item) => gen_deserialize(&item).parse().unwrap(),
