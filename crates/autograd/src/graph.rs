@@ -653,9 +653,10 @@ impl Graph {
 /// GELU forward (tanh approximation). Public so tape-free inference
 /// paths (`metalora_nn::infer`, the serving engine) can apply the exact
 /// same scalar function and stay bitwise-identical to [`Graph::gelu`].
+/// The canonical scalar lives in the tensor crate so fused GEMM
+/// epilogues ([`metalora_tensor::ops::Activation::Gelu`]) share it.
 pub fn gelu_fwd(x: f32) -> f32 {
-    const C: f32 = 0.797_884_6; // sqrt(2/π)
-    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+    metalora_tensor::ops::gelu(x)
 }
 
 /// GELU derivative (tanh approximation).

@@ -62,6 +62,34 @@ pub struct Bf16KernelPoint {
     pub matches_widened_f32: bool,
 }
 
+/// One fused-epilogue GEMM measurement against the separate-pass run at
+/// the same shape and thread count. Fusion folds the bias add and the
+/// activation into the GEMM's C store, so the fused run takes **zero**
+/// separate output passes (obs counter delta) while staying bitwise
+/// identical to the `matmul → add → map` sequence it replaces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FusedKernelPoint {
+    /// Kernel label (`"fused matmul 384x384x384 bias+gelu"`).
+    pub kernel: String,
+    /// Worker count the point ran with.
+    pub threads: usize,
+    /// Best-of-reps wall time of the fused call.
+    pub best_ms: f64,
+    /// Best-of-reps wall time of the same call with fusion disabled
+    /// (the `METALORA_FUSE=0` separate-pass sequence).
+    pub unfused_best_ms: f64,
+    /// `unfused_best_ms / best_ms` — gated at `fused_floor` at t = 1.
+    pub speedup_vs_unfused: f64,
+    /// Separate output passes one fused call took (obs delta) — the
+    /// second-pass-elimination claim: must be 0.
+    pub fused_output_passes: u64,
+    /// Separate output passes one unfused call takes (bias + activation
+    /// = 2 full walks over C).
+    pub unfused_output_passes: u64,
+    /// Fused output bitwise-equal to the separate-pass output.
+    pub bitwise_equal_to_unfused: bool,
+}
+
 /// Workspace-arena counters for one phase.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ArenaStats {
@@ -142,6 +170,14 @@ pub struct KernelReport {
     /// bf16 GEMM points (absent in pre-bf16 baselines).
     #[serde(default)]
     pub bf16_points: Vec<Bf16KernelPoint>,
+    /// Regress-gate floor for `speedup_vs_unfused` of fused points at
+    /// t = 1 (0 disables the gate — pre-fusion baselines deserialise to
+    /// that).
+    #[serde(default)]
+    pub fused_floor: f64,
+    /// Fused-epilogue GEMM points (absent in pre-fusion baselines).
+    #[serde(default)]
+    pub fused_points: Vec<FusedKernelPoint>,
     pub sweep_counters: Vec<CounterTotals>,
     pub sweep_dispatch: DispatchTotals,
     pub sweep_arena: ArenaStats,
@@ -177,6 +213,12 @@ fn matmul_bytes_moved() -> u64 {
         .find(|k| k.kernel == "matmul")
         .map(|k| k.bytes_moved)
         .unwrap_or(0)
+}
+
+/// Cumulative separate-epilogue output passes (obs counter) — deltas
+/// around calls prove the fused path eliminated its second pass over C.
+fn output_passes() -> u64 {
+    metalora_obs::counters::snapshot().output_passes
 }
 
 /// Sweeps one kernel over thread counts for both the legacy and the packed
@@ -347,6 +389,40 @@ pub fn run(quick: bool) -> KernelReport {
     }
     par::set_num_threads(0);
 
+    // Fused-epilogue GEMM at the matmul shape: bias + GELU folded into
+    // the GEMM's C store vs the separate `matmul → add → map` passes
+    // (`METALORA_FUSE=0`). The unfused run is also the bitwise reference:
+    // fusion reorders nothing, it only moves where the same scalar math
+    // happens, so every thread count must reproduce it bit for bit — and
+    // take zero separate output passes doing so.
+    let bias = init::uniform(&[mm_dim], -1.0, 1.0, &mut rng);
+    let fused_call =
+        || ops::matmul_bias_act(&a, &b, Some(&bias), Some(ops::Activation::Gelu)).unwrap();
+    let mut fused_points = Vec::new();
+    for &t in &threads {
+        par::set_num_threads(t);
+        ops::set_fuse_enabled(false);
+        let p0 = output_passes();
+        let (unfused_ms, reference) = time_ms(reps, fused_call);
+        let unfused_passes = (output_passes() - p0) / (reps as u64 + 1);
+        ops::set_fuse_enabled(true);
+        let p1 = output_passes();
+        let (ms, out) = time_ms(reps, fused_call);
+        let fused_passes = output_passes() - p1; // across all calls
+        fused_points.push(FusedKernelPoint {
+            kernel: format!("fused {mm_name} bias+gelu"),
+            threads: t,
+            best_ms: ms,
+            unfused_best_ms: unfused_ms,
+            speedup_vs_unfused: unfused_ms / ms,
+            fused_output_passes: fused_passes,
+            unfused_output_passes: unfused_passes,
+            bitwise_equal_to_unfused: bitwise_eq(&reference, &out),
+        });
+    }
+    ops::set_fuse_enabled(true);
+    par::set_num_threads(0);
+
     par::set_par_threshold(usize::MAX);
     let snap = metalora_obs::counters::snapshot();
     let sweep_counters: Vec<CounterTotals> = snap
@@ -417,6 +493,27 @@ pub fn run(quick: bool) -> KernelReport {
         })
         .collect();
     println!("{}", render_table(&headers16, &rows16));
+    let headers_f: Vec<String> = [
+        "kernel", "threads", "best ms", "unfused ms", "vs unfused", "passes", "bitwise",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let rows_f: Vec<Vec<String>> = fused_points
+        .iter()
+        .map(|p| {
+            vec![
+                p.kernel.clone(),
+                p.threads.to_string(),
+                format!("{:.3}", p.best_ms),
+                format!("{:.3}", p.unfused_best_ms),
+                format!("{:.2}x", p.speedup_vs_unfused),
+                format!("{}/{}", p.fused_output_passes, p.unfused_output_passes),
+                p.bitwise_equal_to_unfused.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers_f, &rows_f));
     println!(
         "arena hit rate: sweep {:.1}% ({}/{} checkouts), train {:.1}% ({}/{} checkouts)",
         100.0 * sweep_arena.hit_rate,
@@ -435,6 +532,14 @@ pub fn run(quick: bool) -> KernelReport {
         bf16_points.iter().all(|p| p.matches_widened_f32),
         "bf16 GEMM diverged from the round-once widened-f32 reference"
     );
+    assert!(
+        fused_points.iter().all(|p| p.bitwise_equal_to_unfused),
+        "fused epilogue diverged from the separate-pass output"
+    );
+    assert!(
+        fused_points.iter().all(|p| p.fused_output_passes == 0),
+        "fused GEMM still took a separate output pass"
+    );
 
     KernelReport {
         host_cpus,
@@ -445,6 +550,8 @@ pub fn run(quick: bool) -> KernelReport {
         points,
         bf16_bytes_ceiling: 0.55,
         bf16_points,
+        fused_floor: 0.95,
+        fused_points,
         sweep_counters,
         sweep_dispatch,
         sweep_arena,
@@ -486,6 +593,17 @@ mod tests {
                 bytes_ratio: 0.5,
                 matches_widened_f32: true,
             }],
+            fused_floor: 0.95,
+            fused_points: vec![FusedKernelPoint {
+                kernel: "fused matmul 128x128x128 bias+gelu".into(),
+                threads: 2,
+                best_ms: 1.4,
+                unfused_best_ms: 1.6,
+                speedup_vs_unfused: 1.6 / 1.4,
+                fused_output_passes: 0,
+                unfused_output_passes: 2,
+                bitwise_equal_to_unfused: true,
+            }],
             sweep_counters: vec![CounterTotals {
                 kernel: "matmul".into(),
                 calls: 12,
@@ -522,20 +640,33 @@ mod tests {
         assert!((back.bf16_points[0].bytes_ratio - 0.5).abs() < 1e-12);
         assert!(back.bf16_points[0].matches_widened_f32);
         assert!((back.bf16_bytes_ceiling - 0.55).abs() < 1e-12);
-        // Pre-bf16 baselines (no bf16 fields) must still deserialise:
-        // strip the new keys from the value tree and rebuild.
+        assert_eq!(back.fused_points.len(), 1);
+        assert_eq!(back.fused_points[0].fused_output_passes, 0);
+        assert_eq!(back.fused_points[0].unfused_output_passes, 2);
+        assert!(back.fused_points[0].bitwise_equal_to_unfused);
+        assert!((back.fused_floor - 0.95).abs() < 1e-12);
+        // Pre-bf16 / pre-fusion baselines lack the new fields but must
+        // still deserialise: strip the keys from the value tree, rebuild,
+        // and the gates arrive disarmed (empty points, zero thresholds).
         let serde::Value::Map(entries) = report.to_value() else {
             panic!("report must serialise to a map");
         };
         let legacy = serde::Value::Map(
             entries
                 .into_iter()
-                .filter(|(k, _)| k != "bf16_points" && k != "bf16_bytes_ceiling")
+                .filter(|(k, _)| {
+                    k != "bf16_points"
+                        && k != "bf16_bytes_ceiling"
+                        && k != "fused_points"
+                        && k != "fused_floor"
+                })
                 .collect(),
         );
         let old = KernelReport::from_value(&legacy).unwrap();
         assert!(old.bf16_points.is_empty());
         assert_eq!(old.bf16_bytes_ceiling, 0.0);
+        assert!(old.fused_points.is_empty());
+        assert_eq!(old.fused_floor, 0.0);
         assert_eq!(back.points[0].threads, 2);
         assert!(back.points[0].bitwise_equal_to_serial);
         assert_eq!(back.sweep_counters[0].calls, 12);

@@ -35,6 +35,13 @@
 //!   Baselines predating the bf16 sweep have no `bf16_points` and a zero
 //!   ceiling: the gates simply don't arm, and fresh bf16 points surface
 //!   as refresh-the-baseline warnings.
+//! * Fused-epilogue points follow the same shape: the bitwise contract
+//!   (`bitwise_equal_to_unfused`) and the second-pass-elimination claim
+//!   (`fused_output_passes == 0`) are deterministic and always violate,
+//!   while the fused-vs-unfused wall-clock ratio — a within-run ratio,
+//!   immune to host speed — gates against the baseline's `fused_floor`
+//!   at `t = 1` only. Pre-fusion baselines deserialise to no fused
+//!   points and a zero floor, so those gates don't arm either.
 
 use crate::kernels::KernelReport;
 use crate::serve_bench::ServeReport;
@@ -246,6 +253,61 @@ pub fn compare(baseline: &KernelReport, fresh: &KernelReport, tol: &Tolerances) 
         }
     }
 
+    // Fused-epilogue points. Correctness (bitwise vs the separate-pass
+    // run) and the zero-output-pass claim are deterministic and always
+    // gate; the fused-vs-unfused wall-clock ratio gates against
+    // `fused_floor` at t=1 with a matching SIMD level. Pre-fusion
+    // baselines carry no fused points and a zero floor: nothing arms.
+    for base_pt in &baseline.fused_points {
+        let Some(fresh_pt) = fresh
+            .fused_points
+            .iter()
+            .find(|p| p.kernel == base_pt.kernel && p.threads == base_pt.threads)
+        else {
+            cmp.violations.push(format!(
+                "fused missing point: {} / t={} is in the baseline but not in the fresh run",
+                base_pt.kernel, base_pt.threads
+            ));
+            continue;
+        };
+        if !fresh_pt.bitwise_equal_to_unfused {
+            cmp.violations.push(format!(
+                "fused correctness: {} / t={} no longer bitwise-equal to the separate-pass output",
+                fresh_pt.kernel, fresh_pt.threads
+            ));
+        }
+        if fresh_pt.fused_output_passes != 0 {
+            cmp.violations.push(format!(
+                "fused passes: {} / t={} took {} separate output pass(es) — fusion must take none",
+                fresh_pt.kernel, fresh_pt.threads, fresh_pt.fused_output_passes
+            ));
+        }
+        if baseline.fused_floor > 0.0 && fresh_pt.speedup_vs_unfused < baseline.fused_floor {
+            let msg = format!(
+                "fused perf: {} / t={} ran at {:.2}x vs its own unfused run, floor is {:.2}x",
+                fresh_pt.kernel, fresh_pt.threads, fresh_pt.speedup_vs_unfused,
+                baseline.fused_floor
+            );
+            if perf_gate && base_pt.threads == 1 {
+                cmp.violations.push(msg);
+            } else {
+                cmp.warnings.push(msg);
+            }
+        }
+    }
+    for fresh_pt in &fresh.fused_points {
+        let known = baseline
+            .fused_points
+            .iter()
+            .any(|p| p.kernel == fresh_pt.kernel && p.threads == fresh_pt.threads);
+        if !known {
+            cmp.warnings.push(format!(
+                "fused new point not in baseline: {} / t={} (refresh BENCH_kernels.json)",
+                fresh_pt.kernel, fresh_pt.threads
+            ));
+        }
+    }
+
     for base_ct in &baseline.sweep_counters {
         let Some(fresh_ct) =
             fresh.sweep_counters.iter().find(|c| c.kernel == base_ct.kernel)
@@ -315,6 +377,11 @@ pub fn compare(baseline: &KernelReport, fresh: &KernelReport, tol: &Tolerances) 
 /// * When the baseline arms `bf16_capacity_floor`, the fresh run's
 ///   merged-bf16 residency must reach that multiple of the f32 merged
 ///   residency at equal cache bytes — the doubled-capacity claim.
+/// * A fresh point that took separate epilogue output passes is always a
+///   violation — serving runs with fusion on, so the pass count is
+///   deterministically zero. The fused-epilogue and plans-built totals
+///   are deterministic per stream too, but only gate when the baseline
+///   recorded them (pre-fusion baselines deserialise to zero).
 pub fn compare_serve(
     baseline: &ServeReport,
     fresh: &ServeReport,
@@ -364,6 +431,23 @@ pub fn compare_serve(
             ("resident_entries", base_pt.resident_entries, fresh_pt.resident_entries),
         ] {
             if rel_diff(fresh_n as f64, base_n as f64) > tol.counter_frac {
+                cmp.violations.push(format!(
+                    "serve counter drift: {} / t={} {name} {fresh_n} vs baseline {base_n} — the sweep is serving different work",
+                    base_pt.mode, base_pt.threads
+                ));
+            }
+        }
+        if fresh_pt.output_passes != 0 {
+            cmp.violations.push(format!(
+                "serve fused passes: {} / t={} took {} separate epilogue pass(es) — the fused-store claim broke",
+                base_pt.mode, base_pt.threads, fresh_pt.output_passes
+            ));
+        }
+        for (name, base_n, fresh_n) in [
+            ("fused_epilogues", base_pt.fused_epilogues, fresh_pt.fused_epilogues),
+            ("plans_built", base_pt.plans_built, fresh_pt.plans_built),
+        ] {
+            if base_n > 0 && rel_diff(fresh_n as f64, base_n as f64) > tol.counter_frac {
                 cmp.violations.push(format!(
                     "serve counter drift: {} / t={} {name} {fresh_n} vs baseline {base_n} — the sweep is serving different work",
                     base_pt.mode, base_pt.threads
@@ -441,7 +525,9 @@ pub fn compare_serve(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernels::{ArenaStats, Bf16KernelPoint, CounterTotals, DispatchTotals, KernelPoint};
+    use crate::kernels::{
+        ArenaStats, Bf16KernelPoint, CounterTotals, DispatchTotals, FusedKernelPoint, KernelPoint,
+    };
 
     fn arena() -> ArenaStats {
         ArenaStats { hits: 10, misses: 2, hit_rate: 10.0 / 12.0, bytes_reused: 1024, peak_pooled_bytes: 2048 }
@@ -474,6 +560,19 @@ mod tests {
         }
     }
 
+    fn fused_point(threads: usize, speedup: f64) -> FusedKernelPoint {
+        FusedKernelPoint {
+            kernel: "fused matmul 128x128x128 bias+gelu".into(),
+            threads,
+            best_ms: 1.0 / speedup,
+            unfused_best_ms: 1.0,
+            speedup_vs_unfused: speedup,
+            fused_output_passes: 0,
+            unfused_output_passes: 2,
+            bitwise_equal_to_unfused: true,
+        }
+    }
+
     fn report() -> KernelReport {
         KernelReport {
             host_cpus: 4,
@@ -484,6 +583,8 @@ mod tests {
             points: vec![point("legacy", 1, 2.0), point("packed", 1, 1.0), point("packed", 4, 0.4)],
             bf16_bytes_ceiling: 0.55,
             bf16_points: vec![bf16_point(1, 0.8), bf16_point(4, 0.3)],
+            fused_floor: 0.95,
+            fused_points: vec![fused_point(1, 1.2), fused_point(4, 1.1)],
             sweep_counters: vec![
                 CounterTotals { kernel: "matmul".into(), calls: 24, flops: 100_000 },
                 CounterTotals { kernel: "knn".into(), calls: 9, flops: 5_000 },
@@ -652,6 +753,10 @@ mod tests {
                 "merged-bf16" => 768,
                 _ => 0,
             },
+            fused_epilogues: 192,
+            output_passes: 0,
+            plans_built: 3,
+            plan_leases: 12,
             bitwise_ok: true,
         }
     }
@@ -838,6 +943,121 @@ mod tests {
         let cmp = compare(&base, &report(), &Tolerances::default());
         assert!(cmp.passed(), "violations: {:?}", cmp.violations);
         assert!(cmp.warnings.iter().any(|w| w.contains("bf16 new point not in baseline")));
+    }
+
+    // --- fused-epilogue gates ----------------------------------------
+
+    #[test]
+    fn fused_speedup_regression_fails_only_at_t1() {
+        let mut fresh = report();
+        fresh.fused_points[0].speedup_vs_unfused = 0.7; // t=1 below floor
+        fresh.fused_points[1].speedup_vs_unfused = 0.7; // t=4 below floor
+        let cmp = compare(&report(), &fresh, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert_eq!(
+            cmp.violations.iter().filter(|v| v.starts_with("fused perf:")).count(),
+            1,
+            "{:?}",
+            cmp.violations
+        );
+        assert!(cmp.warnings.iter().any(|w| w.starts_with("fused perf:")));
+    }
+
+    #[test]
+    fn fused_simd_mismatch_downgrades_perf_to_warning() {
+        let mut fresh = report();
+        fresh.simd_level = "scalar".into();
+        fresh.fused_points[0].speedup_vs_unfused = 0.7;
+        let cmp = compare(&report(), &fresh, &Tolerances::default());
+        assert!(
+            !cmp.violations.iter().any(|v| v.starts_with("fused perf:")),
+            "{:?}",
+            cmp.violations
+        );
+        assert!(cmp.warnings.iter().any(|w| w.starts_with("fused perf:")));
+    }
+
+    #[test]
+    fn fused_bitwise_break_and_output_pass_always_violate() {
+        let mut fresh = report();
+        fresh.fused_points[1].bitwise_equal_to_unfused = false; // even at t>1
+        fresh.fused_points[1].fused_output_passes = 2; // second pass came back
+        fresh.simd_level = "scalar".into(); // even with the perf gate off
+        let cmp = compare(&report(), &fresh, &Tolerances::default());
+        assert!(
+            cmp.violations.iter().any(|v| v.starts_with("fused correctness:")),
+            "{:?}",
+            cmp.violations
+        );
+        assert!(
+            cmp.violations.iter().any(|v| v.starts_with("fused passes:")),
+            "{:?}",
+            cmp.violations
+        );
+    }
+
+    #[test]
+    fn fused_missing_point_fails() {
+        let mut fresh = report();
+        fresh.fused_points.remove(0);
+        let cmp = compare(&report(), &fresh, &Tolerances::default());
+        assert!(cmp.violations.iter().any(|v| v.starts_with("fused missing point:")));
+    }
+
+    #[test]
+    fn pre_fusion_baseline_disarms_the_gates() {
+        // An old baseline deserialises to no fused points and a zero
+        // floor: fresh fused points only produce refresh warnings.
+        let mut base = report();
+        base.fused_points.clear();
+        base.fused_floor = 0.0;
+        let mut fresh = report();
+        fresh.fused_points[0].speedup_vs_unfused = 0.5; // would fail armed
+        let cmp = compare(&base, &fresh, &Tolerances::default());
+        assert!(cmp.passed(), "violations: {:?}", cmp.violations);
+        assert!(cmp.warnings.iter().any(|w| w.contains("fused new point not in baseline")));
+    }
+
+    #[test]
+    fn serve_output_pass_regression_fails() {
+        let mut fresh = serve_report();
+        fresh.points[1].output_passes = 4; // a separate pass came back
+        let cmp = compare_serve(&serve_report(), &fresh, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(
+            cmp.violations.iter().any(|v| v.starts_with("serve fused passes:")),
+            "{:?}",
+            cmp.violations
+        );
+    }
+
+    #[test]
+    fn serve_fusion_counter_drift_fails_when_armed() {
+        let mut fresh = serve_report();
+        fresh.points[1].fused_epilogues = 96; // forwards changed shape
+        fresh.points[1].plans_built = 9; // plan cache stopped hitting
+        let cmp = compare_serve(&serve_report(), &fresh, &Tolerances::default());
+        assert_eq!(
+            cmp.violations
+                .iter()
+                .filter(|v| v.contains("fused_epilogues") || v.contains("plans_built"))
+                .count(),
+            2,
+            "{:?}",
+            cmp.violations
+        );
+    }
+
+    #[test]
+    fn serve_fusion_counters_disarmed_by_pre_fusion_baseline() {
+        let mut base = serve_report();
+        for p in base.points.iter_mut() {
+            p.fused_epilogues = 0; // what an old baseline deserialises to
+            p.plans_built = 0;
+            p.plan_leases = 0;
+        }
+        let cmp = compare_serve(&base, &serve_report(), &Tolerances::default());
+        assert!(cmp.passed(), "violations: {:?}", cmp.violations);
     }
 
     #[test]

@@ -53,6 +53,21 @@ pub struct ServePoint {
     /// Bytes those resident entries occupy.
     #[serde(default)]
     pub resident_bytes: u64,
+    /// Fused GEMM epilogues applied over the stream (obs counter delta) —
+    /// every bias add and activation of the serve forwards rides one.
+    #[serde(default)]
+    pub fused_epilogues: u64,
+    /// Separate epilogue output passes taken over the stream — the
+    /// second-pass-elimination claim: 0 with fusion on (the default).
+    #[serde(default)]
+    pub output_passes: u64,
+    /// Static inference plans built while serving the stream (one per new
+    /// shape signature; repeat batches reuse the cached plan).
+    #[serde(default)]
+    pub plans_built: u64,
+    /// Workspace buffers leased up front through the per-batch plan.
+    #[serde(default)]
+    pub plan_leases: u64,
     /// Batched outputs bitwise-equal to a `max_batch = 1` re-serve.
     pub bitwise_ok: bool,
 }
@@ -206,9 +221,11 @@ pub fn run(quick: bool) -> ServeReport {
             par::set_num_threads(threads);
             let engine =
                 build_engine(tenants, in_dim, out_dim, use_merged, max_batch, cache_bytes, 7);
+            let c0 = metalora_obs::counters::snapshot();
             let t0 = Instant::now();
             let outs = engine.process(&reqs).expect("batched serve");
             let elapsed = t0.elapsed().as_secs_f64();
+            let c1 = metalora_obs::counters::snapshot();
             let (p50, p95, p99) = engine.latency_percentiles_us();
             let stats = engine.cache().stats();
             points.push(ServePoint {
@@ -225,6 +242,10 @@ pub fn run(quick: bool) -> ServeReport {
                 cache_evictions: stats.evictions,
                 resident_entries: stats.entries,
                 resident_bytes: stats.bytes,
+                fused_epilogues: c1.fused_epilogues - c0.fused_epilogues,
+                output_passes: c1.output_passes - c0.output_passes,
+                plans_built: c1.plans_built - c0.plans_built,
+                plan_leases: c1.plan_leases - c0.plan_leases,
                 bitwise_ok: bits_of(&outs) == reference,
             });
         }
@@ -235,7 +256,7 @@ pub fn run(quick: bool) -> ServeReport {
 
     let headers: Vec<String> = [
         "mode", "threads", "req/s", "p50 µs", "p95 µs", "p99 µs", "hits", "misses", "evict",
-        "resident", "bitwise",
+        "resident", "fused", "passes", "plans", "bitwise",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -254,6 +275,9 @@ pub fn run(quick: bool) -> ServeReport {
                 p.cache_misses.to_string(),
                 p.cache_evictions.to_string(),
                 p.resident_entries.to_string(),
+                p.fused_epilogues.to_string(),
+                p.output_passes.to_string(),
+                p.plans_built.to_string(),
                 p.bitwise_ok.to_string(),
             ]
         })
@@ -263,6 +287,28 @@ pub fn run(quick: bool) -> ServeReport {
     assert!(
         points.iter().all(|p| p.bitwise_ok),
         "batched serving diverged from the one-request-at-a-time reference"
+    );
+    // With fusion on (the default) every bias/activation rides the GEMM
+    // store; under `METALORA_FUSE=0` the separate passes must come back —
+    // either way the counters have to prove which path actually ran.
+    if ops::fuse_enabled() {
+        assert!(
+            points.iter().all(|p| p.output_passes == 0),
+            "serving still took separate epilogue output passes with fusion on"
+        );
+        assert!(
+            points.iter().all(|p| p.fused_epilogues > 0),
+            "serving applied no fused epilogues with fusion on"
+        );
+    } else {
+        assert!(
+            points.iter().all(|p| p.output_passes > 0 && p.fused_epilogues == 0),
+            "METALORA_FUSE=0 did not restore the separate epilogue passes"
+        );
+    }
+    assert!(
+        points.iter().all(|p| p.plans_built > 0),
+        "serving built no static inference plans"
     );
 
     ServeReport {
@@ -307,6 +353,10 @@ mod tests {
                 cache_evictions: 4,
                 resident_entries: 6,
                 resident_bytes: 768,
+                fused_epilogues: 192,
+                output_passes: 0,
+                plans_built: 3,
+                plan_leases: 12,
                 bitwise_ok: true,
             }],
         };
@@ -317,10 +367,15 @@ mod tests {
         assert_eq!(back.points[0].batches, 6);
         assert_eq!(back.points[0].resident_entries, 6);
         assert_eq!(back.points[0].resident_bytes, 768);
+        assert_eq!(back.points[0].fused_epilogues, 192);
+        assert_eq!(back.points[0].output_passes, 0);
+        assert_eq!(back.points[0].plans_built, 3);
+        assert_eq!(back.points[0].plan_leases, 12);
         assert!(back.points[0].bitwise_ok);
         assert_eq!(back.max_batch, 16);
         assert!((back.bf16_capacity_floor - 1.8).abs() < 1e-12);
-        // Pre-bf16 baselines lack the new keys; they default to zero.
+        // Pre-bf16 / pre-fusion baselines lack the new keys; they default
+        // to zero.
         use serde::{Deserialize, Serialize, Value};
         let strip = |v: Value, keys: &[&str]| {
             let Value::Map(entries) = v else { panic!("expected map") };
@@ -337,7 +392,19 @@ mod tests {
                 let Value::Seq(pts) = std::mem::replace(v, Value::Null) else { panic!() };
                 *v = Value::Seq(
                     pts.into_iter()
-                        .map(|p| strip(p, &["resident_entries", "resident_bytes"]))
+                        .map(|p| {
+                            strip(
+                                p,
+                                &[
+                                    "resident_entries",
+                                    "resident_bytes",
+                                    "fused_epilogues",
+                                    "output_passes",
+                                    "plans_built",
+                                    "plan_leases",
+                                ],
+                            )
+                        })
                         .collect(),
                 );
             }
@@ -345,6 +412,8 @@ mod tests {
         let legacy = strip(Value::Map(top), &["bf16_capacity_floor"]);
         let old = ServeReport::from_value(&legacy).unwrap();
         assert_eq!(old.points[0].resident_entries, 0);
+        assert_eq!(old.points[0].fused_epilogues, 0);
+        assert_eq!(old.points[0].plans_built, 0);
         assert_eq!(old.bf16_capacity_floor, 0.0);
     }
 
@@ -387,5 +456,11 @@ mod tests {
         // Factored mode never touches the cache.
         let factored: Vec<_> = report.points.iter().filter(|p| p.mode == "factored").collect();
         assert!(factored.iter().all(|p| p.cache_hits == 0 && p.cache_misses == 0));
+        // Fusion and the static plan cover every mode: bias adds and
+        // activations ride the GEMM store (zero separate passes), and the
+        // engine builds plans for the stream's shape signatures.
+        assert!(report.points.iter().all(|p| p.fused_epilogues > 0));
+        assert!(report.points.iter().all(|p| p.output_passes == 0));
+        assert!(report.points.iter().all(|p| p.plans_built > 0));
     }
 }

@@ -15,64 +15,104 @@
 use crate::Result;
 use metalora_autograd::gelu_fwd;
 use metalora_tensor::conv::{self, ConvSpec};
+use metalora_tensor::ops::Activation;
 use metalora_tensor::{ops, Bf16Buf, Tensor};
 
+/// Dense layer `act(x·W (+ b))` for `x:[N,I]`, `w:[I,O]`, `bias:[O]`.
+///
+/// The single linear epilogue entry: every bias add and activation in
+/// this module funnels through here into the tensor crate's shared
+/// [`ops::Epilogue`], which applies them **inside** the GEMM's store
+/// (one output pass) when fusion is on, or as the legacy separate
+/// broadcast-add/map passes when it is off — bitwise identical either
+/// way, and to a tape forward through [`metalora_autograd::Graph`].
+pub fn linear_act(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    act: Option<Activation>,
+) -> Result<Tensor> {
+    ops::matmul_bias_act(x, w, bias, act)
+}
+
 /// Dense layer `x·W (+ b)` for `x:[N,I]`, `w:[I,O]`, `bias:[O]` — the
-/// tape-free twin of [`crate::Linear`]'s forward (matmul, then broadcast
-/// bias add).
+/// tape-free twin of [`crate::Linear`]'s forward. Routes through
+/// [`linear_act`] with no activation.
 pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
-    let y = ops::matmul(x, w)?;
-    match bias {
-        Some(b) => ops::add(&y, b),
-        None => Ok(y),
-    }
+    linear_act(x, w, bias, None)
 }
 
-/// Convolution `x * W (+ b)` for `x:[N,C,H,W]`, `w:[KH,KW,C,O]`,
-/// `bias:[O]` — the tape-free twin of [`crate::Conv2d`]'s forward
-/// (same im2col production path, then the bias broadcast as `[O,1,1]`).
+/// Convolution `act(x * W (+ b))` for `x:[N,C,H,W]`, `w:[KH,KW,C,O]`,
+/// `bias:[O]` — the conv twin of [`linear_act`]: the per-channel bias
+/// and activation ride the production GEMM's store (fused) or run as
+/// the legacy `[O,1,1]` broadcast add + map passes (unfused).
+pub fn conv2d_act(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    act: Option<Activation>,
+    spec: ConvSpec,
+) -> Result<Tensor> {
+    conv::conv2d_bias_act(x, w, bias, act, spec, spec)
+}
+
+/// Convolution `x * W (+ b)` — the tape-free twin of [`crate::Conv2d`]'s
+/// forward. Routes through [`conv2d_act`] with no activation.
 pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, spec: ConvSpec) -> Result<Tensor> {
-    let y = conv::conv2d(x, w, spec, spec)?;
-    match bias {
-        Some(b) => {
-            let o = w.dims()[3];
-            let b = b.reshaped(&[o, 1, 1])?;
-            ops::add(&y, &b)
-        }
-        None => Ok(y),
-    }
+    conv2d_act(x, w, bias, None, spec)
 }
 
-/// [`linear`] against a bf16 weight snapshot: the weights stream at half
-/// the bytes through `ops::matmul_bf16_weights` (widened exactly at GEMM
-/// pack time, f32 accumulation throughout), so the result is **bitwise**
-/// `linear(x, &w.widen(), bias)` — the only deviation from a pure-f32
-/// forward is the one-time RNE rounding taken when `w` was snapshot
-/// (relative ≤ 2⁻⁸ per weight).
+/// [`linear_act`] against a bf16 weight snapshot: the weights stream at
+/// half the bytes (widened exactly at GEMM pack time, f32 accumulation
+/// throughout), so the result is **bitwise**
+/// `linear_act(x, &w.widen(), bias, act)` — the only deviation from a
+/// pure-f32 forward is the one-time RNE rounding taken when `w` was
+/// snapshot (relative ≤ 2⁻⁸ per weight).
+pub fn linear_bf16_act(
+    x: &Tensor,
+    w: &Bf16Buf,
+    bias: Option<&Tensor>,
+    act: Option<Activation>,
+) -> Result<Tensor> {
+    ops::matmul_bf16_weights_bias_act(x, w, bias, act)
+}
+
+/// [`linear`] against a bf16 weight snapshot. Routes through
+/// [`linear_bf16_act`] with no activation.
 pub fn linear_bf16(x: &Tensor, w: &Bf16Buf, bias: Option<&Tensor>) -> Result<Tensor> {
-    let y = ops::matmul_bf16_weights(x, w)?;
-    match bias {
-        Some(b) => ops::add(&y, b),
-        None => Ok(y),
-    }
+    linear_bf16_act(x, w, bias, None)
 }
 
-/// [`conv2d`] against a bf16 kernel snapshot. Conv kernels are tiny next
-/// to the im2col activations, so this widens the kernel up front (exact)
-/// and runs the f32 conv — the storage saving is the point (snapshots,
-/// caches), not the kernel's streaming bytes. Bitwise
-/// `conv2d(x, &w.widen(), bias, spec)`.
+/// [`conv2d_act`] against a bf16 kernel snapshot. Conv kernels are tiny
+/// next to the im2col activations, so this widens the kernel up front
+/// (exact) and runs the f32 conv — the storage saving is the point
+/// (snapshots, caches), not the kernel's streaming bytes. Bitwise
+/// `conv2d_act(x, &w.widen(), bias, act, spec)`.
+pub fn conv2d_bf16_act(
+    x: &Tensor,
+    w: &Bf16Buf,
+    bias: Option<&Tensor>,
+    act: Option<Activation>,
+    spec: ConvSpec,
+) -> Result<Tensor> {
+    conv2d_act(x, &w.widen(), bias, act, spec)
+}
+
+/// [`conv2d`] against a bf16 kernel snapshot. Routes through
+/// [`conv2d_bf16_act`] with no activation.
 pub fn conv2d_bf16(
     x: &Tensor,
     w: &Bf16Buf,
     bias: Option<&Tensor>,
     spec: ConvSpec,
 ) -> Result<Tensor> {
-    conv2d(x, &w.widen(), bias, spec)
+    conv2d_bf16_act(x, w, bias, None, spec)
 }
 
 /// GELU (tanh approximation) — applies the same scalar function as
-/// [`metalora_autograd::Graph::gelu`].
+/// [`metalora_autograd::Graph::gelu`] and the fused
+/// [`Activation::Gelu`] epilogue (all three share
+/// [`metalora_tensor::ops::gelu`]).
 pub fn gelu(x: &Tensor) -> Tensor {
     ops::map(x, gelu_fwd)
 }
@@ -185,6 +225,46 @@ mod tests {
         let got = conv2d_bf16(&x, &w16, bias.as_ref(), layer.spec()).unwrap();
         let expect = conv2d(&x, &w16.widen(), bias.as_ref(), layer.spec()).unwrap();
         assert_eq!(bits(&got), bits(&expect));
+    }
+
+    #[test]
+    fn linear_act_is_bitwise_linear_then_activation() {
+        let mut rng = init::rng(17);
+        let layer = Linear::new("fc", 7, 5, &mut rng);
+        let x = init::uniform(&[4, 7], -1.0, 1.0, &mut rng);
+        let w = layer.weight().value();
+        let bias = layer.bias().map(|b| b.value());
+        let fused = linear_act(&x, &w, bias.as_ref(), Some(Activation::Gelu)).unwrap();
+        let sep = gelu(&linear(&x, &w, bias.as_ref()).unwrap());
+        assert_eq!(bits(&fused), bits(&sep));
+        let fused = linear_act(&x, &w, bias.as_ref(), Some(Activation::Tanh)).unwrap();
+        let sep = tanh(&linear(&x, &w, bias.as_ref()).unwrap());
+        assert_eq!(bits(&fused), bits(&sep));
+    }
+
+    #[test]
+    fn linear_bf16_act_is_bitwise_widened_linear_act() {
+        let mut rng = init::rng(18);
+        let layer = Linear::new("fc", 9, 6, &mut rng);
+        let x = init::uniform(&[5, 9], -1.0, 1.0, &mut rng);
+        let w16 = Bf16Buf::from_tensor(&layer.weight().value());
+        let bias = layer.bias().map(|b| b.value());
+        let got = linear_bf16_act(&x, &w16, bias.as_ref(), Some(Activation::Gelu)).unwrap();
+        let expect = linear_act(&x, &w16.widen(), bias.as_ref(), Some(Activation::Gelu)).unwrap();
+        assert_eq!(bits(&got), bits(&expect));
+    }
+
+    #[test]
+    fn conv2d_act_is_bitwise_conv_then_relu() {
+        let mut rng = init::rng(19);
+        let layer = Conv2d::new("c", 3, 4, 3, 1, 1, &mut rng).unwrap();
+        let x = init::uniform(&[2, 3, 6, 6], -1.0, 1.0, &mut rng);
+        let w = layer.weight().value();
+        let bias = layer.bias().map(|b| b.value());
+        let fused =
+            conv2d_act(&x, &w, bias.as_ref(), Some(Activation::Relu), layer.spec()).unwrap();
+        let sep = relu(&conv2d(&x, &w, bias.as_ref(), layer.spec()).unwrap());
+        assert_eq!(bits(&fused), bits(&sep));
     }
 
     #[test]

@@ -91,6 +91,13 @@ static BF16_SNAPSHOTS: AtomicU64 = AtomicU64::new(0);
 static BF16_ACTUAL_BYTES: AtomicU64 = AtomicU64::new(0);
 static BF16_F32_EQUIV_BYTES: AtomicU64 = AtomicU64::new(0);
 
+static FUSED_EPILOGUES: AtomicU64 = AtomicU64::new(0);
+static FUSED_ELEMS: AtomicU64 = AtomicU64::new(0);
+static OUTPUT_PASSES: AtomicU64 = AtomicU64::new(0);
+static PLANS_BUILT: AtomicU64 = AtomicU64::new(0);
+static PLAN_LEASES: AtomicU64 = AtomicU64::new(0);
+static PLAN_LEASE_BYTES: AtomicU64 = AtomicU64::new(0);
+
 static SERVE_REQUESTS: AtomicU64 = AtomicU64::new(0);
 static SERVE_BATCHES: AtomicU64 = AtomicU64::new(0);
 static SERVE_SEED_ROWS: AtomicU64 = AtomicU64::new(0);
@@ -214,6 +221,51 @@ pub fn record_bf16_snapshot(elems: u64) {
     BF16_SNAPSHOTS.fetch_add(1, Relaxed);
     BF16_ACTUAL_BYTES.fetch_add(2 * elems, Relaxed);
     BF16_F32_EQUIV_BYTES.fetch_add(4 * elems, Relaxed);
+}
+
+/// Records one GEMM whose epilogue (bias add and/or activation) was fused
+/// into the store over `elems` output elements — work a separate full
+/// output pass would otherwise have done.
+#[inline]
+pub fn record_fused_epilogue(elems: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    FUSED_EPILOGUES.fetch_add(1, Relaxed);
+    FUSED_ELEMS.fetch_add(elems, Relaxed);
+}
+
+/// Records one separate (unfused) epilogue pass over a full output — a
+/// broadcast bias add or an activation map. The fused serving path must
+/// drive this to zero; the regress gate asserts it.
+#[inline]
+pub fn record_output_pass() {
+    if !crate::enabled() {
+        return;
+    }
+    OUTPUT_PASSES.fetch_add(1, Relaxed);
+}
+
+/// Records one static inference plan built (scratch sizes computed from
+/// shapes — once per distinct (shape, threads) signature, not per batch).
+#[inline]
+pub fn record_plan_built() {
+    if !crate::enabled() {
+        return;
+    }
+    PLANS_BUILT.fetch_add(1, Relaxed);
+}
+
+/// Records one batch-wide workspace lease of `buffers` planned buffers
+/// totalling `bytes`, taken up front so every in-batch checkout is a
+/// guaranteed arena hit.
+#[inline]
+pub fn record_plan_lease(buffers: u64, bytes: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    PLAN_LEASES.fetch_add(buffers, Relaxed);
+    PLAN_LEASE_BYTES.fetch_add(bytes, Relaxed);
 }
 
 /// Records one served batch carrying `requests` requests.
@@ -351,6 +403,18 @@ pub struct CounterSnapshot {
     /// Bytes the same snapshots would occupy in f32 (4 per element);
     /// `bf16_f32_equiv_bytes - bf16_actual_bytes` is the storage saved.
     pub bf16_f32_equiv_bytes: u64,
+    /// GEMMs whose bias/activation epilogue was fused into the store.
+    pub fused_epilogues: u64,
+    /// Output elements the fused epilogues covered.
+    pub fused_elems: u64,
+    /// Separate (unfused) full epilogue passes over an output.
+    pub output_passes: u64,
+    /// Static inference plans built.
+    pub plans_built: u64,
+    /// Workspace buffers leased up front by batch-wide plan leases.
+    pub plan_leases: u64,
+    /// Bytes covered by those batch-wide plan leases.
+    pub plan_lease_bytes: u64,
     /// Requests served by the serving engine.
     pub serve_requests: u64,
     /// Batches the serving engine executed.
@@ -406,6 +470,12 @@ pub fn snapshot() -> CounterSnapshot {
         bf16_snapshots: BF16_SNAPSHOTS.load(Relaxed),
         bf16_actual_bytes: BF16_ACTUAL_BYTES.load(Relaxed),
         bf16_f32_equiv_bytes: BF16_F32_EQUIV_BYTES.load(Relaxed),
+        fused_epilogues: FUSED_EPILOGUES.load(Relaxed),
+        fused_elems: FUSED_ELEMS.load(Relaxed),
+        output_passes: OUTPUT_PASSES.load(Relaxed),
+        plans_built: PLANS_BUILT.load(Relaxed),
+        plan_leases: PLAN_LEASES.load(Relaxed),
+        plan_lease_bytes: PLAN_LEASE_BYTES.load(Relaxed),
         serve_requests: SERVE_REQUESTS.load(Relaxed),
         serve_batches: SERVE_BATCHES.load(Relaxed),
         serve_seed_rows: SERVE_SEED_ROWS.load(Relaxed),
@@ -443,6 +513,12 @@ pub fn reset() {
     BF16_SNAPSHOTS.store(0, Relaxed);
     BF16_ACTUAL_BYTES.store(0, Relaxed);
     BF16_F32_EQUIV_BYTES.store(0, Relaxed);
+    FUSED_EPILOGUES.store(0, Relaxed);
+    FUSED_ELEMS.store(0, Relaxed);
+    OUTPUT_PASSES.store(0, Relaxed);
+    PLANS_BUILT.store(0, Relaxed);
+    PLAN_LEASES.store(0, Relaxed);
+    PLAN_LEASE_BYTES.store(0, Relaxed);
     SERVE_REQUESTS.store(0, Relaxed);
     SERVE_BATCHES.store(0, Relaxed);
     SERVE_SEED_ROWS.store(0, Relaxed);
@@ -600,6 +676,34 @@ mod tests {
         record_bf16_snapshot(1_000);
         crate::set_enabled(true);
         assert_eq!(snapshot().bf16_actual_bytes, 256);
+    }
+
+    #[test]
+    fn fusion_counters_accumulate_and_respect_toggle() {
+        let _g = lock();
+        record_fused_epilogue(64);
+        record_fused_epilogue(36);
+        record_output_pass();
+        record_plan_built();
+        record_plan_lease(3, 4096);
+        record_plan_lease(2, 1024);
+        let snap = snapshot();
+        assert_eq!(snap.fused_epilogues, 2);
+        assert_eq!(snap.fused_elems, 100);
+        assert_eq!(snap.output_passes, 1);
+        assert_eq!(snap.plans_built, 1);
+        assert_eq!(snap.plan_leases, 5);
+        assert_eq!(snap.plan_lease_bytes, 5120);
+        crate::set_enabled(false);
+        record_fused_epilogue(1_000);
+        record_output_pass();
+        record_plan_built();
+        record_plan_lease(9, 9);
+        crate::set_enabled(true);
+        let snap = snapshot();
+        assert_eq!(snap.fused_elems, 100);
+        assert_eq!(snap.output_passes, 1);
+        assert_eq!(snap.plan_leases, 5);
     }
 
     #[test]

@@ -5,11 +5,11 @@
 //! ([`RunReport::to_json`], [`RunReport::write`]) or rendered for humans
 //! ([`RunReport::summary_table`]).
 //!
-//! ## Schema (`schema_version` 6)
+//! ## Schema (`schema_version` 7)
 //!
 //! ```json
 //! {
-//!   "schema_version": 6,
+//!   "schema_version": 7,
 //!   "name": "table1",
 //!   "spans":   [ {"path": "pretrain", "count": 2, "total_ms": 813.4,
 //!                 "p50_ms": 400.1, "p95_ms": 413.0, "p99_ms": 413.0} ],
@@ -26,6 +26,9 @@
 //!               "cache_evictions": 6, "merges": 14},
 //!   "bf16":    {"snapshots": 14, "actual_bytes": 2048,
 //!               "f32_equiv_bytes": 4096, "bytes_saved": 2048},
+//!   "fusion":  {"fused_epilogues": 9, "fused_elems": 4096,
+//!               "output_passes": 0, "plans_built": 2,
+//!               "plan_leases": 12, "plan_lease_bytes": 16384},
 //!   "health":  [ {"phase": "adapt/MetaLoraCp", "group": "mapping", "step": 0,
 //!                 "grad_norm": 0.42, "update_ratio": 0.001,
 //!                 "weight_norm": 3.1, "nan_count": 0, "inf_count": 0} ],
@@ -43,7 +46,10 @@
 //! object (serving-engine request/batch totals, amortised seed rows, and
 //! merged-weight cache hit/miss/eviction/merge counts); 6 added the
 //! `bf16` object (storage snapshots taken, their actual bytes vs the f32
-//! equivalent, and the derived bytes saved).
+//! equivalent, and the derived bytes saved); 7 added the `fusion` object
+//! (fused GEMM epilogues applied and their element counts, separate
+//! epilogue output passes taken, static plans built, and plan-leased
+//! workspace buffers/bytes).
 
 use crate::counters::{self, CounterSnapshot};
 use crate::health::{self, HealthRecord};
@@ -55,7 +61,7 @@ use std::path::{Path, PathBuf};
 
 /// Version stamp written into every run log (see the module docs for the
 /// version history).
-pub const SCHEMA_VERSION: u32 = 6;
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// A captured snapshot of everything the instrumentation recorded.
 #[derive(Debug, Clone)]
@@ -184,6 +190,17 @@ impl RunReport {
             self.counters.bf16_actual_bytes,
             self.counters.bf16_f32_equiv_bytes,
             self.counters.bf16_f32_equiv_bytes - self.counters.bf16_actual_bytes
+        ));
+        s.push_str(&format!(
+            "  \"fusion\": {{\"fused_epilogues\": {}, \"fused_elems\": {}, \
+             \"output_passes\": {}, \"plans_built\": {}, \"plan_leases\": {}, \
+             \"plan_lease_bytes\": {}}},\n",
+            self.counters.fused_epilogues,
+            self.counters.fused_elems,
+            self.counters.output_passes,
+            self.counters.plans_built,
+            self.counters.plan_leases,
+            self.counters.plan_lease_bytes
         ));
 
         s.push_str("  \"health\": [\n");
@@ -373,6 +390,24 @@ impl RunReport {
             ));
         }
 
+        if self.counters.fused_epilogues > 0 || self.counters.output_passes > 0 {
+            out.push_str(&format!(
+                "fusion: {} fused epilogues ({} elems)   separate output passes: {}\n",
+                self.counters.fused_epilogues,
+                self.counters.fused_elems,
+                self.counters.output_passes
+            ));
+        }
+
+        if self.counters.plans_built > 0 {
+            out.push_str(&format!(
+                "plans: {} built   leases: {} buffers / {} bytes\n",
+                self.counters.plans_built,
+                self.counters.plan_leases,
+                self.counters.plan_lease_bytes
+            ));
+        }
+
         if !self.health.is_empty() {
             let nan: u64 = self.health.iter().map(|h| h.nan_count).sum();
             let inf: u64 = self.health.iter().map(|h| h.inf_count).sum();
@@ -487,6 +522,10 @@ mod tests {
         counters::record_serve_cache(false);
         counters::record_serve_merge();
         counters::record_bf16_snapshot(64);
+        counters::record_fused_epilogue(48);
+        counters::record_output_pass();
+        counters::record_plan_built();
+        counters::record_plan_lease(3, 1024);
         health::record("mapping", 0, 0.42, 0.001, 3.1, 0, 0);
         metrics::record_epoch("pretrain", 1.25, 0.5, 0.75, 0.01);
     }
@@ -498,8 +537,13 @@ mod tests {
         let report = RunReport::capture("unit test");
         assert_eq!(report.file_name(), "RUNLOG_unit_test.json");
         let js = report.to_json();
-        assert!(js.contains("\"schema_version\": 6"));
+        assert!(js.contains("\"schema_version\": 7"));
         assert!(js.contains("\"workspace\": {\"hits\": "));
+        assert!(js.contains(
+            "\"fusion\": {\"fused_epilogues\": 1, \"fused_elems\": 48, \
+             \"output_passes\": 1, \"plans_built\": 1, \"plan_leases\": 3, \
+             \"plan_lease_bytes\": 1024}"
+        ));
         assert!(js.contains(
             "\"serve\": {\"requests\": 3, \"batches\": 1, \"seed_rows\": 2, \
              \"cache_hits\": 1, \"cache_misses\": 1, \"cache_evictions\": 0, \
@@ -585,6 +629,8 @@ mod tests {
         assert!(text.contains("serve: 3 requests in 1 batches"));
         assert!(text.contains("cache: 1 hits / 1 misses (50.0%)"));
         assert!(text.contains("bf16: 1 snapshots   128 bytes resident (f32 equivalent 256, saved 128)"));
+        assert!(text.contains("fusion: 1 fused epilogues (48 elems)   separate output passes: 1"));
+        assert!(text.contains("plans: 1 built   leases: 3 buffers / 1024 bytes"));
         assert!(text.contains("health: 1 records over 1 groups   NaN: 0   Inf: 0"));
         assert!(text.contains("0.5000")); // accuracy column
     }

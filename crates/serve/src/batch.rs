@@ -26,6 +26,13 @@ impl Request {
     pub fn new(tenant: TenantId, x: Tensor) -> Self {
         Request { tenant, x }
     }
+
+    /// Leading (row/batch) extent of the input — the `N` every per-request
+    /// GEMM of the forward runs over, and the unit the engine's static
+    /// plan keys its workspace signature on.
+    pub fn rows(&self) -> usize {
+        self.x.dims().first().copied().unwrap_or(0)
+    }
 }
 
 /// Accumulates requests into fixed-size batches.

@@ -20,7 +20,8 @@ use metalora_obs::hist::LogHistogram;
 use metalora_peft::meta::MappingNet;
 use metalora_peft::{merge, MultiLoraLinear};
 use metalora_tensor::conv::ConvSpec;
-use metalora_tensor::{bf16, Tensor, TensorError};
+use metalora_tensor::plan::{Plan, PlanBuilder};
+use metalora_tensor::{bf16, par, Tensor, TensorError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
@@ -89,7 +90,15 @@ pub struct ServeEngine {
     hist: Mutex<LogHistogram>,
     requests: AtomicU64,
     batches: AtomicU64,
+    plans: Mutex<HashMap<PlanKey, Arc<Plan>>>,
 }
+
+/// The workspace signature of one batch: worker-team size, bf16 mode, and
+/// the sorted per-request `(numel, rows, kind)` triples (kind 0 = dense
+/// f32, 1 = dense through a bf16 merge, 2 = conv). Two batches with the
+/// same key make exactly the same sequence of arena checkouts, so they
+/// share one frozen [`Plan`].
+type PlanKey = (usize, bool, Vec<(usize, usize, u8)>);
 
 impl ServeEngine {
     /// An engine over one shared frozen dense base `w:[I,O]` (+ `bias:[O]`).
@@ -112,6 +121,7 @@ impl ServeEngine {
             hist: Mutex::new(LogHistogram::new()),
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            plans: Mutex::new(HashMap::new()),
         }
     }
 
@@ -180,6 +190,15 @@ impl ServeEngine {
         self.batches.load(Relaxed)
     }
 
+    /// Distinct (shape, threads) plans built so far — stays flat once the
+    /// workload's shape signatures have all been seen.
+    pub fn plan_count(&self) -> usize {
+        self.plans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
     /// Per-request forward latency `(p50, p95, p99)` in microseconds.
     pub fn latency_percentiles_us(&self) -> (f64, f64, f64) {
         let h = self.hist.lock().unwrap_or_else(|e| e.into_inner());
@@ -220,6 +239,11 @@ impl ServeEngine {
             .map(|r| self.store.get_required(r.tenant))
             .collect::<Result<_>>()?;
 
+        // One static plan per (shape, threads) signature: warming it makes
+        // every arena checkout below a guaranteed pool hit, so the hot
+        // path never discovers sizes or touches the allocator.
+        self.batch_plan(reqs, &entries).warm();
+
         let seeds = self.generate_batch_seeds(reqs, &entries)?;
 
         let mut out = Vec::with_capacity(reqs.len());
@@ -234,6 +258,88 @@ impl ServeEngine {
         self.batches.fetch_add(1, Relaxed);
         metalora_obs::counters::record_serve_batch(reqs.len() as u64);
         Ok(out)
+    }
+
+    /// The frozen workspace plan for this batch's shape signature: fetched
+    /// from the per-engine map, or built once (the only slow path) by
+    /// replaying the batch's GEMM and conv shapes through a
+    /// [`PlanBuilder`]. Covers the per-request base products (dense f32,
+    /// dense through a bf16 merge, or conv via im2col) and the stacked
+    /// mapping-net forwards; the adapter-delta matmuls are below the
+    /// packed threshold at serving scale and take no scratch.
+    fn batch_plan(&self, reqs: &[Request], entries: &[Arc<TenantEntry>]) -> Arc<Plan> {
+        let threads = par::num_threads();
+        let bf = bf16::enabled();
+        let kind = |e: &TenantEntry| -> u8 {
+            match &e.adapter {
+                TenantAdapter::ConvLora { .. } => 2,
+                _ if bf && self.cfg.use_merged && e.adapter.cacheable() => 1,
+                _ => 0,
+            }
+        };
+        let mut sig: Vec<(usize, usize, u8)> = reqs
+            .iter()
+            .zip(entries)
+            .map(|(r, e)| (r.x.len(), r.rows(), kind(e)))
+            .collect();
+        sig.sort_unstable();
+        let key: PlanKey = (threads, bf, sig);
+        if let Some(p) = self
+            .plans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
+            return p.clone();
+        }
+
+        let mut b = PlanBuilder::new(threads);
+        let (i, o) = (self.base_w.dims()[0], self.base_w.dims()[1]);
+        let mut dyn_rows = [0usize; 2]; // stacked cp / tr mapping rows
+        for (req, entry) in reqs.iter().zip(entries) {
+            match &entry.adapter {
+                TenantAdapter::ConvLora { .. } => {
+                    if let (Some(w), Some(spec)) = (&self.conv_w, self.conv_spec) {
+                        let d = req.x.dims();
+                        if d.len() == 4 {
+                            b.conv2d(d[0], d[1], d[2], d[3], spec, spec, w.dims()[3]);
+                        }
+                    }
+                }
+                adapter => {
+                    if kind(entry) == 1 {
+                        b.gemm_bf16_weights(req.rows(), o, i);
+                    } else {
+                        b.gemm(req.rows(), o, i);
+                    }
+                    if let TenantAdapter::MetaCp {
+                        pinned_seed: None, ..
+                    } = adapter
+                    {
+                        dyn_rows[0] += req.rows();
+                    }
+                    if let TenantAdapter::MetaTr {
+                        pinned_seed: None, ..
+                    } = adapter
+                    {
+                        dyn_rows[1] += req.rows();
+                    }
+                }
+            }
+        }
+        for (mapping, rows) in [(&self.mapping_cp, dyn_rows[0]), (&self.mapping_tr, dyn_rows[1])] {
+            if let (Some(m), true) = (mapping, rows > 0) {
+                b.gemm(rows, m.hidden_dim(), m.in_dim());
+                b.gemm(rows, m.out_dim(), m.hidden_dim());
+            }
+        }
+        let plan = Arc::new(b.build());
+        self.plans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(key)
+            .or_insert(plan)
+            .clone()
     }
 
     /// One mapping-net forward per format for all dynamic rows of the
@@ -515,6 +621,24 @@ mod tests {
         );
         let req = Request::new(2, Tensor::zeros(&[1, 4]));
         assert!(e.serve_one(&req).is_err());
+    }
+
+    #[test]
+    fn plans_are_built_once_per_shape_signature() {
+        let mut rng = init::rng(26);
+        let e = engine(false);
+        e.register(1, lora_tenant(&mut rng));
+        let req2 = Request::new(1, init::uniform(&[2, 4], -1.0, 1.0, &mut rng));
+        e.serve_one(&req2).unwrap();
+        assert_eq!(e.plan_count(), 1);
+        // Same shape signature → the cached plan is reused.
+        e.serve_one(&req2).unwrap();
+        assert_eq!(e.plan_count(), 1);
+        // New row count → one new plan, exactly once.
+        let req3 = Request::new(1, init::uniform(&[3, 4], -1.0, 1.0, &mut rng));
+        e.serve_one(&req3).unwrap();
+        e.serve_one(&req3).unwrap();
+        assert_eq!(e.plan_count(), 2);
     }
 
     #[test]

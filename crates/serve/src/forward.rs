@@ -186,16 +186,22 @@ impl MappingSnapshot {
         self.w1.dims()[0]
     }
 
+    /// Hidden width of the MLP (the inner GEMM's `n` / outer GEMM's `k`).
+    pub fn hidden_dim(&self) -> usize {
+        self.w1.dims()[1]
+    }
+
     /// `[N, in] → [N, out]`: linear → GELU → linear → tanh, the bitwise
     /// twin of [`MappingNet::generate`] (and of `generate_infer`, same
-    /// math on the snapshot values). Rows are independent, so a stacked
-    /// batch yields each row's seed bitwise unchanged — the amortisation
-    /// the batcher relies on.
+    /// math on the snapshot values). Both bias adds and both activations
+    /// ride the fused GEMM epilogues — no separate output passes instead
+    /// of four, and still bitwise the separate-pass sequence. Rows are
+    /// independent, so a stacked batch yields each row's seed bitwise
+    /// unchanged — the amortisation the batcher relies on.
     pub fn generate(&self, features: &Tensor) -> Result<Tensor> {
-        let h = infer::linear(features, &self.w1, Some(&self.b1))?;
-        let h = infer::gelu(&h);
-        let s = infer::linear(&h, &self.w2, Some(&self.b2))?;
-        Ok(infer::tanh(&s))
+        use metalora_tensor::ops::Activation;
+        let h = infer::linear_act(features, &self.w1, Some(&self.b1), Some(Activation::Gelu))?;
+        infer::linear_act(&h, &self.w2, Some(&self.b2), Some(Activation::Tanh))
     }
 }
 

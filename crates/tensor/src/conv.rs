@@ -346,6 +346,82 @@ pub fn conv2d(x: &Tensor, w: &Tensor, h_spec: ConvSpec, w_spec: ConvSpec) -> Res
     crate::ops::permute(&out, &[0, 3, 1, 2])
 }
 
+/// [`conv2d`] with a fused epilogue: per-output-channel `bias` (length `O`)
+/// and/or `act` applied inside the production GEMM's C-tile store. The conv
+/// bias broadcast (`[O,1,1]` over `[N,O,OH,OW]`) is exactly a per-column
+/// bias on the pre-permute `[N·OH·OW, O]` GEMM output (column = output
+/// channel), and the trailing permute is a pure element copy, so applying
+/// the epilogue before the permute is bitwise-identical to the legacy
+/// separate passes after it. With fusion disabled
+/// ([`crate::ops::fuse_enabled`]) this runs the legacy sequence verbatim:
+/// plain [`conv2d`] layout, then broadcast add, then activation map.
+pub fn conv2d_bias_act(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    act: Option<crate::ops::Activation>,
+    h_spec: ConvSpec,
+    w_spec: ConvSpec,
+) -> Result<Tensor> {
+    if x.rank() != 4 || w.rank() != 4 {
+        return Err(TensorError::InvalidArgument(
+            "conv2d_bias_act expects x:[N,C,H,W], w:[KH,KW,C,O]".into(),
+        ));
+    }
+    if w.dims()[0] != h_spec.kernel || w.dims()[1] != w_spec.kernel {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_bias_act kernel",
+            lhs: w.dims().to_vec(),
+            rhs: vec![h_spec.kernel, w_spec.kernel],
+        });
+    }
+    if x.dims()[1] != w.dims()[2] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_bias_act channels",
+            lhs: x.dims().to_vec(),
+            rhs: w.dims().to_vec(),
+        });
+    }
+    let o = w.dims()[3];
+    if let Some(b) = bias {
+        if b.len() != o {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d_bias_act bias",
+                lhs: b.dims().to_vec(),
+                rhs: vec![o],
+            });
+        }
+    }
+    let fused = crate::ops::fuse_enabled() && (bias.is_some() || act.is_some());
+    if !fused {
+        // Legacy sequence: layout pass first, then one full output pass per
+        // epilogue stage ([O,1,1] broadcast add, then activation map).
+        let y = conv2d(x, w, h_spec, w_spec)?;
+        let b = match bias {
+            Some(b) => Some(b.reshaped(&[o, 1, 1])?),
+            None => None,
+        };
+        return crate::ops::epilogue_pass(y, b.as_ref(), act);
+    }
+    let (n, h, ww) = (x.dims()[0], x.dims()[2], x.dims()[3]);
+    let oh = h_spec.out_size(h)?;
+    let ow = w_spec.out_size(ww)?;
+    let cols = im2col(x, h_spec, w_spec)?; // [N·OH·OW, C·KH·KW]
+    let wm = weight_to_matrix(w)?; // [C·KH·KW, O]
+    // Bias and activation land at the GEMM store, per column = per output
+    // channel; the permute below only moves finished elements.
+    let out = crate::ops::matmul_bias_act(&cols, &wm, bias, act)?; // [N·OH·OW, O]
+    workspace::recycle(cols);
+    metalora_obs::counters::record_kernel(
+        metalora_obs::counters::Kernel::Conv,
+        (2 * n * oh * ow * w.len()) as u64,
+        (4 * (x.len() + w.len() + out.len())) as u64,
+    );
+    // [N,OH,OW,O] → [N,O,OH,OW].
+    let out = out.reshape(&[n, oh, ow, o])?;
+    crate::ops::permute(&out, &[0, 3, 1, 2])
+}
+
 /// 2-D convolution evaluated as a pure tensor-network contraction with two
 /// dummy tensors (the Fig. 2 construction):
 ///
@@ -511,6 +587,45 @@ mod tests {
         let back = col2im(&y, n, c, h, w, hs, ws).unwrap();
         let rhs: f32 = x.data().iter().zip(back.data()).map(|(&a, &b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv2d_bias_act_matches_separate_passes_bitwise() {
+        let mut r = init::rng(11);
+        for (hw, k, st, pad) in [(6, 3, 1, 1), (8, 3, 2, 1), (5, 1, 1, 0)] {
+            let x = init::uniform(&[2, 3, hw, hw], -1.0, 1.0, &mut r);
+            let w = init::uniform(&[k, k, 3, 4], -1.0, 1.0, &mut r);
+            let bias = init::uniform(&[4], -1.0, 1.0, &mut r);
+            for act in [None, Some(crate::ops::Activation::Relu), Some(crate::ops::Activation::Gelu)] {
+                let fused =
+                    conv2d_bias_act(&x, &w, Some(&bias), act, spec(k, st, pad), spec(k, st, pad))
+                        .unwrap();
+                // Legacy sequence: conv, [O,1,1] broadcast add, then map.
+                let y = conv2d(&x, &w, spec(k, st, pad), spec(k, st, pad)).unwrap();
+                let b = bias.clone().reshape(&[4, 1, 1]).unwrap();
+                let mut sep = crate::ops::add(&y, &b).unwrap();
+                if let Some(a) = act {
+                    sep = crate::ops::map(&sep, move |v| a.apply(v));
+                }
+                assert_eq!(fused.shape(), sep.shape());
+                for (i, (f, s)) in fused.data().iter().zip(sep.data()).enumerate() {
+                    assert_eq!(f.to_bits(), s.to_bits(), "elem {i} hw={hw} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_bias_act_validates_bias_width() {
+        let x = Tensor::zeros(&[1, 3, 4, 4]);
+        let w = Tensor::zeros(&[3, 3, 3, 4]);
+        let bad = Tensor::zeros(&[5]); // o = 4
+        assert!(
+            conv2d_bias_act(&x, &w, Some(&bad), None, spec(3, 1, 1), spec(3, 1, 1)).is_err()
+        );
+        // A no-op epilogue still works and matches plain conv2d.
+        let y = conv2d_bias_act(&x, &w, None, None, spec(3, 1, 1), spec(3, 1, 1)).unwrap();
+        assert_eq!(y.dims(), &[1, 4, 4, 4]);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! Per-element accumulation runs in increasing `k` order everywhere, so
 //! parallel, packed and legacy results are all bitwise identical.
 
-use super::microkernel::{self, use_packed, PanelSrc};
+use super::microkernel::{self, use_packed, Activation, Epilogue, PanelSrc};
 use crate::bf16::{self, Bf16Buf};
 use crate::par::par_row_blocks;
 use crate::{workspace, Result, Tensor, TensorError};
@@ -418,6 +418,153 @@ pub fn matmul_bf16(a: &Bf16Buf, b: &Bf16Buf) -> Result<Bf16Buf> {
     Bf16Buf::from_f32(&acc, &[m, n])
 }
 
+// ---------------------------------------------------------------------------
+// Fused-epilogue entries
+// ---------------------------------------------------------------------------
+//
+// `act(X·W + bias)` in one pass: the epilogue is applied per element at
+// C-tile store time (packed path) or at the end of each row block's
+// accumulation (legacy path), eliminating the separate full passes
+// `ops::add` + `ops::map` would make over the output. Per element the
+// scalar sequence — `act(acc + bias[j])` after the complete `k`
+// accumulation — is identical either way, so fused output is bitwise
+// equal to unfused (asserted by `tests/fuse_equiv.rs`). The
+// `METALORA_FUSE` kill-switch routes back through the separate passes.
+
+/// Validates an optional bias against output width `n` and returns its
+/// data slice.
+fn check_bias<'a>(
+    bias: Option<&'a Tensor>,
+    n: usize,
+    op: &'static str,
+) -> Result<Option<&'a [f32]>> {
+    match bias {
+        Some(b) if b.len() != n => Err(TensorError::ShapeMismatch {
+            op,
+            lhs: b.dims().to_vec(),
+            rhs: vec![n],
+        }),
+        Some(b) => Ok(Some(b.data())),
+        None => Ok(None),
+    }
+}
+
+/// The unfused epilogue: the exact separate full output passes the fused
+/// store replaces — a broadcast bias add, then an activation map. Each
+/// pass is tallied by the obs `output_passes` counter, which is how the
+/// serve bench proves the fused path eliminated them.
+pub fn epilogue_pass(y: Tensor, bias: Option<&Tensor>, act: Option<Activation>) -> Result<Tensor> {
+    let y = match bias {
+        Some(b) => {
+            metalora_obs::counters::record_output_pass();
+            super::elementwise::add(&y, b)?
+        }
+        None => y,
+    };
+    Ok(match act {
+        Some(a) => {
+            metalora_obs::counters::record_output_pass();
+            super::elementwise::map(&y, move |v| a.apply(v))
+        }
+        None => y,
+    })
+}
+
+/// `C = act(X·W + bias)` for `X:[m,k]`, `W:[k,n]`, `bias:[n]` — the fused
+/// linear forward. Bitwise identical to [`matmul`] followed by
+/// [`epilogue_pass`]; with fusion disabled it *is* that sequence.
+pub fn matmul_bias_act(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    act: Option<Activation>,
+) -> Result<Tensor> {
+    let (m, k) = as_matrix_dims(x, "matmul_bias_act lhs")?;
+    let (k2, n) = as_matrix_dims(w, "matmul_bias_act rhs")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_bias_act",
+            lhs: x.dims().to_vec(),
+            rhs: w.dims().to_vec(),
+        });
+    }
+    let ep = Epilogue { bias: check_bias(bias, n, "matmul_bias_act bias")?, act };
+    if ep.is_noop() {
+        return matmul(x, w);
+    }
+    if !microkernel::fuse_enabled() {
+        return epilogue_pass(matmul(x, w)?, bias, act);
+    }
+    let mut out = vec![0.0f32; m * n];
+    let (xd, wd) = (x.data(), w.data());
+    let packed = use_packed(2 * m * k * n);
+    if packed {
+        microkernel::gemm_packed_ep(xd, 0, k, 1, wd, 0, n, 1, 1, m, n, k, &mut out, ep);
+    } else {
+        par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
+            matmul_rows(xd, wd, k, n, first, block);
+            // The row block's full-k accumulation is complete: apply the
+            // epilogue here, in the same walk, instead of a second full
+            // pass over the output.
+            ep.apply_rows(block, n);
+        });
+    }
+    record_mm(packed, x.len() + w.len() + bias.map_or(0, Tensor::len), out.len(), 2 * m * k * n);
+    metalora_obs::counters::record_fused_epilogue((m * n) as u64);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// [`matmul_bias_act`] with bf16-stored weights — the fused serving hot
+/// path. Bitwise identical to [`matmul_bf16_weights`] followed by
+/// [`epilogue_pass`].
+pub fn matmul_bf16_weights_bias_act(
+    x: &Tensor,
+    w: &Bf16Buf,
+    bias: Option<&Tensor>,
+    act: Option<Activation>,
+) -> Result<Tensor> {
+    let (m, k) = as_matrix_dims(x, "matmul_bf16_weights_bias_act lhs")?;
+    let (k2, n) = as_bf16_matrix_dims(w, "matmul_bf16_weights_bias_act rhs")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_bf16_weights_bias_act",
+            lhs: x.dims().to_vec(),
+            rhs: w.dims().to_vec(),
+        });
+    }
+    let ep = Epilogue { bias: check_bias(bias, n, "matmul_bf16_weights_bias_act bias")?, act };
+    if ep.is_noop() {
+        return matmul_bf16_weights(x, w);
+    }
+    if !microkernel::fuse_enabled() {
+        return epilogue_pass(matmul_bf16_weights(x, w)?, bias, act);
+    }
+    let mut out = vec![0.0f32; m * n];
+    let xd = x.data();
+    let packed = use_packed(2 * m * k * n);
+    if packed {
+        microkernel::gemm_packed_src_ep(
+            PanelSrc::F32(xd), 0, k, 1, PanelSrc::Bf16(w.data()), 0, n, 1, 1, m, n, k, &mut out,
+            ep,
+        );
+    } else {
+        let mut wf = workspace::take(k * n);
+        bf16::widen_slice(w.data(), &mut wf);
+        let wfr = &wf[..];
+        par_row_blocks(&mut out, n.max(1), 2 * k * n, |first, block| {
+            matmul_rows(xd, wfr, k, n, first, block);
+            ep.apply_rows(block, n);
+        });
+    }
+    record_mm_bytes(
+        packed,
+        4 * x.len() + 2 * w.len() + 4 * m * n + 4 * bias.map_or(0, Tensor::len),
+        2 * m * k * n,
+    );
+    metalora_obs::counters::record_fused_epilogue((m * n) as u64);
+    Tensor::from_vec(out, &[m, n])
+}
+
 fn as_batch_dims(t: &Tensor, what: &'static str) -> Result<(usize, usize, usize)> {
     if t.rank() != 3 {
         return Err(TensorError::InvalidArgument(format!(
@@ -645,6 +792,59 @@ mod tests {
         assert!(matmul_bf16(&a, &b).is_err());
         assert!(matmul_bf16_weights(&Tensor::zeros(&[2, 4]), &a).is_err());
         assert!(matmul_bf16_weights(&Tensor::zeros(&[2]), &a).is_err());
+    }
+
+    #[test]
+    fn matmul_bias_act_matches_separate_passes_bitwise() {
+        let mut r = init::rng(31);
+        // Legacy-sized and packed-sized: both must equal matmul followed
+        // by the separate broadcast-add and map passes to the bit.
+        for (m, k, n) in [(3, 5, 4), (40, 140, 50)] {
+            let x = init::uniform(&[m, k], -1.0, 1.0, &mut r);
+            let w = init::uniform(&[k, n], -1.0, 1.0, &mut r);
+            let b = init::uniform(&[n], -1.0, 1.0, &mut r);
+            let fused = matmul_bias_act(&x, &w, Some(&b), Some(Activation::Gelu)).unwrap();
+            let y = crate::ops::add(&matmul(&x, &w).unwrap(), &b).unwrap();
+            let expect = crate::ops::map(&y, |v| Activation::Gelu.apply(v));
+            assert_eq!(fused.dims(), expect.dims());
+            assert!(fused
+                .data()
+                .iter()
+                .zip(expect.data())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn matmul_bf16_weights_bias_act_matches_separate_passes_bitwise() {
+        let mut r = init::rng(32);
+        for (m, k, n) in [(3, 5, 4), (40, 140, 50)] {
+            let x = init::uniform(&[m, k], -1.0, 1.0, &mut r);
+            let w = Bf16Buf::from_tensor(&init::uniform(&[k, n], -1.0, 1.0, &mut r));
+            let b = init::uniform(&[n], -1.0, 1.0, &mut r);
+            let fused =
+                matmul_bf16_weights_bias_act(&x, &w, Some(&b), Some(Activation::Tanh)).unwrap();
+            let y = crate::ops::add(&matmul_bf16_weights(&x, &w).unwrap(), &b).unwrap();
+            let expect = crate::ops::map(&y, |v| Activation::Tanh.apply(v));
+            assert!(fused
+                .data()
+                .iter()
+                .zip(expect.data())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn fused_entries_validate_bias_width() {
+        let x = Tensor::zeros(&[2, 3]);
+        let w = Tensor::zeros(&[3, 4]);
+        let bad = Tensor::zeros(&[5]);
+        assert!(matmul_bias_act(&x, &w, Some(&bad), None).is_err());
+        let wh = Bf16Buf::from_f32(&[0.0; 12], &[3, 4]).unwrap();
+        assert!(matmul_bf16_weights_bias_act(&x, &wh, Some(&bad), None).is_err());
+        // Noop epilogue degenerates to the plain product.
+        let ok = matmul_bias_act(&x, &w, None, None).unwrap();
+        assert_eq!(ok.dims(), &[2, 4]);
     }
 
     #[test]

@@ -55,6 +55,18 @@
 //! (detected once at runtime). The `fma` feature is deliberately **not**
 //! enabled: contraction would fuse the rounding step away and break
 //! bitwise equality.
+//!
+//! # Fused epilogues
+//!
+//! A GEMM call may carry an [`Epilogue`] — a per-output-column bias and/or
+//! a scalar [`Activation`] — which each worker applies to a column tile
+//! immediately after that tile's final KC tile stores, i.e. once the full
+//! `k` accumulation of those elements is complete. The per-element value
+//! is `act(acc + bias[j])`, exactly what the separate `ops::add` +
+//! `ops::map` passes compute; the sequence is pure per element, so store
+//! time vs. a second full output pass cannot change a bit (see
+//! DESIGN.md "Epilogue fusion & static plan"). The `METALORA_FUSE`
+//! kill-switch ([`set_fuse_enabled`]) restores the unfused passes.
 
 use crate::bf16::bf16_to_f32;
 use crate::par::{par_task_queue, TaskQueue};
@@ -132,6 +144,153 @@ pub fn tile_grid_parallel() -> bool {
             *FROM_ENV.get_or_init(|| {
                 std::env::var("METALORA_TILE_GRID").map(|s| s.trim() != "0").unwrap_or(true)
             })
+        }
+    }
+}
+
+// Tri-state override for epilogue fusion: 0/1 set programmatically,
+// 2 = unset (fall back to METALORA_FUSE, then on).
+static FUSE_OVERRIDE: AtomicU8 = AtomicU8::new(2);
+
+/// Enables/disables fusing the linear/conv epilogue (bias add +
+/// activation) into the GEMM store. Fused and unfused are bitwise
+/// identical — the kill-switch exists for benchmarking and bisection.
+/// Overrides the `METALORA_FUSE` environment variable; the default is on.
+pub fn set_fuse_enabled(on: bool) {
+    FUSE_OVERRIDE.store(on as u8, Relaxed);
+}
+
+/// Whether fused epilogues are enabled (the [`set_fuse_enabled`] override
+/// if set, else `METALORA_FUSE` — `0` disables — else on).
+pub fn fuse_enabled() -> bool {
+    match FUSE_OVERRIDE.load(Relaxed) {
+        0 => false,
+        1 => true,
+        _ => {
+            static FROM_ENV: OnceLock<bool> = OnceLock::new();
+            *FROM_ENV.get_or_init(|| {
+                std::env::var("METALORA_FUSE").map(|s| s.trim() != "0").unwrap_or(true)
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused epilogue
+// ---------------------------------------------------------------------------
+
+/// Scalar activation a fused epilogue may apply. Each variant computes the
+/// exact same f32 expression the separate `ops::map` pass computes, so
+/// applying it at store time cannot change a bit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Activation {
+    /// `max(x, 0)`.
+    Relu,
+    /// The tanh-approximated GELU the autograd tape uses
+    /// (`metalora_autograd::gelu_fwd` delegates here).
+    Gelu,
+    /// `x.tanh()`.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to one element.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Gelu => gelu(x),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Stable lowercase name for bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Relu => "relu",
+            Activation::Gelu => "gelu",
+            Activation::Tanh => "tanh",
+        }
+    }
+}
+
+/// Tanh-approximated GELU, the single shared definition: the autograd
+/// tape's forward delegates here, so fused inference and tape training
+/// compute bit-identical activations.
+#[inline]
+pub fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/π)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Epilogue fused into the C-tile store: per element, `bias[j]` (the
+/// output-column bias, if any) is added and the activation (if any) is
+/// applied — `act(acc + bias[j])` — immediately after that element's full
+/// `k` accumulation completes. The unfused path computes the identical
+/// per-element scalar sequence in two separate full passes (`ops::add`
+/// broadcast, then `ops::map`); since the sequence is pure per element,
+/// the order elements are visited in is irrelevant and fused output is
+/// bitwise identical to unfused.
+#[derive(Clone, Copy)]
+pub struct Epilogue<'a> {
+    /// Per-output-column bias (length `n`), added before the activation.
+    pub bias: Option<&'a [f32]>,
+    /// Activation applied after the bias.
+    pub act: Option<Activation>,
+}
+
+impl<'a> Epilogue<'a> {
+    /// The identity epilogue (plain GEMM store).
+    pub fn none() -> Epilogue<'static> {
+        Epilogue { bias: None, act: None }
+    }
+
+    /// `true` when there is nothing to apply.
+    #[inline]
+    pub fn is_noop(&self) -> bool {
+        self.bias.is_none() && self.act.is_none()
+    }
+
+    /// Applies the epilogue to the element in output column `j`.
+    #[inline]
+    pub fn apply_one(&self, j: usize, v: f32) -> f32 {
+        let v = match self.bias {
+            Some(b) => v + b[j],
+            None => v,
+        };
+        match self.act {
+            Some(a) => a.apply(v),
+            None => v,
+        }
+    }
+
+    /// Applies the epilogue in place to a row-major block of `rows` rows
+    /// whose first element sits in output column `j0`, row stride `ldc`.
+    ///
+    /// # Safety
+    /// `c` must be valid for a `rows × cols` block at row stride `ldc`,
+    /// not accessed concurrently; `j0 + cols` must not exceed the bias
+    /// length when a bias is present.
+    unsafe fn apply_tile(&self, c: *mut f32, ldc: usize, rows: usize, j0: usize, cols: usize) {
+        for r in 0..rows {
+            let row = c.add(r * ldc + j0);
+            for jj in 0..cols {
+                *row.add(jj) = self.apply_one(j0 + jj, *row.add(jj));
+            }
+        }
+    }
+
+    /// Applies the epilogue in place to contiguous row-major `rows × n`
+    /// output rows (the legacy-path variant — safe slices, same
+    /// per-element sequence).
+    pub fn apply_rows(&self, out: &mut [f32], n: usize) {
+        if self.is_noop() || n == 0 {
+            return;
+        }
+        for row in out.chunks_mut(n) {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = self.apply_one(j, *v);
+            }
         }
     }
 }
@@ -687,12 +846,16 @@ impl SendPtr {
 /// Column tiles advance in the outer loop so each `MR×NR` accumulator
 /// block only spills to `C` between KC tiles (an exact f32 round trip);
 /// `kb` advances inner, keeping every element's accumulation in strictly
-/// increasing `k` order.
+/// increasing `k` order. A non-noop `ep` is applied to each column tile
+/// right after its final KC tile stores — every element's accumulation
+/// over the full `k` range is complete at that point, so this is the
+/// store-time equivalent of a separate post-pass.
 ///
 /// # Safety
 /// `c_row` must be valid for an `me × (j_hi - j_lo)` block at row stride
 /// `n`, not written concurrently by any other thread; `apack`/`bp` must
-/// hold `me*k` / `k*n` packed floats; `j_lo` must be `NR`-aligned.
+/// hold `me*k` / `k*n` packed floats; `j_lo` must be `NR`-aligned; a bias
+/// in `ep` must have length `≥ n`.
 #[allow(clippy::too_many_arguments)]
 unsafe fn gemm_cell(
     lvl: SimdLevel,
@@ -704,6 +867,7 @@ unsafe fn gemm_cell(
     j_lo: usize,
     j_hi: usize,
     c_row: *mut f32,
+    ep: Epilogue,
 ) {
     let n_full = n - n % NR;
     for j0 in (j_lo..j_hi.min(n_full)).step_by(NR) {
@@ -717,6 +881,12 @@ unsafe fn gemm_cell(
                 run_edge(lvl, ap, me, bt, NR, kc, c_row.add(j0), n);
             }
         }
+        if !ep.is_noop() {
+            // Full k range accumulated for these NR columns: fuse the
+            // epilogue into the store (also correct for k == 0, where
+            // the accumulation over an empty range left zeros).
+            ep.apply_tile(c_row, n, me, j0, NR);
+        }
     }
     // The ragged column tile (ne = n % NR) always lands in the grid's
     // last column group (ne < NR ≤ NC).
@@ -727,6 +897,9 @@ unsafe fn gemm_cell(
             let ap = apack.as_ptr().add(kb * me);
             let bt = bp.as_ptr().add(kb * n + n_full * kc);
             run_edge(lvl, ap, me, bt, ne, kc, c_row.add(n_full), n);
+        }
+        if !ep.is_noop() {
+            ep.apply_tile(c_row, n, me, n_full, ne);
         }
     }
 }
@@ -779,6 +952,42 @@ pub(crate) fn gemm_packed(
     )
 }
 
+/// [`gemm_packed`] with a fused epilogue applied at C-tile store time.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_packed_ep(
+    ad: &[f32],
+    a_batch: usize,
+    a_rs: usize,
+    a_ks: usize,
+    bd: &[f32],
+    b_batch: usize,
+    b_ks: usize,
+    b_cs: usize,
+    bs: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+    ep: Epilogue,
+) {
+    gemm_packed_src_ep(
+        PanelSrc::F32(ad),
+        a_batch,
+        a_rs,
+        a_ks,
+        PanelSrc::F32(bd),
+        b_batch,
+        b_ks,
+        b_cs,
+        bs,
+        m,
+        n,
+        k,
+        out,
+        ep,
+    )
+}
+
 /// [`gemm_packed`] over [`PanelSrc`] operands — the mixed-precision entry:
 /// bf16 operands are widened into the packed f32 panels during packing,
 /// and from there the scheduler, kernels and f32 accumulation order are
@@ -799,6 +1008,32 @@ pub(crate) fn gemm_packed_src(
     n: usize,
     k: usize,
     out: &mut [f32],
+) {
+    gemm_packed_src_ep(a, a_batch, a_rs, a_ks, b, b_batch, b_ks, b_cs, bs, m, n, k, out, Epilogue::none())
+}
+
+/// [`gemm_packed_src`] with a fused [`Epilogue`]: each claimed cell
+/// applies `ep` to a column tile immediately after that tile's last KC
+/// tile stores (full-`k` accumulation complete), instead of a separate
+/// pass over the whole output afterwards. Bias indices are the absolute
+/// output column, so batched calls see the same per-column bias in every
+/// batch.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_packed_src_ep(
+    a: PanelSrc,
+    a_batch: usize,
+    a_rs: usize,
+    a_ks: usize,
+    b: PanelSrc,
+    b_batch: usize,
+    b_ks: usize,
+    b_cs: usize,
+    bs: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+    ep: Epilogue,
 ) {
     debug_assert_eq!(out.len(), bs * m * n);
     if bs * m * n == 0 {
@@ -852,6 +1087,7 @@ pub(crate) fn gemm_packed_src(
                     j_lo,
                     j_hi,
                     c_out.get().add(bi * m * n + i0 * n),
+                    ep,
                 );
             }
         }
@@ -929,6 +1165,48 @@ mod tests {
         assert!(!tile_grid_parallel());
         set_tile_grid_parallel(true);
         assert!(tile_grid_parallel());
+    }
+
+    #[test]
+    fn fuse_toggle_round_trips() {
+        let _g = grid_lock();
+        set_fuse_enabled(false);
+        assert!(!fuse_enabled());
+        set_fuse_enabled(true);
+        assert!(fuse_enabled());
+    }
+
+    #[test]
+    fn fused_epilogue_is_bitwise_separate_pass() {
+        let _g = grid_lock();
+        // Ragged m/n, 2 KC tiles, 2 column groups: the fused store must
+        // reproduce the exact bits of GEMM followed by two full passes
+        // (bias broadcast, then activation) in the same scalar order.
+        let (m, k, n) = (37, 150, 290);
+        let ad: Vec<f32> = (0..m * k).map(|x| (x % 17) as f32 * 0.25 - 2.0).collect();
+        let bd: Vec<f32> = (0..k * n).map(|x| (x % 13) as f32 * 0.5 - 3.0).collect();
+        let bias: Vec<f32> = (0..n).map(|j| (j % 7) as f32 * 0.125 - 0.4).collect();
+        for act in [None, Some(Activation::Relu), Some(Activation::Gelu), Some(Activation::Tanh)] {
+            let mut separate = vec![0.0f32; m * n];
+            gemm_packed(&ad, 0, k, 1, &bd, 0, n, 1, 1, m, n, k, &mut separate);
+            for row in separate.chunks_mut(n) {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v += bias[j];
+                }
+            }
+            if let Some(a) = act {
+                for v in &mut separate {
+                    *v = a.apply(*v);
+                }
+            }
+            let mut fused = vec![0.0f32; m * n];
+            gemm_packed_ep(
+                &ad, 0, k, 1, &bd, 0, n, 1, 1, m, n, k,
+                &mut fused,
+                Epilogue { bias: Some(&bias), act },
+            );
+            assert!(fused.iter().zip(&separate).all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Static inference plans: workspace demands computed once per shape.
+//!
+//! The workspace arena discovers buffer sizes dynamically — each kernel
+//! call probes its size bucket and allocates on a miss. That discovery is
+//! cheap but not free, and on the serving hot path it repeats identically
+//! for every request of a batch because the shapes never change. A
+//! [`Plan`] moves it off the hot path: built once per (shape, thread
+//! count) signature, it records every arena checkout the planned calls
+//! will make — packed GEMM `B` panels, per-worker `A` panels, bf16 widen
+//! scratch, `im2col` padded images and column matrices — and
+//! [`Plan::warm`] leases them all **up front** through
+//! [`workspace::lease_all`].
+//!
+//! The lease's lifetime model: taking every planned size simultaneously
+//! forces the arena to materialise one distinct buffer per concurrent
+//! need (sequential warming could satisfy two same-bucket needs with the
+//! same buffer); releasing parks them all back in the pool. Every
+//! in-batch checkout of a planned size is then a guaranteed pool hit —
+//! the bucket probe still happens, but it never allocates, so a whole
+//! serve batch runs without touching the allocator. Plans are pure size
+//! arithmetic over immutable shapes; they change **no numerics**.
+//!
+//! Sizing mirrors the kernel dispatch exactly: a product below the packed
+//! threshold plans the legacy path's scratch (none for f32, a widen
+//! buffer for bf16 weights), one above it plans the packed panels. The
+//! worker count is capped by the plan's thread count and the tile-grid
+//! task count, matching the scheduler's team size.
+
+use crate::conv::ConvSpec;
+use crate::ops::microkernel::{self, MR, NC};
+use crate::workspace;
+
+/// Accumulates the workspace demands of a sequence of planned kernel
+/// calls. Finish with [`PlanBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    threads: usize,
+    sizes: Vec<usize>,
+}
+
+impl PlanBuilder {
+    /// A builder for a team of `threads` workers (`0` is treated as 1 —
+    /// the serial fallback).
+    pub fn new(threads: usize) -> PlanBuilder {
+        PlanBuilder { threads: threads.max(1), sizes: Vec::new() }
+    }
+
+    /// Plans one f32 GEMM `[m,k]·[k,n]` (any matmul-family entry with
+    /// these logical dims): on the packed path, the shared `B` panel plus
+    /// one `A`-strip panel per worker; the legacy path takes no scratch.
+    pub fn gemm(&mut self, m: usize, n: usize, k: usize) -> &mut PlanBuilder {
+        if m * n == 0 {
+            return self;
+        }
+        if microkernel::use_packed(2 * m * k * n) {
+            self.pack_panels(m, n, k);
+        }
+        self
+    }
+
+    /// Plans one GEMM with bf16-stored weights: packed-path panels, or the
+    /// legacy path's `k·n` widen buffer below the packed threshold.
+    pub fn gemm_bf16_weights(&mut self, m: usize, n: usize, k: usize) -> &mut PlanBuilder {
+        if m * n == 0 {
+            return self;
+        }
+        if microkernel::use_packed(2 * m * k * n) {
+            self.pack_panels(m, n, k);
+        } else {
+            self.sizes.push(k * n);
+        }
+        self
+    }
+
+    /// Plans one `conv2d` of an `[n,c,h,w]` input with `o` output
+    /// channels: the padded-image scratch (when padding is in play), the
+    /// `im2col` column matrix, and the production GEMM behind it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d(
+        &mut self,
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        h_spec: ConvSpec,
+        w_spec: ConvSpec,
+        o: usize,
+    ) -> &mut PlanBuilder {
+        let (oh, ow) = match (h_spec.out_size(h), w_spec.out_size(w)) {
+            (Ok(oh), Ok(ow)) => (oh, ow),
+            // An invalid geometry will error in the kernel itself; there
+            // is nothing to plan for it.
+            _ => return self,
+        };
+        if h_spec.pad > 0 || w_spec.pad > 0 {
+            let (hp, wp) = (h + 2 * h_spec.pad, w + 2 * w_spec.pad);
+            self.sizes.push(n * c * hp * wp);
+        }
+        let (rows, cols) = (n * oh * ow, c * h_spec.kernel * w_spec.kernel);
+        // The column matrix is a pooled tensor (`workspace::zeroed_tensor`).
+        self.sizes.push(rows * cols);
+        self.gemm(rows, o, cols)
+    }
+
+    /// The packed scheduler's leases for an `[m,k]·[k,n]` product: one
+    /// shared `B` panel, one `MR×k` `A` panel per team worker.
+    fn pack_panels(&mut self, m: usize, n: usize, k: usize) {
+        self.sizes.push(k * n);
+        let tasks = m.div_ceil(MR) * n.div_ceil(NC);
+        let workers = if microkernel::tile_grid_parallel() { self.threads.min(tasks).max(1) } else { 1 };
+        for _ in 0..workers {
+            self.sizes.push(MR * k);
+        }
+    }
+
+    /// Freezes the accumulated demands into a reusable [`Plan`].
+    pub fn build(self) -> Plan {
+        metalora_obs::counters::record_plan_built();
+        Plan { threads: self.threads, sizes: self.sizes }
+    }
+}
+
+/// The frozen workspace demands of one (shape, threads) signature. Build
+/// once, [`warm`](Plan::warm) once per serve batch, reuse forever — the
+/// plan itself is immutable and cheap to keep in a map keyed by the
+/// signature.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    threads: usize,
+    sizes: Vec<usize>,
+}
+
+impl Plan {
+    /// Worker-team size the plan was built for.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The planned checkout lengths (floats), in plan order.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Total bytes the planned checkouts cover.
+    pub fn bytes(&self) -> usize {
+        4 * self.sizes.iter().sum::<usize>()
+    }
+
+    /// Checks out every planned buffer at once and returns the live
+    /// batch lease (all buffers distinct by construction).
+    pub fn lease(&self) -> workspace::BatchLease {
+        let lease = workspace::lease_all(&self.sizes);
+        metalora_obs::counters::record_plan_lease(lease.buffers() as u64, 4 * lease.floats() as u64);
+        lease
+    }
+
+    /// Leases and immediately releases every planned buffer: after this,
+    /// the arena holds a distinct pooled buffer for each planned size, so
+    /// every checkout the planned calls make during the batch is a
+    /// guaranteed hit. Call once at the start of each serve batch.
+    pub fn warm(&self) {
+        self.lease().release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::microkernel::{set_pack_min_flops, set_packing_enabled};
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serialises tests that flip the global packing gates.
+    fn gate_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    struct GateReset;
+    impl Drop for GateReset {
+        fn drop(&mut self) {
+            set_packing_enabled(true);
+            set_pack_min_flops(1 << 15);
+        }
+    }
+
+    #[test]
+    fn legacy_f32_gemm_plans_no_scratch() {
+        let _g = gate_lock();
+        let _r = GateReset;
+        set_pack_min_flops(usize::MAX);
+        let mut b = PlanBuilder::new(4);
+        b.gemm(8, 8, 8);
+        assert!(b.build().sizes().is_empty());
+    }
+
+    #[test]
+    fn packed_gemm_plans_b_panel_plus_worker_a_panels() {
+        let _g = gate_lock();
+        let _r = GateReset;
+        set_pack_min_flops(0);
+        set_packing_enabled(true);
+        let (m, n, k) = (37, 290, 150);
+        let mut b = PlanBuilder::new(4);
+        b.gemm(m, n, k);
+        let plan = b.build();
+        // B panel + min(threads, tasks) A panels; 37 rows × 290 cols is
+        // 10 strips × 2 col groups = 20 tasks, so the team caps at 4.
+        assert_eq!(plan.sizes()[0], k * n);
+        assert_eq!(plan.sizes()[1..], [MR * k, MR * k, MR * k, MR * k]);
+        assert_eq!(plan.bytes(), 4 * (k * n + 4 * MR * k));
+    }
+
+    #[test]
+    fn bf16_legacy_plans_widen_buffer() {
+        let _g = gate_lock();
+        let _r = GateReset;
+        set_pack_min_flops(usize::MAX);
+        let mut b = PlanBuilder::new(2);
+        b.gemm_bf16_weights(2, 8, 8);
+        assert_eq!(b.build().sizes(), &[8 * 8]);
+    }
+
+    #[test]
+    fn conv_plans_padded_image_cols_and_gemm() {
+        let _g = gate_lock();
+        let _r = GateReset;
+        set_pack_min_flops(usize::MAX); // keep the production GEMM legacy
+        let spec = ConvSpec { kernel: 3, stride: 1, pad: 1 };
+        let (n, c, h, w, o) = (2, 3, 8, 8, 4);
+        let mut b = PlanBuilder::new(1);
+        b.conv2d(n, c, h, w, spec, spec, o);
+        let plan = b.build();
+        let (hp, wp) = (h + 2, w + 2);
+        let (oh, ow) = (spec.out_size(h).unwrap(), spec.out_size(w).unwrap());
+        assert_eq!(plan.sizes(), &[n * c * hp * wp, n * oh * ow * c * 9]);
+    }
+
+    #[test]
+    fn warm_makes_every_planned_checkout_hit() {
+        let _g = gate_lock();
+        let _r = GateReset;
+        set_pack_min_flops(0);
+        set_packing_enabled(true);
+        workspace::clear();
+        let mut b = PlanBuilder::new(3);
+        b.gemm(40, 50, 140).gemm_bf16_weights(40, 50, 140);
+        let plan = b.build();
+        plan.warm();
+        // Every planned size (including the same-bucket duplicates) must
+        // now check out simultaneously from the pool without allocating:
+        // re-leasing returns exactly the warmed buffers.
+        let lease = plan.lease();
+        assert_eq!(lease.buffers(), plan.sizes().iter().filter(|&&s| s > 0).count());
+        lease.release();
+    }
+
+    #[test]
+    fn degenerate_shapes_plan_nothing() {
+        let mut b = PlanBuilder::new(2);
+        b.gemm(0, 8, 8).gemm(8, 0, 8).gemm_bf16_weights(0, 4, 4);
+        assert!(b.build().sizes().is_empty());
+    }
+}

@@ -1,0 +1,290 @@
+//! Property tests asserting the fused GEMM epilogue (bias add +
+//! activation applied at the C store) is **bitwise identical** to the
+//! separate-pass sequence (`matmul → add → map`) it replaces — across
+//! ragged and degenerate shapes (including k = 0), every activation, the
+//! packed and the legacy kernel path, f32 and bf16-weight GEMMs, conv2d,
+//! and worker counts {1, 2, 4, 7}.
+//!
+//! The static-plan lease gets its own checks: a plan-warmed arena must
+//! serve the kernel's checkouts as hits without moving a bit, and a lease
+//! *held across* a kernel call must never alias the kernel's own scratch
+//! (the kernel's checkouts land in different buffers because the leased
+//! ones are still out).
+//!
+//! The fuse toggle is process-global, so a lock serialises the tests and
+//! a guard restores every global on drop — same idiom as `pack_equiv`.
+
+use metalora_tensor::conv::{conv2d_bias_act, ConvSpec};
+use metalora_tensor::ops::{
+    matmul_bias_act, matmul_bf16_weights_bias_act, set_fuse_enabled, set_pack_min_flops,
+    set_packing_enabled, Activation,
+};
+use metalora_tensor::plan::PlanBuilder;
+use metalora_tensor::{init, par, workspace, Bf16Buf, Tensor};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+struct FuseGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+/// Locks the suite; the guard restores every global knob on drop.
+fn lock_globals() -> FuseGuard {
+    let g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    FuseGuard(g)
+}
+
+impl Drop for FuseGuard {
+    fn drop(&mut self) {
+        set_fuse_enabled(true);
+        set_packing_enabled(true);
+        set_pack_min_flops(1 << 15);
+        par::set_num_threads(0);
+        par::set_par_threshold(usize::MAX);
+    }
+}
+
+/// Runs `f` with fusion off (separate output passes), then with fusion
+/// on (epilogue at the store), and asserts the outputs agree to the bit.
+fn assert_fuse_equiv(f: impl Fn() -> Tensor) {
+    set_fuse_enabled(false);
+    let separate = f();
+    set_fuse_enabled(true);
+    let fused = f();
+    assert_eq!(separate.dims(), fused.dims(), "fusion changed the shape");
+    let same = separate
+        .data()
+        .iter()
+        .zip(fused.data())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(same, "fused epilogue diverged from the separate-pass output");
+}
+
+fn rand_t(dims: &[usize], seed: u64) -> Tensor {
+    let mut r = init::rng(seed);
+    init::uniform(dims, -1.0, 1.0, &mut r)
+}
+
+const ACTS: [Option<Activation>; 4] = [
+    None,
+    Some(Activation::Relu),
+    Some(Activation::Gelu),
+    Some(Activation::Tanh),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_bias_act_fused_bitwise(
+        m in 1usize..40,
+        k in 0usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        // Ragged shapes (1×n, m×1, k = 0) on BOTH kernel paths: the
+        // packed store-time epilogue and the legacy per-row one must each
+        // reproduce the separate passes exactly, with and without bias,
+        // for every activation.
+        let _g = lock_globals();
+        set_pack_min_flops(0);
+        let x = rand_t(&[m, k], seed);
+        let w = rand_t(&[k, n], seed + 1);
+        let bias = rand_t(&[n], seed + 2);
+        for packed in [true, false] {
+            set_packing_enabled(packed);
+            for act in ACTS {
+                for b in [Some(&bias), None] {
+                    assert_fuse_equiv(|| matmul_bias_act(&x, &w, b, act).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_weights_bias_act_fused_bitwise(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        // The bf16-weight GEMM widens at pack time; its epilogue rides the
+        // same store and must match its own separate-pass run bit for bit
+        // on both paths.
+        let _g = lock_globals();
+        set_pack_min_flops(0);
+        let x = rand_t(&[m, k], seed);
+        let w16 = Bf16Buf::from_tensor(&rand_t(&[k, n], seed + 1));
+        let bias = rand_t(&[n], seed + 2);
+        for packed in [true, false] {
+            set_packing_enabled(packed);
+            for act in ACTS {
+                for b in [Some(&bias), None] {
+                    assert_fuse_equiv(|| {
+                        matmul_bf16_weights_bias_act(&x, &w16, b, act).unwrap()
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_bias_act_fused_bitwise(
+        n in 1usize..3,
+        c in 1usize..4,
+        hw in 3usize..8,
+        o in 1usize..5,
+        kk in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        // Conv fuses the column epilogue into the pre-permute GEMM; the
+        // [O,1,1]-broadcast bias of the separate pass must come out
+        // identical through the pure-copy permute.
+        let _g = lock_globals();
+        set_pack_min_flops(0);
+        let spec = ConvSpec::new(kk, 1, pad).unwrap();
+        let x = rand_t(&[n, c, hw, hw], seed);
+        let w = rand_t(&[kk, kk, c, o], seed + 1);
+        let bias = rand_t(&[o], seed + 2);
+        for act in ACTS {
+            for b in [Some(&bias), None] {
+                assert_fuse_equiv(|| conv2d_bias_act(&x, &w, b, act, spec, spec).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_thread_sweep_is_bitwise(
+        m in 1usize..40,
+        k in 1usize..80,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        // Thread splits cut through MR row tiles and tile-grid cells; the
+        // store-time epilogue is per-element, so no worker count may move
+        // a bit vs the single-thread separate-pass run.
+        let _g = lock_globals();
+        set_pack_min_flops(0);
+        set_packing_enabled(true);
+        let x = rand_t(&[m, k], seed);
+        let w = rand_t(&[k, n], seed + 1);
+        let bias = rand_t(&[n], seed + 2);
+        set_fuse_enabled(false);
+        par::set_num_threads(1);
+        let reference = matmul_bias_act(&x, &w, Some(&bias), Some(Activation::Gelu)).unwrap();
+        set_fuse_enabled(true);
+        par::set_par_threshold(0);
+        for threads in [1usize, 2, 4, 7] {
+            par::set_num_threads(threads);
+            let out = matmul_bias_act(&x, &w, Some(&bias), Some(Activation::Gelu)).unwrap();
+            let same = reference
+                .data()
+                .iter()
+                .zip(out.data())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            prop_assert!(same, "fused epilogue at {threads} workers diverged");
+        }
+    }
+}
+
+/// A plan-warmed arena serves the kernel's checkouts as pool hits, and
+/// warming changes nothing about the output: bitwise the cold run.
+#[test]
+fn plan_warmed_gemm_is_bitwise_cold_and_seeds_the_arena() {
+    let _g = lock_globals();
+    set_pack_min_flops(0);
+    set_packing_enabled(true);
+    par::set_par_threshold(0);
+    par::set_num_threads(3);
+    let (m, k, n) = (33usize, 47usize, 29usize);
+    let x = rand_t(&[m, k], 1);
+    let w = rand_t(&[k, n], 2);
+    let bias = rand_t(&[n], 3);
+    workspace::clear();
+    let cold = matmul_bias_act(&x, &w, Some(&bias), Some(Activation::Gelu)).unwrap();
+    workspace::clear();
+    metalora_obs::set_enabled(true);
+    metalora_obs::reset();
+    let mut b = PlanBuilder::new(3);
+    b.gemm(m, n, k);
+    let plan = b.build();
+    plan.warm();
+    let warmed = matmul_bias_act(&x, &w, Some(&bias), Some(Activation::Gelu)).unwrap();
+    let snap = metalora_obs::counters::snapshot();
+    metalora_obs::set_enabled(false);
+    metalora_obs::reset();
+    let same = cold
+        .data()
+        .iter()
+        .zip(warmed.data())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(same, "plan warm-up changed the GEMM output");
+    assert_eq!(snap.plans_built, 1);
+    assert!(snap.plan_leases >= 1, "warm() leased no buffers: {snap:?}");
+    assert!(
+        snap.workspace_hits > 0,
+        "kernel checkouts missed the plan-warmed pool: {snap:?}"
+    );
+}
+
+/// A lease held *across* a kernel call never aliases the kernel's own
+/// scratch: the leased buffers are checked out, so the kernel takes
+/// different ones — and the output stays bitwise identical whether the
+/// lease is held or released.
+#[test]
+fn held_lease_never_aliases_kernel_scratch() {
+    let _g = lock_globals();
+    set_pack_min_flops(0);
+    set_packing_enabled(true);
+    par::set_par_threshold(0);
+    par::set_num_threads(2);
+    let (m, k, n) = (21usize, 35usize, 18usize);
+    let x = rand_t(&[m, k], 4);
+    let w = rand_t(&[k, n], 5);
+    let bias = rand_t(&[n], 6);
+    let reference = matmul_bias_act(&x, &w, Some(&bias), Some(Activation::Relu)).unwrap();
+    let mut b = PlanBuilder::new(2);
+    b.gemm(m, n, k);
+    let plan = b.build();
+    let nonzero: Vec<usize> = plan.sizes().iter().copied().filter(|&s| s > 0).collect();
+    let lease = plan.lease();
+    assert_eq!(lease.buffers(), nonzero.len());
+    assert_eq!(lease.floats(), nonzero.iter().sum::<usize>());
+    let held = matmul_bias_act(&x, &w, Some(&bias), Some(Activation::Relu)).unwrap();
+    lease.release();
+    let released = matmul_bias_act(&x, &w, Some(&bias), Some(Activation::Relu)).unwrap();
+    for (label, out) in [("held", &held), ("released", &released)] {
+        let same = reference
+            .data()
+            .iter()
+            .zip(out.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "GEMM with lease {label} diverged from the plain run");
+    }
+}
+
+/// Concurrent plan leases check out simultaneously-live (hence disjoint)
+/// buffers on every thread; counts and totals must always match the
+/// nonzero request list, with zero-length entries skipped.
+#[test]
+fn concurrent_plan_leases_stay_consistent() {
+    let _g = lock_globals();
+    std::thread::scope(|s| {
+        for tid in 0..6usize {
+            s.spawn(move || {
+                for round in 0..200usize {
+                    let sizes =
+                        [32 + (tid * 53 + round * 17) % 400, 64, 0, 128 + tid];
+                    let lease = workspace::lease_all(&sizes);
+                    assert_eq!(lease.buffers(), 3, "zero-length entry must be skipped");
+                    assert_eq!(
+                        lease.floats(),
+                        sizes.iter().filter(|&&s| s > 0).sum::<usize>()
+                    );
+                    lease.release();
+                }
+            });
+        }
+    });
+}
