@@ -2,7 +2,11 @@
 //! `metalora-serve` engine, factored and merged modes at several thread
 //! counts, reporting requests/s and p50/p95/p99 latency plus the
 //! merged-weight cache hit/miss/eviction totals. Every point re-proves
-//! the batched-vs-solo bitwise claim. Raw numbers go to `BENCH_serve.json`.
+//! the batched-vs-solo bitwise claim. Raw numbers go to `BENCH_serve.json`;
+//! the live-metrics registry flushes one JSONL record per sweep point to
+//! `METRICS_serve.jsonl` plus a Prometheus exposition to
+//! `METRICS_serve.prom` (validated by the in-repo parser before the
+//! write).
 //!
 //! The sweep lives in `metalora_bench::serve_bench` so the `regress`
 //! binary can rerun the identical workload against the committed baseline.
@@ -21,12 +25,22 @@ fn main() {
     metalora_obs::set_enabled(true);
     metalora_obs::reset();
 
-    let report = metalora_bench::serve_bench::run(quick);
+    let (report, metrics_lines) = metalora_bench::serve_bench::run_with_telemetry(quick);
 
     let json = serde_json::to_string_pretty(&report).expect("serialise");
     let path = "BENCH_serve.json";
     std::fs::write(path, json).expect("write BENCH_serve.json");
     println!("raw sweep written to {path}");
+
+    match metalora_obs::export::flush("serve", &metrics_lines) {
+        Ok(f) => println!(
+            "metrics written to {} and {} ({} samples)",
+            f.jsonl.display(),
+            f.prom.display(),
+            f.samples
+        ),
+        Err(e) => eprintln!("could not flush metrics: {e}"),
+    }
 
     let report = metalora_obs::report::RunReport::capture("serve");
     println!("\n{}", report.summary_table());

@@ -382,6 +382,13 @@ pub fn compare(baseline: &KernelReport, fresh: &KernelReport, tol: &Tolerances) 
 ///   deterministically zero. The fused-epilogue and plans-built totals
 ///   are deterministic per stream too, but only gate when the baseline
 ///   recorded them (pre-fusion baselines deserialise to zero).
+/// * Telemetry counters (requests recorded, slow requests, hot-tenant
+///   share) are deterministic under the logical bench clock and gate
+///   like the cache counters — but only when the baseline recorded
+///   telemetry (pre-telemetry baselines deserialise to zero).
+/// * When the baseline arms `slo_target_p99_ms`, a point whose
+///   `tenants_over_slo` exceeds the baseline's is a violation: a tenant
+///   newly breached its windowed p99 target.
 pub fn compare_serve(
     baseline: &ServeReport,
     fresh: &ServeReport,
@@ -453,6 +460,42 @@ pub fn compare_serve(
                     base_pt.mode, base_pt.threads
                 ));
             }
+        }
+        // Telemetry drift: under the logical bench clock the bridge's
+        // counters are deterministic per stream. Armed only when the
+        // baseline recorded telemetry (older baselines deserialise to 0).
+        if base_pt.telemetry_requests > 0 {
+            for (name, base_n, fresh_n) in [
+                ("telemetry_requests", base_pt.telemetry_requests, fresh_pt.telemetry_requests),
+                ("slow_requests", base_pt.slow_requests, fresh_pt.slow_requests),
+                (
+                    "hot_tenant_requests",
+                    base_pt.hot_tenant_requests,
+                    fresh_pt.hot_tenant_requests,
+                ),
+            ] {
+                if rel_diff(fresh_n as f64, base_n as f64) > tol.counter_frac {
+                    cmp.violations.push(format!(
+                        "serve telemetry drift: {} / t={} {name} {fresh_n} vs baseline {base_n} — the metrics bridge is recording different work",
+                        base_pt.mode, base_pt.threads
+                    ));
+                }
+            }
+        }
+        // SLO floor: a tenant newly over its windowed p99 target is a
+        // tail-latency regression, not timing noise — the bench clock is
+        // logical. Armed only when the baseline carried a target.
+        if baseline.slo_target_p99_ms > 0.0
+            && fresh_pt.tenants_over_slo > base_pt.tenants_over_slo
+        {
+            cmp.violations.push(format!(
+                "serve SLO floor: {} / t={} has {} tenant(s) over the {:.1} ms p99 target, baseline had {}",
+                base_pt.mode,
+                base_pt.threads,
+                fresh_pt.tenants_over_slo,
+                baseline.slo_target_p99_ms,
+                base_pt.tenants_over_slo
+            ));
         }
         // Throughput floor: fresh must reach baseline / (1 + ms_frac).
         let floor = base_pt.throughput_rps / (1.0 + tol.ms_frac);
@@ -757,6 +800,11 @@ mod tests {
             output_passes: 0,
             plans_built: 3,
             plan_leases: 12,
+            telemetry_requests: 96,
+            slow_requests: 0,
+            hot_tenant_requests: 31,
+            worst_tenant_p99_us: 12.5,
+            tenants_over_slo: 0,
             bitwise_ok: true,
         }
     }
@@ -768,9 +816,11 @@ mod tests {
             scale: "quick".into(),
             tenants: 12,
             zipf_s: 1.1,
+            traffic_seed: 42,
             requests: 96,
             max_batch: 16,
             bf16_capacity_floor: 1.8,
+            slo_target_p99_ms: 50.0,
             points: vec![
                 serve_point("factored", 1, 1000.0),
                 serve_point("merged", 1, 2000.0),
@@ -870,6 +920,64 @@ mod tests {
         let cmp = compare_serve(&serve_report(), &fresh, &Tolerances::default());
         assert!(cmp.passed(), "violations: {:?}", cmp.violations);
         assert!(cmp.warnings.iter().any(|w| w.contains("new point not in baseline")));
+    }
+
+    // --- telemetry and SLO gates ------------------------------------
+
+    #[test]
+    fn serve_telemetry_drift_fails_when_baseline_recorded_telemetry() {
+        let mut fresh = serve_report();
+        fresh.points[1].telemetry_requests = 48; // bridge missed half the stream
+        fresh.points[1].slow_requests = 10; // tail appeared from nowhere
+        let cmp = compare_serve(&serve_report(), &fresh, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert_eq!(
+            cmp.violations.iter().filter(|v| v.contains("telemetry drift")).count(),
+            2,
+            "{:?}",
+            cmp.violations
+        );
+    }
+
+    #[test]
+    fn serve_slo_floor_breach_fails_when_target_armed() {
+        let mut fresh = serve_report();
+        fresh.points[3].tenants_over_slo = 2; // two tenants newly over p99
+        let cmp = compare_serve(&serve_report(), &fresh, &Tolerances::default());
+        assert!(!cmp.passed());
+        assert!(
+            cmp.violations.iter().any(|v| v.starts_with("serve SLO floor:")
+                && v.contains("merged-bf16 / t=1")
+                && v.contains("50.0 ms")),
+            "{:?}",
+            cmp.violations
+        );
+    }
+
+    #[test]
+    fn serve_telemetry_gate_disarmed_on_pre_telemetry_baseline() {
+        // A baseline written before telemetry existed deserialises with
+        // zeroed counters; fresh runs recording telemetry must still pass.
+        let mut base = serve_report();
+        for p in &mut base.points {
+            p.telemetry_requests = 0;
+            p.slow_requests = 0;
+            p.hot_tenant_requests = 0;
+        }
+        let mut fresh = serve_report();
+        fresh.points[1].slow_requests = 10;
+        let cmp = compare_serve(&base, &fresh, &Tolerances::default());
+        assert!(cmp.passed(), "violations: {:?}", cmp.violations);
+    }
+
+    #[test]
+    fn serve_slo_gate_disarmed_without_a_baseline_target() {
+        let mut base = serve_report();
+        base.slo_target_p99_ms = 0.0; // pre-telemetry baseline
+        let mut fresh = serve_report();
+        fresh.points[3].tenants_over_slo = 5;
+        let cmp = compare_serve(&base, &fresh, &Tolerances::default());
+        assert!(cmp.passed(), "violations: {:?}", cmp.violations);
     }
 
     // --- bf16 tolerance gates ---------------------------------------

@@ -12,6 +12,8 @@
 //! claim and re-merge determinism are re-proven on every bench run.
 
 use metalora_nn::Linear;
+use metalora_obs::window::{self, ClockMode};
+use metalora_obs::{export, registry, slo};
 use metalora_peft::meta::MappingNet;
 use metalora_peft::{LoraConfig, MultiLoraLinear};
 use metalora_serve::traffic::{self, TrafficConfig};
@@ -68,6 +70,23 @@ pub struct ServePoint {
     /// Workspace buffers leased up front through the per-batch plan.
     #[serde(default)]
     pub plan_leases: u64,
+    /// Requests the telemetry bridge recorded over this point (obs
+    /// counter delta; equals `requests` with metrics on).
+    #[serde(default)]
+    pub telemetry_requests: u64,
+    /// Requests beyond the per-tenant p99 SLO target over this point.
+    #[serde(default)]
+    pub slow_requests: u64,
+    /// Requests the hottest tenant (the zipf head) received.
+    #[serde(default)]
+    pub hot_tenant_requests: u64,
+    /// Worst per-tenant sliding-window p99 latency, microseconds
+    /// (logical-clock ticks at bench time, so deterministic).
+    #[serde(default)]
+    pub worst_tenant_p99_us: f64,
+    /// Tenants whose windowed p99 sits above the SLO target.
+    #[serde(default)]
+    pub tenants_over_slo: u64,
     /// Batched outputs bitwise-equal to a `max_batch = 1` re-serve.
     pub bitwise_ok: bool,
 }
@@ -85,6 +104,10 @@ pub struct ServeReport {
     pub tenants: usize,
     /// Zipf exponent of the tenant-id distribution.
     pub zipf_s: f64,
+    /// RNG seed the zipf traffic stream was drawn with — together with
+    /// `zipf_s` this pins the exact request sequence a baseline measured.
+    #[serde(default)]
+    pub traffic_seed: u64,
     /// Stream length every point served.
     pub requests: usize,
     /// Requests per released batch in the batched runs.
@@ -94,6 +117,11 @@ pub struct ServeReport {
     /// gate — pre-bf16 baselines deserialise to that).
     #[serde(default)]
     pub bf16_capacity_floor: f64,
+    /// SLO target the sweep accounted against (ms; 0 disables the
+    /// regress SLO-floor gate — pre-telemetry baselines deserialise to
+    /// that).
+    #[serde(default)]
+    pub slo_target_p99_ms: f64,
     pub points: Vec<ServePoint>,
 }
 
@@ -177,6 +205,15 @@ fn bits_of(outs: &[metalora_tensor::Tensor]) -> Vec<Vec<u32>> {
 /// Runs the serve sweep and returns the report. `quick` shrinks the
 /// stream for CI smoke runs.
 pub fn run(quick: bool) -> ServeReport {
+    run_with_telemetry(quick).0
+}
+
+/// [`run`] plus the exporter lines: one `METRICS_serve.jsonl` record per
+/// sweep point, each a registry + SLO snapshot taken right after that
+/// point's stream. The sweep runs under the **logical** telemetry clock
+/// (one tick per read), so two runs over the same stream emit
+/// byte-identical lines — the determinism the CI smoke compares.
+pub fn run_with_telemetry(quick: bool) -> (ServeReport, Vec<String>) {
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let simd = ops::simd_level().name().to_string();
     let (tenants, requests, in_dim, out_dim, max_rows) =
@@ -201,9 +238,12 @@ pub fn run(quick: bool) -> ServeReport {
     );
     par::set_par_threshold(0);
     metalora_obs::set_enabled(true);
+    registry::set_enabled(true);
+    window::set_clock(ClockMode::Logical);
 
     let reqs: Vec<Request> = traffic::generate(&traffic_cfg);
     let mut points = Vec::new();
+    let mut metrics_lines = Vec::new();
 
     for (mode, use_merged) in
         [("factored", false), ("merged", true), ("merged-bf16", true)]
@@ -221,11 +261,20 @@ pub fn run(quick: bool) -> ServeReport {
             par::set_num_threads(threads);
             let engine =
                 build_engine(tenants, in_dim, out_dim, use_merged, max_batch, cache_bytes, 7);
+            // Each point starts from a clean registry, fresh SLO rows and
+            // a rewound logical clock, so its exporter line depends only
+            // on (mode, threads, stream) — never on sweep order.
+            registry::reset();
+            slo::reset();
+            window::reset_logical();
             let c0 = metalora_obs::counters::snapshot();
             let t0 = Instant::now();
             let outs = engine.process(&reqs).expect("batched serve");
             let elapsed = t0.elapsed().as_secs_f64();
             let c1 = metalora_obs::counters::snapshot();
+            let reg = registry::snapshot();
+            let slo_rows = slo::snapshot_at(reg.now_ns);
+            metrics_lines.push(export::jsonl_line(&reg, &slo_rows));
             let (p50, p95, p99) = engine.latency_percentiles_us();
             let stats = engine.cache().stats();
             points.push(ServePoint {
@@ -246,6 +295,16 @@ pub fn run(quick: bool) -> ServeReport {
                 output_passes: c1.output_passes - c0.output_passes,
                 plans_built: c1.plans_built - c0.plans_built,
                 plan_leases: c1.plan_leases - c0.plan_leases,
+                telemetry_requests: c1.telemetry_requests - c0.telemetry_requests,
+                slow_requests: slo_rows.iter().map(|r| r.slow).sum(),
+                hot_tenant_requests: slo_rows.iter().map(|r| r.requests).max().unwrap_or(0),
+                worst_tenant_p99_us: slo_rows
+                    .iter()
+                    .map(|r| r.window_p99_ns)
+                    .max()
+                    .unwrap_or(0) as f64
+                    / 1e3,
+                tenants_over_slo: slo_rows.iter().filter(|r| r.over_target()).count() as u64,
                 bitwise_ok: bits_of(&outs) == reference,
             });
         }
@@ -253,10 +312,12 @@ pub fn run(quick: bool) -> ServeReport {
     bf16::set_enabled(false);
     par::set_num_threads(0);
     par::set_par_threshold(usize::MAX);
+    window::set_clock(ClockMode::Monotonic);
+    registry::set_enabled(false);
 
     let headers: Vec<String> = [
         "mode", "threads", "req/s", "p50 µs", "p95 µs", "p99 µs", "hits", "misses", "evict",
-        "resident", "fused", "passes", "plans", "bitwise",
+        "resident", "fused", "passes", "plans", "slow", "hot", "w-p99 µs", "over-slo", "bitwise",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -278,6 +339,10 @@ pub fn run(quick: bool) -> ServeReport {
                 p.fused_epilogues.to_string(),
                 p.output_passes.to_string(),
                 p.plans_built.to_string(),
+                p.slow_requests.to_string(),
+                p.hot_tenant_requests.to_string(),
+                format!("{:.1}", p.worst_tenant_p99_us),
+                p.tenants_over_slo.to_string(),
                 p.bitwise_ok.to_string(),
             ]
         })
@@ -310,23 +375,40 @@ pub fn run(quick: bool) -> ServeReport {
         points.iter().all(|p| p.plans_built > 0),
         "serving built no static inference plans"
     );
+    assert!(
+        points.iter().all(|p| p.telemetry_requests == p.requests),
+        "telemetry recorded a different request count than the engine served"
+    );
 
-    ServeReport {
+    let report = ServeReport {
         host_cpus,
         simd_level: simd,
         scale: if quick { "quick" } else { "standard" }.to_string(),
         tenants,
         zipf_s: traffic_cfg.zipf_s,
+        traffic_seed: traffic_cfg.seed,
         requests,
         max_batch,
         bf16_capacity_floor: 1.8,
+        slo_target_p99_ms: slo::target_ms(),
         points,
-    }
+    };
+    (report, metrics_lines)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Obs clock/registry state is process-global: every test that runs
+    /// the sweep serialises on this.
+    fn run_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn report_json_round_trips() {
@@ -336,9 +418,11 @@ mod tests {
             scale: "quick".into(),
             tenants: 12,
             zipf_s: 1.1,
+            traffic_seed: 42,
             requests: 96,
             max_batch: 16,
             bf16_capacity_floor: 1.8,
+            slo_target_p99_ms: 50.0,
             points: vec![ServePoint {
                 mode: "merged-bf16".into(),
                 threads: 2,
@@ -357,6 +441,11 @@ mod tests {
                 output_passes: 0,
                 plans_built: 3,
                 plan_leases: 12,
+                telemetry_requests: 96,
+                slow_requests: 2,
+                hot_tenant_requests: 31,
+                worst_tenant_p99_us: 55.5,
+                tenants_over_slo: 1,
                 bitwise_ok: true,
             }],
         };
@@ -371,9 +460,16 @@ mod tests {
         assert_eq!(back.points[0].output_passes, 0);
         assert_eq!(back.points[0].plans_built, 3);
         assert_eq!(back.points[0].plan_leases, 12);
+        assert_eq!(back.points[0].telemetry_requests, 96);
+        assert_eq!(back.points[0].slow_requests, 2);
+        assert_eq!(back.points[0].hot_tenant_requests, 31);
+        assert!((back.points[0].worst_tenant_p99_us - 55.5).abs() < 1e-12);
+        assert_eq!(back.points[0].tenants_over_slo, 1);
         assert!(back.points[0].bitwise_ok);
         assert_eq!(back.max_batch, 16);
+        assert_eq!(back.traffic_seed, 42);
         assert!((back.bf16_capacity_floor - 1.8).abs() < 1e-12);
+        assert!((back.slo_target_p99_ms - 50.0).abs() < 1e-12);
         // Pre-bf16 / pre-fusion baselines lack the new keys; they default
         // to zero.
         use serde::{Deserialize, Serialize, Value};
@@ -402,6 +498,11 @@ mod tests {
                                     "output_passes",
                                     "plans_built",
                                     "plan_leases",
+                                    "telemetry_requests",
+                                    "slow_requests",
+                                    "hot_tenant_requests",
+                                    "worst_tenant_p99_us",
+                                    "tenants_over_slo",
                                 ],
                             )
                         })
@@ -409,16 +510,24 @@ mod tests {
                 );
             }
         }
-        let legacy = strip(Value::Map(top), &["bf16_capacity_floor"]);
+        let legacy = strip(
+            Value::Map(top),
+            &["bf16_capacity_floor", "slo_target_p99_ms", "traffic_seed"],
+        );
         let old = ServeReport::from_value(&legacy).unwrap();
         assert_eq!(old.points[0].resident_entries, 0);
         assert_eq!(old.points[0].fused_epilogues, 0);
         assert_eq!(old.points[0].plans_built, 0);
+        assert_eq!(old.points[0].telemetry_requests, 0);
+        assert_eq!(old.points[0].tenants_over_slo, 0);
         assert_eq!(old.bf16_capacity_floor, 0.0);
+        assert_eq!(old.slo_target_p99_ms, 0.0);
+        assert_eq!(old.traffic_seed, 0);
     }
 
     #[test]
     fn quick_sweep_is_bitwise_and_covers_all_modes() {
+        let _g = run_lock();
         let report = run(true);
         assert_eq!(report.scale, "quick");
         assert_eq!(report.points.len(), 9);
@@ -462,5 +571,35 @@ mod tests {
         assert!(report.points.iter().all(|p| p.fused_epilogues > 0));
         assert!(report.points.iter().all(|p| p.output_passes == 0));
         assert!(report.points.iter().all(|p| p.plans_built > 0));
+        // Telemetry columns: every request hit the bridge, the zipf head
+        // is the hot tenant, and nothing breaches the default 50 ms
+        // target under the logical clock (µs-scale tick latencies).
+        assert!(report.points.iter().all(|p| p.telemetry_requests == 96));
+        assert!(report.points.iter().all(|p| p.hot_tenant_requests > 96 / 12));
+        assert!(report.points.iter().all(|p| p.worst_tenant_p99_us > 0.0));
+        assert!(report
+            .points
+            .iter()
+            .all(|p| p.slow_requests == 0 && p.tenants_over_slo == 0));
+        assert_eq!(report.traffic_seed, 42);
+        assert!(report.slo_target_p99_ms > 0.0, "SLO gate arms on fresh reports");
+    }
+
+    #[test]
+    fn telemetry_lines_are_deterministic_across_runs() {
+        let _g = run_lock();
+        let (ra, la) = run_with_telemetry(true);
+        let (rb, lb) = run_with_telemetry(true);
+        assert_eq!(la.len(), ra.points.len(), "one exporter line per point");
+        assert_eq!(la, lb, "logical-clock metrics must be byte-identical");
+        assert!(la.iter().all(|l| l.starts_with('{') && !l.contains('\n')));
+        // Everything except the wall-clock throughput column repeats.
+        for (a, b) in ra.points.iter().zip(&rb.points) {
+            assert_eq!(a.telemetry_requests, b.telemetry_requests);
+            assert_eq!(a.slow_requests, b.slow_requests);
+            assert_eq!(a.hot_tenant_requests, b.hot_tenant_requests);
+            assert_eq!(a.worst_tenant_p99_us.to_bits(), b.worst_tenant_p99_us.to_bits());
+            assert_eq!(a.tenants_over_slo, b.tenants_over_slo);
+        }
     }
 }

@@ -106,6 +106,9 @@ static SERVE_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 static SERVE_CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 static SERVE_MERGES: AtomicU64 = AtomicU64::new(0);
 
+static TELEMETRY_REQUESTS: AtomicU64 = AtomicU64::new(0);
+static TAIL_ATTRIBUTIONS: AtomicU64 = AtomicU64::new(0);
+
 /// Records one invocation of `kernel` with its estimated flop count and
 /// the bytes it moved (inputs + outputs).
 #[inline]
@@ -320,6 +323,27 @@ pub fn record_serve_merge() {
     SERVE_MERGES.fetch_add(1, Relaxed);
 }
 
+/// Records one request fully accounted by the live telemetry registry
+/// (`obs::registry` + `obs::slo`) — the cheap process-wide tally the run
+/// report carries even after the registry itself is reset per window.
+#[inline]
+pub fn record_telemetry_request() {
+    if !crate::enabled() {
+        return;
+    }
+    TELEMETRY_REQUESTS.fetch_add(1, Relaxed);
+}
+
+/// Records one tail-latency attribution sample (a request beyond the SLO
+/// target whose dominant stage was identified).
+#[inline]
+pub fn record_tail_attribution() {
+    if !crate::enabled() {
+        return;
+    }
+    TAIL_ATTRIBUTIONS.fetch_add(1, Relaxed);
+}
+
 /// Records a tensor buffer allocation, ratcheting the peak-alive mark.
 #[inline]
 pub fn track_alloc(bytes: usize) {
@@ -429,6 +453,10 @@ pub struct CounterSnapshot {
     pub serve_cache_evictions: u64,
     /// `W + ΔW` merges computed for the serving cache.
     pub serve_merges: u64,
+    /// Requests accounted by the live telemetry registry.
+    pub telemetry_requests: u64,
+    /// Tail-latency attribution samples recorded.
+    pub tail_attributions: u64,
 }
 
 /// Snapshots every counter.
@@ -483,6 +511,8 @@ pub fn snapshot() -> CounterSnapshot {
         serve_cache_misses: SERVE_CACHE_MISSES.load(Relaxed),
         serve_cache_evictions: SERVE_CACHE_EVICTIONS.load(Relaxed),
         serve_merges: SERVE_MERGES.load(Relaxed),
+        telemetry_requests: TELEMETRY_REQUESTS.load(Relaxed),
+        tail_attributions: TAIL_ATTRIBUTIONS.load(Relaxed),
     }
 }
 
@@ -526,6 +556,8 @@ pub fn reset() {
     SERVE_CACHE_MISSES.store(0, Relaxed);
     SERVE_CACHE_EVICTIONS.store(0, Relaxed);
     SERVE_MERGES.store(0, Relaxed);
+    TELEMETRY_REQUESTS.store(0, Relaxed);
+    TAIL_ATTRIBUTIONS.store(0, Relaxed);
 }
 
 #[cfg(test)]
@@ -661,6 +693,23 @@ mod tests {
         crate::set_enabled(true);
         assert_eq!(snapshot().serve_requests, 4);
         assert_eq!(snapshot().serve_merges, 1);
+    }
+
+    #[test]
+    fn telemetry_counters_accumulate_and_respect_toggle() {
+        let _g = lock();
+        record_telemetry_request();
+        record_telemetry_request();
+        record_tail_attribution();
+        let snap = snapshot();
+        assert_eq!(snap.telemetry_requests, 2);
+        assert_eq!(snap.tail_attributions, 1);
+        crate::set_enabled(false);
+        record_telemetry_request();
+        record_tail_attribution();
+        crate::set_enabled(true);
+        assert_eq!(snapshot().telemetry_requests, 2);
+        assert_eq!(snapshot().tail_attributions, 1);
     }
 
     #[test]

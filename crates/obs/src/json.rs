@@ -52,4 +52,38 @@ mod tests {
         assert_eq!(num(f64::NAN), "null");
         assert_eq!(num(f64::INFINITY), "null");
     }
+
+    #[test]
+    fn every_non_finite_shape_becomes_null() {
+        // All the sentinel shapes that reach the RUNLOG/TRACE/METRICS
+        // writers: f64 specials, f32 specials widened the way health
+        // records widen them, and NaNs produced by arithmetic.
+        for bad in [
+            f64::NEG_INFINITY,
+            -f64::NAN,
+            f64::from(f32::NAN),
+            f64::from(f32::INFINITY),
+            f64::from(f32::NEG_INFINITY),
+            0.0 / 0.0,
+            f64::INFINITY - f64::INFINITY,
+        ] {
+            assert_eq!(num(bad), "null", "{bad:?} must serialise as null");
+        }
+    }
+
+    #[test]
+    fn extreme_finite_magnitudes_stay_plain_decimal() {
+        // Rust's `{}` for f64 never emits exponent syntax, so even the
+        // extremes remain valid JSON number tokens (no `1e300`, no
+        // `inf`); spot-check the round trip through the vendored parser.
+        for v in [f64::MAX, f64::MIN_POSITIVE, -f64::MAX, 1e300, -1e-300] {
+            let s = num(v);
+            assert!(!s.contains('e') && !s.contains('E'), "{v}: {s}");
+            let parsed: serde_json::Value = serde_json::from_str(&s).unwrap();
+            match parsed {
+                serde_json::Value::Num(x) => assert_eq!(x, v, "round trip of {v}"),
+                other => panic!("{v} parsed as {other:?}"),
+            }
+        }
+    }
 }

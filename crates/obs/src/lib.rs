@@ -2,7 +2,7 @@
 //!
 //! Dependency-free instrumentation for the MetaLoRA stack.
 //!
-//! Seven facilities, all funnelled through one global on/off switch:
+//! Eleven facilities, all funnelled through one global on/off switch:
 //!
 //! * [`span`] — hierarchical wall-clock spans (`pretrain/epoch0`) with
 //!   thread-safe aggregation and per-path duration quantiles, via the
@@ -21,6 +21,18 @@
 //!   quantiles;
 //! * [`metrics`] — the training-loop sink (loss / accuracy / grad-norm /
 //!   wall time per epoch, grouped by phase);
+//! * [`window`] — sliding-window primitives: the pluggable telemetry
+//!   clock (monotonic in production, deterministic logical under test),
+//!   ring-of-buckets windowed histograms, and EWMA rates;
+//! * [`registry`] — the live metrics registry (counters, gauges, and
+//!   windowed latency families keyed by tenant/method/batch signature,
+//!   plus tail-latency attribution samples), gated additionally by
+//!   `METALORA_OBS_METRICS`;
+//! * [`slo`] — per-tenant SLO accounting: a target p99
+//!   (`METALORA_SLO_P99_MS`) and error-budget burn over the window;
+//! * [`export`] — registry/SLO snapshot exporter: Prometheus text
+//!   exposition (`METRICS_<name>.prom`, validated by an in-repo parser)
+//!   and an append-only `METRICS_<name>.jsonl` time series;
 //! * [`report`] — [`report::RunReport`] captures everything above into a
 //!   structured `RUNLOG_<name>.json` plus a human-readable summary table,
 //!   written under [`out_dir`] (`METALORA_OBS_DIR`).
@@ -35,13 +47,17 @@
 //! is purely passive.
 
 pub mod counters;
+pub mod export;
 pub mod health;
 pub mod hist;
 mod json;
 pub mod metrics;
+pub mod registry;
 pub mod report;
+pub mod slo;
 pub mod span;
 pub mod trace;
+pub mod window;
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -84,8 +100,9 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(if on { ON } else { OFF }, Ordering::Relaxed);
 }
 
-/// Clears all recorded spans, counters, metrics, trace events and health
-/// records (the enabled flag is left as is). Call at the start of a run
+/// Clears all recorded spans, counters, metrics, trace events, health
+/// records, registry series and SLO accounting (the enabled flags and
+/// the telemetry clock mode are left as is). Call at the start of a run
 /// to scope a report to it.
 pub fn reset() {
     counters::reset();
@@ -93,6 +110,8 @@ pub fn reset() {
     metrics::reset();
     trace::reset();
     health::reset();
+    registry::reset();
+    slo::reset();
 }
 
 static OUT_DIR_OVERRIDE: Mutex<Option<PathBuf>> = Mutex::new(None);

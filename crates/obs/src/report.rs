@@ -5,11 +5,11 @@
 //! ([`RunReport::to_json`], [`RunReport::write`]) or rendered for humans
 //! ([`RunReport::summary_table`]).
 //!
-//! ## Schema (`schema_version` 7)
+//! ## Schema (`schema_version` 8)
 //!
 //! ```json
 //! {
-//!   "schema_version": 7,
+//!   "schema_version": 8,
 //!   "name": "table1",
 //!   "spans":   [ {"path": "pretrain", "count": 2, "total_ms": 813.4,
 //!                 "p50_ms": 400.1, "p95_ms": 413.0, "p99_ms": 413.0} ],
@@ -29,6 +29,10 @@
 //!   "fusion":  {"fused_epilogues": 9, "fused_elems": 4096,
 //!               "output_passes": 0, "plans_built": 2,
 //!               "plan_leases": 12, "plan_lease_bytes": 16384},
+//!   "telemetry": {"metrics_enabled": true, "clock": "monotonic",
+//!                 "series": 30, "windows": 12, "attributions": 2,
+//!                 "attributions_dropped": 0, "slo_tenants": 12,
+//!                 "slo_target_ms": 50, "requests": 96, "tail_samples": 2},
 //!   "health":  [ {"phase": "adapt/MetaLoraCp", "group": "mapping", "step": 0,
 //!                 "grad_norm": 0.42, "update_ratio": 0.001,
 //!                 "weight_norm": 3.1, "nan_count": 0, "inf_count": 0} ],
@@ -49,7 +53,11 @@
 //! equivalent, and the derived bytes saved); 7 added the `fusion` object
 //! (fused GEMM epilogues applied and their element counts, separate
 //! epilogue output passes taken, static plans built, and plan-leased
-//! workspace buffers/bytes).
+//! workspace buffers/bytes); 8 added the `telemetry` object (live
+//! metrics registry stats — labeled series and windowed families, tail
+//! attribution samples — plus the SLO tenant count and target, the
+//! telemetry clock mode, and the process-wide telemetry request/tail
+//! counters).
 
 use crate::counters::{self, CounterSnapshot};
 use crate::health::{self, HealthRecord};
@@ -61,7 +69,28 @@ use std::path::{Path, PathBuf};
 
 /// Version stamp written into every run log (see the module docs for the
 /// version history).
-pub const SCHEMA_VERSION: u32 = 7;
+pub const SCHEMA_VERSION: u32 = 8;
+
+/// Live-telemetry capsule captured into the report's `telemetry` object.
+#[derive(Debug, Clone)]
+pub struct TelemetryInfo {
+    /// Whether the metrics registry was recording at capture time.
+    pub metrics_enabled: bool,
+    /// Telemetry clock mode label (`"monotonic"` or `"logical"`).
+    pub clock: &'static str,
+    /// Distinct `(name, label)` series in the registry.
+    pub series: u64,
+    /// How many of those are windowed families.
+    pub windows: u64,
+    /// Retained tail-latency attribution samples.
+    pub attributions: u64,
+    /// Tail samples evicted from the bounded ring.
+    pub attributions_dropped: u64,
+    /// Tenants with SLO accounting.
+    pub slo_tenants: u64,
+    /// The per-tenant p99 target in milliseconds.
+    pub slo_target_ms: f64,
+}
 
 /// A captured snapshot of everything the instrumentation recorded.
 #[derive(Debug, Clone)]
@@ -78,6 +107,8 @@ pub struct RunReport {
     pub trace_events: u64,
     /// Trace events overwritten by the ring buffer.
     pub trace_dropped: u64,
+    /// Live-telemetry registry/SLO stats.
+    pub telemetry: TelemetryInfo,
     /// Training epoch records in insertion order.
     pub epochs: Vec<EpochRecord>,
 }
@@ -89,6 +120,19 @@ impl RunReport {
             let (events, dropped) = trace::snapshot();
             (events.len() as u64, dropped)
         };
+        let reg = crate::registry::summary();
+        let telemetry = TelemetryInfo {
+            metrics_enabled: crate::registry::enabled(),
+            clock: crate::window::clock_label(),
+            series: reg.series,
+            windows: reg.windows,
+            attributions: reg.attributions,
+            attributions_dropped: reg.attributions_dropped,
+            // Evaluated at t=0: every recorded bucket is in the future of
+            // the window's start, so this counts all accounted tenants.
+            slo_tenants: crate::slo::snapshot_at(0).len() as u64,
+            slo_target_ms: crate::slo::target_ms(),
+        };
         RunReport {
             name: name.to_string(),
             spans: span::snapshot_summary(),
@@ -96,6 +140,7 @@ impl RunReport {
             health: health::snapshot(),
             trace_events,
             trace_dropped,
+            telemetry,
             epochs: metrics::snapshot(),
         }
     }
@@ -201,6 +246,22 @@ impl RunReport {
             self.counters.plans_built,
             self.counters.plan_leases,
             self.counters.plan_lease_bytes
+        ));
+        s.push_str(&format!(
+            "  \"telemetry\": {{\"metrics_enabled\": {}, \"clock\": {}, \
+             \"series\": {}, \"windows\": {}, \"attributions\": {}, \
+             \"attributions_dropped\": {}, \"slo_tenants\": {}, \
+             \"slo_target_ms\": {}, \"requests\": {}, \"tail_samples\": {}}},\n",
+            self.telemetry.metrics_enabled,
+            json::string(self.telemetry.clock),
+            self.telemetry.series,
+            self.telemetry.windows,
+            self.telemetry.attributions,
+            self.telemetry.attributions_dropped,
+            self.telemetry.slo_tenants,
+            json::num(self.telemetry.slo_target_ms),
+            self.counters.telemetry_requests,
+            self.counters.tail_attributions
         ));
 
         s.push_str("  \"health\": [\n");
@@ -408,6 +469,21 @@ impl RunReport {
             ));
         }
 
+        if self.telemetry.series > 0 || self.counters.telemetry_requests > 0 {
+            out.push_str(&format!(
+                "telemetry: {} series ({} windows)   requests: {}   \
+                 tail samples: {} ({} dropped)   slo: {} tenants @ p99 {:.1} ms   clock: {}\n",
+                self.telemetry.series,
+                self.telemetry.windows,
+                self.counters.telemetry_requests,
+                self.counters.tail_attributions,
+                self.telemetry.attributions_dropped,
+                self.telemetry.slo_tenants,
+                self.telemetry.slo_target_ms,
+                self.telemetry.clock
+            ));
+        }
+
         if !self.health.is_empty() {
             let nan: u64 = self.health.iter().map(|h| h.nan_count).sum();
             let inf: u64 = self.health.iter().map(|h| h.inf_count).sum();
@@ -537,7 +613,7 @@ mod tests {
         let report = RunReport::capture("unit test");
         assert_eq!(report.file_name(), "RUNLOG_unit_test.json");
         let js = report.to_json();
-        assert!(js.contains("\"schema_version\": 7"));
+        assert!(js.contains("\"schema_version\": 8"));
         assert!(js.contains("\"workspace\": {\"hits\": "));
         assert!(js.contains(
             "\"fusion\": {\"fused_epilogues\": 1, \"fused_elems\": 48, \
@@ -584,9 +660,44 @@ mod tests {
         let _g = lock();
         metrics::record_epoch("p", 1.0, 0.5, f64::NAN, 0.1);
         health::record("mapping/seed", 0, f64::NAN, f64::NAN, 2.5, 0, 0);
+        health::record("mapping/inf", 1, f64::INFINITY, f64::NEG_INFINITY, 2.5, 0, 3);
         let js = RunReport::capture("n").to_json();
         assert!(js.contains("\"grad_norm\": null"));
         assert!(js.contains("\"update_ratio\": null"));
+        // Non-finite sentinels must never leak as bare JSON tokens.
+        for bad in ["NaN", "inf,", "inf}", "Infinity"] {
+            assert!(!js.contains(bad), "non-finite leaked as {bad:?}:\n{js}");
+        }
+        // The whole document stays parseable by the vendored parser.
+        let v: serde_json::Value = serde_json::from_str(&js).expect("valid JSON");
+        assert!(v.field("health").is_ok());
+    }
+
+    #[test]
+    fn telemetry_object_reflects_registry_and_slo() {
+        let _g = lock();
+        crate::registry::set_enabled(true);
+        crate::slo::set_target_ms(25.0);
+        crate::registry::inc("serve_requests_total", "tenant=3", 4);
+        crate::registry::observe("serve_request_latency_ns", "tenant=3", 1_000, 900);
+        crate::slo::record("3", 1_000, 900);
+        crate::slo::record("9", 2_000, 900);
+        counters::record_telemetry_request();
+        counters::record_telemetry_request();
+        counters::record_tail_attribution();
+        let report = RunReport::capture("tel");
+        let js = report.to_json();
+        assert!(js.contains(
+            "\"telemetry\": {\"metrics_enabled\": true, \"clock\": \"monotonic\", \
+             \"series\": 2, \"windows\": 1, \"attributions\": 0, \
+             \"attributions_dropped\": 0, \"slo_tenants\": 2, \
+             \"slo_target_ms\": 25, \"requests\": 2, \"tail_samples\": 1}"
+        ));
+        let text = report.summary_table();
+        assert!(text.contains("telemetry: 2 series (1 windows)   requests: 2"));
+        assert!(text.contains("slo: 2 tenants @ p99 25.0 ms"));
+        crate::slo::set_target_ms(0.0);
+        crate::registry::set_enabled(false);
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Per-tenant SLO accounting: a target p99 latency and the error-budget
+//! burn rate over the sliding window.
+//!
+//! The SLO model is the standard one: a tenant's objective is "99 % of
+//! requests complete under the target p99" (`METALORA_SLO_P99_MS`,
+//! default [`DEFAULT_TARGET_P99_MS`] ms), which grants a 1 % error
+//! budget. [`record`] classifies each request as within/over target and
+//! feeds a per-tenant [`WindowHistogram`], so [`snapshot`] can report
+//! both the lifetime budget burn (`slow / (1 % of total)` — 1.0 means
+//! the budget is exactly spent) and the *windowed* p99 the regress gate
+//! compares against the target. The same target doubles as the
+//! tail-latency attribution threshold in `crates/serve`: a request is
+//! worth attributing exactly when it endangers the SLO.
+//!
+//! Recording is gated on [`crate::registry::enabled`] — SLO accounting
+//! is part of the live-metrics pillar and shares its switch and clock.
+
+use crate::registry;
+use crate::window::WindowHistogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default per-tenant p99 target in milliseconds.
+pub const DEFAULT_TARGET_P99_MS: f64 = 50.0;
+
+/// Unresolved sentinel for [`TARGET_NS`].
+const TARGET_UNSET: u64 = 0;
+
+static TARGET_NS: AtomicU64 = AtomicU64::new(TARGET_UNSET);
+
+/// Per-tenant p99 target in nanoseconds: the [`set_target_ms`] override,
+/// else `METALORA_SLO_P99_MS` (milliseconds, fractional allowed), else
+/// [`DEFAULT_TARGET_P99_MS`].
+pub fn target_ns() -> u64 {
+    match TARGET_NS.load(Ordering::Relaxed) {
+        TARGET_UNSET => target_from_env(),
+        t => t,
+    }
+}
+
+/// The target expressed in milliseconds.
+pub fn target_ms() -> f64 {
+    target_ns() as f64 / 1e6
+}
+
+#[cold]
+fn target_from_env() -> u64 {
+    let ms = std::env::var("METALORA_SLO_P99_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|&v| v.is_finite() && v > 0.0)
+        .unwrap_or(DEFAULT_TARGET_P99_MS);
+    let ns = ((ms * 1e6) as u64).max(1);
+    TARGET_NS.store(ns, Ordering::Relaxed);
+    ns
+}
+
+/// Overrides the p99 target (milliseconds; `0` or negative reverts to the
+/// environment / default).
+pub fn set_target_ms(ms: f64) {
+    let ns = if ms.is_finite() && ms > 0.0 {
+        ((ms * 1e6) as u64).max(1)
+    } else {
+        TARGET_UNSET
+    };
+    TARGET_NS.store(ns, Ordering::Relaxed);
+}
+
+struct TenantSlo {
+    window: WindowHistogram,
+    total: u64,
+    slow: u64,
+}
+
+static TENANTS: Mutex<Option<BTreeMap<String, TenantSlo>>> = Mutex::new(None);
+
+fn with_tenants<R>(f: impl FnOnce(&mut BTreeMap<String, TenantSlo>) -> R) -> R {
+    let mut guard = TENANTS.lock().unwrap_or_else(|e| e.into_inner());
+    f(guard.get_or_insert_with(BTreeMap::new))
+}
+
+/// Accounts one request for `tenant` at time `now_ns` with end-to-end
+/// latency `latency_ns`. Returns `true` when the request exceeded the
+/// target (i.e. burned error budget and deserves a tail-attribution
+/// sample). Always returns `false` without recording when the metrics
+/// registry is disabled.
+pub fn record(tenant: &str, now_ns: u64, latency_ns: u64) -> bool {
+    if !registry::enabled() {
+        return false;
+    }
+    let slow = latency_ns > target_ns();
+    with_tenants(|m| {
+        let t = m.entry(tenant.to_string()).or_insert_with(|| TenantSlo {
+            window: WindowHistogram::new(crate::registry::window_ns()),
+            total: 0,
+            slow: 0,
+        });
+        t.window.record(now_ns, latency_ns);
+        t.total += 1;
+        if slow {
+            t.slow += 1;
+        }
+    });
+    slow
+}
+
+/// One tenant's SLO standing.
+#[derive(Clone, Debug)]
+pub struct SloRow {
+    pub tenant: String,
+    /// Requests accounted since the last reset.
+    pub requests: u64,
+    /// Requests over the target.
+    pub slow: u64,
+    /// The p99 target the tenant is held to.
+    pub target_ns: u64,
+    /// p99 over the sliding window as of the snapshot instant.
+    pub window_p99_ns: u64,
+    /// Requests in the sliding window.
+    pub window_requests: u64,
+    /// Error-budget burn: `slow / (1 % of requests)`. `1.0` means the
+    /// 1 % budget is exactly spent; above that the tenant is out of SLO.
+    pub budget_burn: f64,
+}
+
+impl SloRow {
+    /// `true` when the windowed p99 currently exceeds the target.
+    pub fn over_target(&self) -> bool {
+        self.window_p99_ns > self.target_ns
+    }
+}
+
+/// Per-tenant SLO rows (ordered by tenant label), with windows evaluated
+/// at `now_ns`.
+pub fn snapshot_at(now_ns: u64) -> Vec<SloRow> {
+    let target = target_ns();
+    with_tenants(|m| {
+        m.iter()
+            .map(|(tenant, t)| {
+                let merged = t.window.merged(now_ns);
+                let budget = 0.01 * t.total as f64;
+                SloRow {
+                    tenant: tenant.clone(),
+                    requests: t.total,
+                    slow: t.slow,
+                    target_ns: target,
+                    window_p99_ns: merged.quantile(0.99),
+                    window_requests: merged.count(),
+                    budget_burn: if budget > 0.0 {
+                        t.slow as f64 / budget
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect()
+    })
+}
+
+/// Per-tenant SLO rows evaluated at the current clock reading.
+pub fn snapshot() -> Vec<SloRow> {
+    snapshot_at(crate::window::now_ns())
+}
+
+/// Clears all tenant accounting (the target override is left as is).
+pub fn reset() {
+    let mut guard = TENANTS.lock().unwrap_or_else(|e| e.into_inner());
+    *guard = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_against_target_and_burns_budget() {
+        let _g = crate::tests::lock();
+        registry::set_enabled(true);
+        set_target_ms(1.0); // 1 ms = 1_000_000 ns
+        // 200 requests for tenant 3: 2 slow → burn = 2 / (0.01·200) = 1.0.
+        for i in 0..200u64 {
+            let latency = if i < 2 { 2_000_000 } else { 1_000 };
+            let slow = record("3", (i + 1) * 1_000, latency);
+            assert_eq!(slow, i < 2);
+        }
+        // A clean tenant for ordering/burn contrast.
+        assert!(!record("10", 1_000, 500));
+        let rows = snapshot_at(300_000);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].tenant, "10", "BTreeMap lexicographic order");
+        let t3 = &rows[1];
+        assert_eq!(t3.tenant, "3");
+        assert_eq!(t3.requests, 200);
+        assert_eq!(t3.slow, 2);
+        assert!((t3.budget_burn - 1.0).abs() < 1e-12);
+        assert_eq!(t3.window_requests, 200);
+        assert!(t3.window_p99_ns <= t3.target_ns, "p99 within target");
+        assert!(!t3.over_target());
+        let t10 = &rows[0];
+        assert_eq!(t10.budget_burn, 0.0);
+        set_target_ms(0.0);
+        reset();
+    }
+
+    #[test]
+    fn over_target_when_windowed_p99_exceeds_slo() {
+        let _g = crate::tests::lock();
+        registry::set_enabled(true);
+        set_target_ms(0.001); // 1 µs target: everything is slow
+        for i in 0..50u64 {
+            assert!(record("7", (i + 1) * 1_000, 10_000));
+        }
+        let rows = snapshot_at(60_000);
+        assert_eq!(rows[0].slow, 50);
+        assert!(rows[0].over_target());
+        assert!(rows[0].budget_burn > 1.0);
+        set_target_ms(0.0);
+        reset();
+    }
+
+    #[test]
+    fn disabled_records_nothing_and_reports_not_slow() {
+        let _g = crate::tests::lock();
+        registry::set_enabled(false);
+        set_target_ms(0.001);
+        assert!(!record("1", 1_000, u64::MAX / 2), "disabled → never slow");
+        registry::set_enabled(true);
+        assert!(snapshot_at(10_000).is_empty());
+        set_target_ms(0.0);
+    }
+
+    #[test]
+    fn target_env_default_applies_when_unset() {
+        let _g = crate::tests::lock();
+        set_target_ms(0.0); // revert to env/default
+        if std::env::var_os("METALORA_SLO_P99_MS").is_none() {
+            assert_eq!(target_ms(), DEFAULT_TARGET_P99_MS);
+            assert_eq!(target_ns(), 50_000_000);
+        }
+        set_target_ms(0.0);
+    }
+}

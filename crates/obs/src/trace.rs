@@ -316,6 +316,69 @@ mod tests {
     }
 
     #[test]
+    fn saturated_concurrent_writers_keep_pairing_and_exact_drop_count() {
+        let _g = trace_lock();
+        const CAPACITY: usize = 64;
+        const THREADS: usize = 4;
+        const PAIRS: usize = 200;
+        set_capacity(CAPACITY);
+        // 4 threads × 200 begin/end pairs = 1600 pushes through a 64-slot
+        // ring: heavy saturation with concurrent writers.
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                s.spawn(move || {
+                    for i in 0..PAIRS {
+                        begin(&format!("t{t}.s{i}"));
+                        end(&format!("t{t}.s{i}"));
+                    }
+                });
+            }
+        });
+        let (events, dropped) = snapshot();
+        let total = (THREADS * PAIRS * 2) as u64;
+        // The drop counter is exact regardless of interleaving: every
+        // push past capacity evicts exactly one event under the ring's
+        // lock, so dropped == total − capacity.
+        assert_eq!(events.len(), CAPACITY);
+        assert_eq!(dropped, total - CAPACITY as u64);
+        // Pairing stays consistent in the surviving window: per thread,
+        // events keep program order (monotonic timestamps), every end
+        // matches the innermost open begin, and the only permissible
+        // anomaly is an end whose begin was evicted — which can occur
+        // only at the start of a thread's surviving subsequence, never
+        // after that thread has opened a span inside the window.
+        let tids: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+        for tid in tids {
+            let mut last_ts = 0u64;
+            let mut stack: Vec<&str> = Vec::new();
+            let mut seen_begin = false;
+            for e in events.iter().filter(|e| e.tid == tid) {
+                assert!(e.ts_ns >= last_ts, "tid {tid}: time went backwards");
+                last_ts = e.ts_ns;
+                if e.begin {
+                    seen_begin = true;
+                    stack.push(&e.name);
+                } else {
+                    match stack.pop() {
+                        Some(open) => assert_eq!(open, e.name, "tid {tid}: crossed pairing"),
+                        None => assert!(
+                            !seen_begin,
+                            "tid {tid}: unmatched end {:?} after an in-window begin",
+                            e.name
+                        ),
+                    }
+                }
+            }
+            assert!(
+                stack.len() <= 1,
+                "tid {tid}: flat spans can leave at most the final begin open, got {stack:?}"
+            );
+        }
+        set_capacity(DEFAULT_CAPACITY);
+        set_enabled(false);
+    }
+
+    #[test]
     fn chrome_json_shape() {
         let events = vec![
             TraceEvent { name: "a\"b".into(), begin: true, ts_ns: 1_500, tid: 1 },

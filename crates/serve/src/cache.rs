@@ -186,11 +186,13 @@ impl MergedCache {
                 inner.hits += 1;
                 inner.touch(key);
                 metalora_obs::counters::record_serve_cache(true);
+                metalora_obs::registry::inc("serve_cache_lookups_total", "result=hit", 1);
                 return Ok(t);
             }
             inner.misses += 1;
         }
         metalora_obs::counters::record_serve_cache(false);
+        metalora_obs::registry::inc("serve_cache_lookups_total", "result=miss", 1);
         let built = Arc::new(build()?);
         metalora_obs::counters::record_serve_merge();
         if built.len() * 4 > self.capacity {
@@ -207,6 +209,7 @@ impl MergedCache {
         let evicted = inner.evict_to(self.capacity);
         if evicted > 0 {
             metalora_obs::counters::record_serve_evictions(evicted);
+            metalora_obs::registry::inc("serve_cache_evictions_total", "", evicted);
         }
         Ok(built)
     }
@@ -224,11 +227,13 @@ impl MergedCache {
                 inner.hits += 1;
                 inner.touch(key);
                 metalora_obs::counters::record_serve_cache(true);
+                metalora_obs::registry::inc("serve_cache_lookups_total", "result=hit", 1);
                 return Ok(b);
             }
             inner.misses += 1;
         }
         metalora_obs::counters::record_serve_cache(false);
+        metalora_obs::registry::inc("serve_cache_lookups_total", "result=miss", 1);
         let built = Arc::new(build()?);
         metalora_obs::counters::record_serve_merge();
         if built.byte_len() > self.capacity {
@@ -244,6 +249,7 @@ impl MergedCache {
         let evicted = inner.evict_to(self.capacity);
         if evicted > 0 {
             metalora_obs::counters::record_serve_evictions(evicted);
+            metalora_obs::registry::inc("serve_cache_evictions_total", "", evicted);
         }
         Ok(built)
     }

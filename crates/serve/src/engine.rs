@@ -15,8 +15,10 @@ use crate::batch::{concat_rows, split_rows, Batcher, Request};
 use crate::cache::{CacheKey, MergedCache};
 use crate::forward::{self, MappingSnapshot};
 use crate::store::{AdapterStore, TenantAdapter, TenantEntry, TenantId};
+use crate::telemetry::{self, StageNs};
 use crate::Result;
 use metalora_obs::hist::LogHistogram;
+use metalora_obs::{registry, window};
 use metalora_peft::meta::MappingNet;
 use metalora_peft::{merge, MultiLoraLinear};
 use metalora_tensor::conv::ConvSpec;
@@ -90,6 +92,7 @@ pub struct ServeEngine {
     hist: Mutex<LogHistogram>,
     requests: AtomicU64,
     batches: AtomicU64,
+    next_request_id: AtomicU64,
     plans: Mutex<HashMap<PlanKey, Arc<Plan>>>,
 }
 
@@ -121,6 +124,7 @@ impl ServeEngine {
             hist: Mutex::new(LogHistogram::new()),
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            next_request_id: AtomicU64::new(0),
             plans: Mutex::new(HashMap::new()),
         }
     }
@@ -213,27 +217,53 @@ impl ServeEngine {
     }
 
     /// Serves a whole stream, chunked into `max_batch`-sized batches;
-    /// outputs are in request order.
+    /// outputs are in request order. With telemetry on
+    /// ([`metalora_obs::registry::enabled`]) each request is stamped at
+    /// enqueue so its batcher wait lands in the `queue` stage, and the
+    /// batcher's depth/age gauges are refreshed on every push.
     pub fn process(&self, reqs: &[Request]) -> Result<Vec<Tensor>> {
+        let tel = registry::enabled();
         let mut out = Vec::with_capacity(reqs.len());
         let mut batcher = Batcher::new(self.cfg.max_batch);
         for r in reqs {
-            if let Some(batch) = batcher.push(r.clone()) {
-                out.extend(self.serve_batch(&batch)?);
+            let now = if tel { window::now_ns() } else { 0 };
+            if let Some((batch, enq)) = batcher.push_stamped(r.clone(), now) {
+                out.extend(self.serve_batch_timed(&batch, &enq)?);
+            } else if tel {
+                let age = batcher
+                    .oldest_enqueued_ns()
+                    .map_or(0, |e| now.saturating_sub(e));
+                telemetry::record_queue(batcher.pending(), age);
             }
         }
-        let tail = batcher.flush();
+        let (tail, enq) = batcher.flush_stamped();
         if !tail.is_empty() {
-            out.extend(self.serve_batch(&tail)?);
+            out.extend(self.serve_batch_timed(&tail, &enq)?);
         }
         Ok(out)
+    }
+
+    /// Serves one batch with no enqueue stamps (every `queue` stage reads
+    /// zero). Outputs are in request order.
+    pub fn serve_batch(&self, reqs: &[Request]) -> Result<Vec<Tensor>> {
+        self.serve_batch_timed(reqs, &[])
     }
 
     /// Serves one batch: resolves tenants, amortises dynamic seed
     /// generation across the batch, then runs each request's tape-free
     /// forward. Outputs are in request order.
-    pub fn serve_batch(&self, reqs: &[Request]) -> Result<Vec<Tensor>> {
+    ///
+    /// `enq_ns` carries per-request enqueue stamps from the batcher (empty
+    /// or zero ⇒ no queue wait attributed). With telemetry on, every
+    /// request gets an id and a per-stage breakdown (queue / cache /
+    /// mapping / gemm / epilogue) recorded through [`crate::telemetry`];
+    /// the telemetry clock is only read from this sequential loop — never
+    /// from parallel kernel workers — so logical-clock runs are
+    /// bit-reproducible. Timing is passive: outputs are bitwise identical
+    /// with telemetry on or off.
+    pub fn serve_batch_timed(&self, reqs: &[Request], enq_ns: &[u64]) -> Result<Vec<Tensor>> {
         let _sp = metalora_obs::span!("serve/batch");
+        let tel = registry::enabled();
         let entries: Vec<Arc<TenantEntry>> = reqs
             .iter()
             .map(|r| self.store.get_required(r.tenant))
@@ -244,19 +274,53 @@ impl ServeEngine {
         // path never discovers sizes or touches the allocator.
         self.batch_plan(reqs, &entries).warm();
 
+        let batch_t0 = if tel { window::now_ns() } else { 0 };
         let seeds = self.generate_batch_seeds(reqs, &entries)?;
+        let seed_ns = if tel {
+            window::now_ns().saturating_sub(batch_t0)
+        } else {
+            0
+        };
+        // The stacked mapping-net forward is one GEMM for all dynamic
+        // requests; attribute it evenly across them.
+        let mapping_share = if seeds.is_empty() {
+            0
+        } else {
+            seed_ns / seeds.len() as u64
+        };
 
         let mut out = Vec::with_capacity(reqs.len());
         for (i, (req, entry)) in reqs.iter().zip(&entries).enumerate() {
             let start = Instant::now();
-            let y = self.forward_one(entry, &req.x, seeds.get(&i))?;
+            let mut stages = StageNs::default();
+            let fwd_t0 = if tel { window::now_ns() } else { 0 };
+            let y = self.forward_one(entry, &req.x, seeds.get(&i), tel, &mut stages)?;
             let ns = start.elapsed().as_nanos() as u64;
             self.hist.lock().unwrap_or_else(|e| e.into_inner()).record(ns);
+            if tel {
+                let fwd_ns = window::now_ns().saturating_sub(fwd_t0);
+                // Epilogues are fused into the GEMM store, so the forward
+                // splits into cache time and "everything else" = gemm.
+                stages.gemm = fwd_ns.saturating_sub(stages.cache);
+                if seeds.contains_key(&i) {
+                    stages.mapping = mapping_share;
+                }
+                stages.queue = enq_ns
+                    .get(i)
+                    .filter(|&&e| e > 0)
+                    .map_or(0, |&e| batch_t0.saturating_sub(e));
+                let id = self.next_request_id.fetch_add(1, Relaxed);
+                telemetry::record_request(id, req.tenant, telemetry::method_label(&entry.adapter), stages);
+            }
             out.push(y);
         }
         self.requests.fetch_add(reqs.len() as u64, Relaxed);
         self.batches.fetch_add(1, Relaxed);
         metalora_obs::counters::record_serve_batch(reqs.len() as u64);
+        if tel {
+            telemetry::record_batch(reqs.len());
+            telemetry::record_cache(&self.cache.stats());
+        }
         Ok(out)
     }
 
@@ -389,38 +453,68 @@ impl ServeEngine {
     /// the weight bytes streamed per forward, at the cost of one RNE
     /// rounding of the merged weight (the factored path stays f32 and
     /// bitwise-exact regardless of the toggle).
-    fn merged_dense<D>(&self, key: CacheKey, x: &Tensor, delta: D) -> Result<Tensor>
+    /// `tel`/`stages` attribute the cache lookup (merge included on a
+    /// miss) to the `cache` stage when telemetry is on.
+    fn merged_dense<D>(
+        &self,
+        key: CacheKey,
+        x: &Tensor,
+        delta: D,
+        tel: bool,
+        stages: &mut StageNs,
+    ) -> Result<Tensor>
     where
         D: FnOnce() -> Result<Tensor>,
     {
+        let t0 = if tel { window::now_ns() } else { 0 };
         if bf16::enabled() {
             let w = self
                 .cache
                 .get_or_insert_bf16(key, || merge::merge_into_bf16(&self.base_w, &delta()?))?;
+            if tel {
+                stages.cache = window::now_ns().saturating_sub(t0);
+            }
             forward::merged_linear_bf16(x, &w, self.base_b.as_ref())
         } else {
             let w = self
                 .cache
                 .get_or_insert(key, || merge::merge_into(&self.base_w, &delta()?))?;
+            if tel {
+                stages.cache = window::now_ns().saturating_sub(t0);
+            }
             forward::merged_linear(x, &w, self.base_b.as_ref())
         }
     }
 
     /// Conv twin of [`Self::merged_dense`] over the frozen conv base.
-    fn merged_conv<D>(&self, key: CacheKey, x: &Tensor, delta: D) -> Result<Tensor>
+    fn merged_conv<D>(
+        &self,
+        key: CacheKey,
+        x: &Tensor,
+        delta: D,
+        tel: bool,
+        stages: &mut StageNs,
+    ) -> Result<Tensor>
     where
         D: FnOnce() -> Result<Tensor>,
     {
         let (w, spec) = self.conv_base()?;
+        let t0 = if tel { window::now_ns() } else { 0 };
         if bf16::enabled() {
             let m = self
                 .cache
                 .get_or_insert_bf16(key, || merge::merge_into_bf16(w, &delta()?))?;
+            if tel {
+                stages.cache = window::now_ns().saturating_sub(t0);
+            }
             forward::merged_conv_bf16(x, &m, self.conv_b.as_ref(), spec)
         } else {
             let m = self
                 .cache
                 .get_or_insert(key, || merge::merge_into(w, &delta()?))?;
+            if tel {
+                stages.cache = window::now_ns().saturating_sub(t0);
+            }
             forward::merged_conv(x, &m, self.conv_b.as_ref(), spec)
         }
     }
@@ -432,20 +526,22 @@ impl ServeEngine {
         entry: &TenantEntry,
         x: &Tensor,
         seed: Option<&Tensor>,
+        tel: bool,
+        stages: &mut StageNs,
     ) -> Result<Tensor> {
         let key = (entry.id, entry.version);
         let merged_mode = self.cfg.use_merged && entry.adapter.cacheable();
         match &entry.adapter {
             TenantAdapter::Lora { a, b, scaling } => {
                 if merged_mode {
-                    self.merged_dense(key, x, || merge::lora_delta(a, b, *scaling))
+                    self.merged_dense(key, x, || merge::lora_delta(a, b, *scaling), tel, stages)
                 } else {
                     forward::lora_linear(x, &self.base_w, self.base_b.as_ref(), a, b, *scaling)
                 }
             }
             TenantAdapter::ConvLora { a, b, scaling } => {
                 if merged_mode {
-                    self.merged_conv(key, x, || merge::conv_lora_delta(a, b, *scaling))
+                    self.merged_conv(key, x, || merge::conv_lora_delta(a, b, *scaling), tel, stages)
                 } else {
                     let (w, spec) = self.conv_base()?;
                     forward::conv_lora(x, w, self.conv_b.as_ref(), spec, a, b, *scaling)
@@ -458,7 +554,7 @@ impl ServeEngine {
                 pinned_seed,
             } => match pinned_seed {
                 Some(c) if merged_mode => {
-                    self.merged_dense(key, x, || merge::cp_delta(a, b, c, *scaling))
+                    self.merged_dense(key, x, || merge::cp_delta(a, b, c, *scaling), tel, stages)
                 }
                 Some(c) => {
                     let rows = forward::tile_seed(c, x.dims()[0])?;
@@ -478,7 +574,7 @@ impl ServeEngine {
                 pinned_seed,
             } => match pinned_seed {
                 Some(c) if merged_mode => {
-                    self.merged_dense(key, x, || merge::tr_delta(a, b, c, *scaling))
+                    self.merged_dense(key, x, || merge::tr_delta(a, b, c, *scaling), tel, stages)
                 }
                 Some(c) => {
                     let rows = forward::tile_seed(c, x.dims()[0])?;
@@ -500,7 +596,7 @@ impl ServeEngine {
                 }
                 let (a, b) = (&self.bank_a[*slot], &self.bank_b[*slot]);
                 if merged_mode {
-                    self.merged_dense(key, x, || merge::lora_delta(a, b, self.bank_scaling))
+                    self.merged_dense(key, x, || merge::lora_delta(a, b, self.bank_scaling), tel, stages)
                 } else {
                     forward::lora_linear(x, &self.base_w, self.base_b.as_ref(), a, b, self.bank_scaling)
                 }

@@ -22,6 +22,11 @@
 //!   `forward_equiv` suite asserts it for every adapter method.
 //! * [`engine`] — [`engine::ServeEngine`] wires the four together and
 //!   records per-request latency (`obs::hist`) plus serve counters.
+//! * [`telemetry`] — the bridge into `obs::registry`/`obs::slo`: per-
+//!   request stage breakdowns (queue / cache / mapping / gemm /
+//!   epilogue), per-tenant windowed latency and SLO accounting, cache
+//!   and batcher gauges, and tail-latency attribution. Active only when
+//!   `METALORA_OBS_METRICS` telemetry is on; purely passive either way.
 //! * [`traffic`] — synthetic zipf-distributed multi-tenant traffic with
 //!   per-task input shifts, for the `serve` bench bin.
 //!
@@ -47,12 +52,14 @@ pub mod cache;
 pub mod engine;
 pub mod forward;
 pub mod store;
+pub mod telemetry;
 pub mod traffic;
 
 pub use batch::{Batcher, Request};
 pub use cache::{CacheKey, CacheStats, CachedWeight, MergedCache};
 pub use engine::{EngineConfig, ServeEngine};
 pub use store::{AdapterStore, TenantAdapter, TenantEntry, TenantId};
+pub use telemetry::StageNs;
 
 /// Crate-wide result alias (errors are tensor errors).
 pub type Result<T> = std::result::Result<T, metalora_tensor::TensorError>;

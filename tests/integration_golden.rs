@@ -50,11 +50,14 @@ fn golden_quick_pipeline() {
     let accs_off = run_pipeline();
 
     // Observed run with every collector on — spans, counters, the event
-    // timeline and per-group health probes at stride 1. Numerics must not
-    // move by a single bit.
+    // timeline, per-group health probes at stride 1 AND the live metrics
+    // registry under the logical clock. Numerics must not move by a
+    // single bit.
     metalora_obs::set_enabled(true);
     metalora_obs::trace::set_enabled(true);
     metalora_obs::health::set_sample_stride(1);
+    metalora_obs::registry::set_enabled(true);
+    metalora_obs::window::set_clock(metalora_obs::window::ClockMode::Logical);
     metalora_obs::reset();
     let accs_on = run_pipeline();
     let epochs = metalora_obs::metrics::snapshot();
@@ -66,6 +69,8 @@ fn golden_quick_pipeline() {
     metalora_obs::set_enabled(false);
     metalora_obs::trace::set_enabled(false);
     metalora_obs::health::set_sample_stride(0);
+    metalora_obs::registry::set_enabled(false);
+    metalora_obs::window::set_clock(metalora_obs::window::ClockMode::Monotonic);
     metalora_obs::reset();
 
     for (k, (on, off)) in [5usize, 10].into_iter().zip(accs_on.iter().zip(&accs_off)) {
@@ -202,6 +207,7 @@ fn runlog_captures_full_table1_grid() {
         "workspace",
         "health",
         "trace",
+        "telemetry",
         "epochs",
     ] {
         assert!(v.field(key).is_ok(), "missing key {key:?}");
